@@ -1,0 +1,74 @@
+"""Ablation — Eq. 1 expected delay and grade selection over field ranges.
+
+Sweeps candidate design corners against several foreknown field-temperature
+ranges (paper Sec. III-C) and prints the Eq. 1 expected-delay matrix plus
+the winning grade per range — the quantitative basis of the paper's
+proposed temperature grades (e.g. a hot grade for datacenter accelerators).
+"""
+
+from repro.core.architecture import expected_delay, select_design_corner
+from repro.coffe.fabric import build_fabric
+from repro.reporting.tables import format_table
+
+CANDIDATES = (0.0, 25.0, 70.0, 100.0)
+FIELD_RANGES = (
+    ("chilled facility", 0.0, 30.0),
+    ("office/edge", 15.0, 55.0),
+    ("full industrial", 0.0, 100.0),
+    ("datacenter accel", 60.0, 100.0),
+)
+
+
+def test_ablation_expected_delay_matrix(benchmark, arch):
+    def matrix():
+        fabrics = {c: build_fabric(c, arch) for c in CANDIDATES}
+        rows = []
+        winners = {}
+        for label, t_min, t_max in FIELD_RANGES:
+            expected = {
+                c: expected_delay(fabrics[c], t_min, t_max) for c in CANDIDATES
+            }
+            winner = min(expected, key=lambda c: expected[c])
+            winners[label] = winner
+            rows.append((label, t_min, t_max, expected, winner))
+        return rows, winners
+
+    rows, winners = benchmark(matrix)
+    print()
+    table_rows = []
+    for label, t_min, t_max, expected, winner in rows:
+        table_rows.append(
+            (
+                f"{label} [{t_min:g},{t_max:g}]C",
+                *[f"{expected[c] * 1e12:.2f}" for c in CANDIDATES],
+                f"D{winner:g}",
+            )
+        )
+    print(
+        format_table(
+            ["field range", *[f"E[d] D{c:g} (ps)" for c in CANDIDATES],
+             "grade"],
+            table_rows,
+            title="Ablation — Eq. 1 expected CP delay per candidate corner",
+        )
+    )
+
+    # Shape: cold ranges pick cold grades, the datacenter range picks a hot
+    # grade, and no single corner wins everywhere (paper Sec. III-C: "a
+    # single device cannot provide all-embracing superiority").
+    assert winners["chilled facility"] <= 25.0
+    assert winners["datacenter accel"] >= 70.0
+    assert len(set(winners.values())) > 1
+
+
+def test_ablation_selection_api(benchmark, arch):
+    choice = benchmark(
+        select_design_corner, 60.0, 100.0, CANDIDATES, "cp", arch
+    )
+    print(
+        f"\nselect_design_corner(60, 100) -> D{choice.corner_celsius:g}, "
+        f"advantage over D25: "
+        f"{choice.advantage_over(25.0) * 100:.2f}%"
+    )
+    assert choice.corner_celsius >= 70.0
+    assert choice.advantage_over(25.0) > 0.0

@@ -1,0 +1,77 @@
+"""Ablation — Algorithm 1 vs. the related-work baselines (paper Sec. II).
+
+Positions the paper's offline per-tile guardbanding between:
+
+- the conventional worst-case margin (lower bound it beats),
+- single-sensor online scaling ([10]/[12]) whose safety depends on where
+  the sensor happens to sit relative to the hotspot,
+- the zero-margin oracle (unreachable upper bound costing only delta_t).
+"""
+
+from repro.core.baselines import (
+    coldest_tile,
+    hottest_tile,
+    oracle_frequency,
+    sensor_uniform_baseline,
+)
+from repro.core.guardband import thermal_aware_guardband
+from repro.core.margins import worst_case_frequency
+from repro.reporting.tables import format_table
+
+BENCH = "stereovision1"
+T_AMBIENT = 25.0
+
+
+def test_ablation_baseline_ladder(benchmark, suite_flows, fabric25):
+    flow = suite_flows[BENCH]
+
+    def ladder():
+        result = thermal_aware_guardband(flow, fabric25, T_AMBIENT)
+        return {
+            "worst_case": worst_case_frequency(flow, fabric25),
+            "algorithm1": result.frequency_hz,
+            "oracle": oracle_frequency(flow, fabric25, result),
+            "result": result,
+        }
+
+    data = benchmark(ladder)
+    result = data["result"]
+    print()
+    print(
+        format_table(
+            ["policy", "frequency (MHz)"],
+            [
+                ("worst-case Tworst=100C", f"{data['worst_case'] / 1e6:.1f}"),
+                ("Algorithm 1 (delta_t=2C)", f"{data['algorithm1'] / 1e6:.1f}"),
+                ("oracle (zero margin)", f"{data['oracle'] / 1e6:.1f}"),
+            ],
+            title=f"Guardbanding ladder on '{BENCH}' at Tamb={T_AMBIENT:g}C",
+        )
+    )
+    # Strict ordering: worst-case < Algorithm 1 <= oracle, and the delta_t
+    # cost is small.
+    assert data["worst_case"] < data["algorithm1"] <= data["oracle"] * (1 + 1e-12)
+    assert data["algorithm1"] / data["oracle"] > 0.95
+
+    # Single-sensor scaling: safe only if the sensor sees the hotspot.
+    cold = sensor_uniform_baseline(
+        flow, fabric25, result, sensor_tile=coldest_tile(result)
+    )
+    hot = sensor_uniform_baseline(
+        flow, fabric25, result, sensor_tile=hottest_tile(result)
+    )
+    print(
+        format_table(
+            ["sensor placement", "reading (C)", "clock (MHz)", "safe?"],
+            [
+                ("coolest tile", f"{cold.sensor_celsius:.2f}",
+                 f"{cold.frequency_hz / 1e6:.1f}", cold.is_safe),
+                ("hottest tile", f"{hot.sensor_celsius:.2f}",
+                 f"{hot.frequency_hz / 1e6:.1f}", hot.is_safe),
+            ],
+            title="Single-sensor online scaling (related work [10]/[12])",
+        )
+    )
+    assert hot.is_safe
+    # A hotspot-aware sensor must clock no faster than the oracle.
+    assert hot.frequency_hz <= data["oracle"] * (1 + 1e-12)

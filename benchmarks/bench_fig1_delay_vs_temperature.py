@@ -1,0 +1,63 @@
+"""Paper Fig. 1 — impact of temperature on FPGA resource delay.
+
+Regenerates the delay-increase-vs-temperature curves of the representative
+critical path (CP), BRAM and DSP on the 25 C-corner device, 0..100 C.
+
+Paper reference shape: DSP is the steepest (up to ~84 % at 100 C), BRAM in
+between, CP (soft fabric, routing-dominated) lowest (~47 %); within the CP,
+the LUT rises ~69 % and the SB ~39 %.
+"""
+
+import numpy as np
+
+from repro.reporting.figures import format_series
+
+PAPER_AT_100C = {"cp": 0.47, "bram": 0.75, "dsp": 0.84}
+
+
+def fig1_series(fabric):
+    temps = np.arange(0.0, 101.0, 10.0)
+    series = {}
+    for component in ("cp", "bram", "dsp"):
+        series[component] = [
+            float(fabric.delay_increase_fraction(component, t)) * 100.0
+            for t in temps
+        ]
+    return temps, series
+
+
+def test_fig1_delay_increase(benchmark, fabric25):
+    temps, series = benchmark(fig1_series, fabric25)
+    print()
+    print(
+        format_series(
+            temps,
+            [(name.upper(), values) for name, values in series.items()],
+            title="Fig. 1 — delay increase vs. temperature (%, D25 device)",
+            fmt="{:9.1f}",
+        )
+    )
+    print("\nmeasured vs. paper at 100 C:")
+    for name, values in series.items():
+        print(
+            f"  {name.upper():4s} {values[-1]:5.1f}%   "
+            f"(paper ~{PAPER_AT_100C[name] * 100:.0f}%)"
+        )
+    # Shape assertions: ordering and magnitudes.
+    assert series["dsp"][-1] > series["bram"][-1] > series["cp"][-1]
+    assert 40.0 < series["cp"][-1] < 60.0
+    assert 70.0 < series["dsp"][-1] < 90.0
+
+
+def test_fig1_lut_vs_sb_sensitivity(benchmark, fabric25):
+    def rises():
+        lut = float(fabric25.delay_increase_fraction("lut", 100.0))
+        sb = float(fabric25.delay_increase_fraction("sb_mux", 100.0))
+        return lut, sb
+
+    lut, sb = benchmark(rises)
+    print(
+        f"\nLUT rise {lut * 100:.1f}% (paper ~69-86%), "
+        f"SB rise {sb * 100:.1f}% (paper ~39-40%)"
+    )
+    assert lut > 1.5 * sb

@@ -1,0 +1,55 @@
+"""Paper Fig. 2 — delay of differently optimized fabrics at different temps.
+
+Builds devices sized at 0 C, 25 C and 100 C and compares CP/BRAM/DSP delay
+at operating temperatures {0, 25, 100} C, each chunk normalized to its
+fastest device.
+
+Paper reference points: BRAM of D100 is 1.35x D0 at 0 C; BRAM of D0 is
+1.19x D100 at 100 C; D25's BRAM only ~6 % off at 0 C and ~4 % at 100 C; CP
+and DSP show the same trend with less intensity.
+"""
+
+from repro.core.design import fig2_normalized_delays
+from repro.reporting.tables import format_table
+
+CORNERS = (0.0, 25.0, 100.0)
+
+PAPER_POINTS = [
+    ("bram", 0.0, 100.0, 1.35),
+    ("bram", 100.0, 0.0, 1.19),
+]
+
+
+def test_fig2_normalized_delays(benchmark, arch):
+    fig2 = benchmark(fig2_normalized_delays, CORNERS, (0.0, 25.0, 100.0),
+                     ("cp", "bram", "dsp"), arch)
+    print()
+    for component, per_point in fig2.items():
+        rows = [
+            (f"T={t:g}C",) + tuple(f"{per_point[t][c]:.3f}" for c in CORNERS)
+            for t in sorted(per_point)
+        ]
+        print(
+            format_table(
+                ["operating", *[f"D{c:g}" for c in CORNERS]],
+                rows,
+                title=f"Fig. 2 ({component.upper()}) — normalized delay",
+            )
+        )
+        print()
+    print("paper reference: BRAM D100@0C = 1.35x, BRAM D0@100C = 1.19x")
+    for component, t_op, ref_corner, paper in PAPER_POINTS:
+        slow_corner = 100.0 if t_op == 0.0 else 0.0
+        measured = fig2[component][t_op][slow_corner]
+        print(
+            f"  {component} D{slow_corner:g} at {t_op:g}C: {measured:.3f}x "
+            f"(paper {paper:.2f}x)"
+        )
+
+    # Shape: every chunk's own-corner device is fastest (within ties) and
+    # the BRAM effect dominates the DSP one.
+    for component, per_point in fig2.items():
+        for t_op in (0.0, 100.0):
+            assert per_point[t_op][t_op] < 1.01
+    assert max(fig2["bram"][0.0].values()) > max(fig2["dsp"][0.0].values())
+    assert max(fig2["bram"][0.0].values()) > 1.05

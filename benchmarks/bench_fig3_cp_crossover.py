@@ -1,0 +1,50 @@
+"""Paper Fig. 3 — temperature-delay curves of D0/D25/D100 fabrics.
+
+Regenerates the representative-critical-path delay of the three corner
+devices across the whole junction range and locates the crossovers.
+
+Paper reference: D0 is 6.3 % faster than D100 at 0 C; D100 is 9.0 % faster
+at 100 C; D25 is optimal for T in ~[20, 65] C; absolute delays run ~120 ps
+(cold) to ~185 ps (hot).
+"""
+
+import numpy as np
+
+from repro.core.design import corner_delay_curves
+from repro.reporting.figures import format_series
+
+CORNERS = (0.0, 25.0, 100.0)
+
+
+def test_fig3_cp_crossover(benchmark, arch):
+    curves = benchmark(corner_delay_curves, CORNERS, "cp", arch)
+    sample = np.arange(0.0, 101.0, 10.0)
+    print()
+    print(
+        format_series(
+            sample,
+            [
+                (f"D{c:g}",
+                 [float(np.interp(t, curves.t_grid_celsius,
+                                  curves.curves[c])) * 1e12 for t in sample])
+                for c in CORNERS
+            ],
+            title="Fig. 3 — representative CP delay (ps)",
+            fmt="{:9.2f}",
+        )
+    )
+    d100_penalty_cold = curves.crossover_ratio(100.0, 0.0, 0.0) - 1.0
+    d0_penalty_hot = curves.crossover_ratio(0.0, 100.0, 100.0) - 1.0
+    print(
+        f"\nD100 penalty at 0C:  {d100_penalty_cold * 100:.1f}% (paper 6.3%)"
+        f"\nD0 penalty at 100C:  {d0_penalty_hot * 100:.1f}% (paper 9.0%)"
+    )
+    mid_winners = {curves.best_corner_at(t) for t in (30.0, 40.0, 50.0)}
+    print(f"mid-band winner (30-50C): D25={mid_winners == {25.0}} "
+          "(paper: D25 optimal in [20, 65]C)")
+
+    assert curves.best_corner_at(0.0) == 0.0
+    assert curves.best_corner_at(100.0) == 100.0
+    assert 0.02 < d100_penalty_cold < 0.15
+    assert 0.02 < d0_penalty_hot < 0.15
+    assert mid_winners == {25.0}

@@ -1,0 +1,61 @@
+"""Paper Fig. 6 — per-benchmark guardbanding gain at Tamb = 25 C.
+
+Runs Algorithm 1 on every VTR-19 benchmark at a 25 C ambient and reports
+the frequency gain over the conventional Tworst = 100 C baseline.
+
+Paper reference: up to ~50 % for DSP-heavy designs, ~36.5 % on average.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import suite_gains
+from repro.core.guardband import thermal_aware_guardband
+from repro.netlists.vtr_suite import benchmark_names
+from repro.reporting.figures import format_bar_chart
+
+PAPER_AVERAGE = 0.365
+T_AMBIENT = 25.0
+
+
+def test_fig6_guardband_gains_25c(benchmark, suite_flows, fabric25):
+    gains = suite_gains(suite_flows, fabric25, T_AMBIENT)
+    names = list(benchmark_names())
+    values = [gains[n] * 100 for n in names]
+    average = float(np.mean(values))
+    print()
+    print(
+        format_bar_chart(
+            names + ["average"],
+            values + [average],
+            title=f"Fig. 6 — thermal-aware guardbanding gain at Tamb={T_AMBIENT:.0f}C",
+        )
+    )
+    print(f"\naverage {average:.1f}%  (paper: 36.5%)")
+
+    # Shape: all positive, meaningful average, reasonable spread.
+    assert all(v > 10.0 for v in values)
+    assert 25.0 < average < 48.0
+    assert max(values) - min(values) > 3.0
+
+    # Time the Algorithm 1 kernel itself on a mid-size benchmark.
+    flow = suite_flows["sha"]
+    benchmark(thermal_aware_guardband, flow, fabric25, T_AMBIENT)
+
+
+def test_fig6_convergence_behaviour(benchmark, suite_flows, fabric25):
+    """Paper Sec. III-A/IV-B: < 10 iterations, ~2 C converged rise."""
+    def converged_profiles():
+        stats = []
+        for name in ("sha", "blob_merge", "raygentop"):
+            result = thermal_aware_guardband(
+                suite_flows[name], fabric25, T_AMBIENT
+            )
+            stats.append((name, result.iterations, result.mean_rise_celsius))
+        return stats
+
+    stats = benchmark(converged_profiles)
+    print()
+    for name, iterations, rise in stats:
+        print(f"  {name:12s} iterations={iterations}  mean rise={rise:.2f}C")
+    assert all(i < 10 for _, i, _ in stats)
+    assert all(0.5 < rise < 8.0 for _, _, rise in stats)

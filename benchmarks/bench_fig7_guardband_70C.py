@@ -1,0 +1,54 @@
+"""Paper Fig. 7 — per-benchmark guardbanding gain at Tamb = 70 C.
+
+Same experiment as Fig. 6 at a hot ambient: less headroom to Tworst, so
+the gains shrink.
+
+Paper reference: ~14 % average frequency increase.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import suite_gains
+from repro.core.guardband import thermal_aware_guardband
+from repro.netlists.vtr_suite import benchmark_names
+from repro.reporting.figures import format_bar_chart
+
+PAPER_AVERAGE = 0.14
+T_AMBIENT = 70.0
+
+
+def test_fig7_guardband_gains_70c(benchmark, suite_flows, fabric25):
+    gains = suite_gains(suite_flows, fabric25, T_AMBIENT)
+    names = list(benchmark_names())
+    values = [gains[n] * 100 for n in names]
+    average = float(np.mean(values))
+    print()
+    print(
+        format_bar_chart(
+            names + ["average"],
+            values + [average],
+            title=f"Fig. 7 — thermal-aware guardbanding gain at Tamb={T_AMBIENT:.0f}C",
+        )
+    )
+    print(f"\naverage {average:.1f}%  (paper: 14%)")
+
+    assert all(v > 2.0 for v in values)
+    assert 6.0 < average < 22.0
+
+    benchmark(
+        thermal_aware_guardband, suite_flows["sha"], fabric25, T_AMBIENT
+    )
+
+
+def test_fig7_less_headroom_than_fig6(benchmark, suite_flows, fabric25):
+    """The 70 C gains must be uniformly below the 25 C gains."""
+    gains25 = suite_gains(suite_flows, fabric25, 25.0)
+    gains70 = suite_gains(suite_flows, fabric25, 70.0)
+    worse = [n for n in gains70 if gains70[n] >= gains25[n]]
+    print(f"\nbenchmarks where 70C gain >= 25C gain: {worse}")
+    assert not worse
+
+    # Timed kernel: one hot-ambient guardband run.
+    benchmark(
+        thermal_aware_guardband, suite_flows["raygentop"], fabric25, T_AMBIENT
+    )

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Characterize a fabric the way COFFE + SiliconSmart do (paper Sec. IV-A).
+
+Sizes every resource of the architecture at a chosen corner temperature,
+sweeps the 0..100 C junction range in 1 C steps, and prints the resulting
+Table II-style characterization: area, linear delay fit, dynamic power and
+exponential leakage fit per resource.
+
+Run:  python examples/characterize_device.py [corner_celsius]
+"""
+
+import sys
+
+from repro import ArchParams, build_fabric
+from repro.coffe.characterize import TABLE2
+from repro.reporting.tables import format_table
+
+
+def main() -> None:
+    corner = float(sys.argv[1]) if len(sys.argv) > 1 else 25.0
+    arch = ArchParams()
+    print(f"Sizing and characterizing the fabric at the {corner:g} C corner...")
+    fabric = build_fabric(corner, arch)
+
+    rows = []
+    for name, char in fabric.resources.items():
+        intercept_s, slope_s = char.delay_fit()
+        leak_c, leak_k = char.leakage_fit()
+        rows.append(
+            (
+                name,
+                f"{char.area_um2:.1f}",
+                f"{intercept_s * 1e12:.0f} + {slope_s * 1e12:.2f}*T",
+                f"{char.pdyn_w_base * 1e6:.2f}",
+                f"{leak_c * 1e6:.2f}*e^({leak_k:.3f}*T)",
+            )
+        )
+    print(
+        format_table(
+            ["resource", "area (um2)", "delay (ps)", "Pdyn (uW@100MHz)",
+             "Plkg (uW)"],
+            rows,
+            title=f"\nD{corner:g} characterization (cf. paper Table II for D25)",
+        )
+    )
+
+    if corner == 25.0:
+        print("\nPublished Table II delay fits for comparison:")
+        for name, row in TABLE2.items():
+            print(
+                f"  {name:13s} {row.delay_intercept_ps:.0f} + "
+                f"{row.delay_slope_ps_per_c:.2f}*T ps"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim so editable installs work in offline environments
+(no `wheel` package available for PEP 517 editable builds)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,64 @@
+"""Reproduction of "Thermal-Aware Design and Flow for FPGA Performance
+Improvement" (Khaleghi & Rosing, DATE 2019).
+
+The package is organised as a stack:
+
+- :mod:`repro.technology` / :mod:`repro.spice` — device models and a small
+  MNA circuit simulator (HSPICE stand-in).
+- :mod:`repro.coffe` — transistor sizing and resource characterization
+  (COFFE stand-in): delay(T), leakage(T) and area of every FPGA resource.
+- :mod:`repro.arch` / :mod:`repro.netlists` / :mod:`repro.cad` — island-style
+  FPGA architecture, benchmark netlists, and a pack/place/route/STA CAD flow
+  (VTR stand-in).
+- :mod:`repro.activity` / :mod:`repro.power` / :mod:`repro.thermal` — signal
+  activity estimation (ACE stand-in), the per-tile power model and a
+  steady-state grid thermal solver (HotSpot stand-in).
+- :mod:`repro.core` — the paper's contribution: thermal-aware guardbanding
+  (Algorithm 1), thermal-aware design and thermal-aware architecture
+  selection.
+
+Typical use::
+
+    from repro import (
+        ArchParams, build_fabric, vtr_benchmark, run_flow,
+        thermal_aware_guardband, worst_case_frequency,
+    )
+
+    arch = ArchParams()
+    fabric = build_fabric(corner_celsius=25.0)
+    netlist = vtr_benchmark("sha")
+    routed = run_flow(netlist, arch)
+    result = thermal_aware_guardband(routed, fabric, t_ambient=25.0)
+    print(result.frequency_hz, result.iterations)
+"""
+
+from repro.arch.params import ArchParams
+from repro.cad.flow import FlowResult, run_flow
+from repro.coffe.characterize import characterize_fabric
+from repro.coffe.fabric import Fabric, build_fabric
+from repro.core.architecture import expected_delay, select_design_corner
+from repro.core.design import corner_delay_curves
+from repro.core.guardband import GuardbandResult, thermal_aware_guardband
+from repro.core.margins import worst_case_frequency
+from repro.netlists.generator import generate_netlist
+from repro.netlists.vtr_suite import VTR_BENCHMARKS, vtr_benchmark
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArchParams",
+    "Fabric",
+    "FlowResult",
+    "GuardbandResult",
+    "VTR_BENCHMARKS",
+    "build_fabric",
+    "characterize_fabric",
+    "corner_delay_curves",
+    "expected_delay",
+    "generate_netlist",
+    "run_flow",
+    "select_design_corner",
+    "thermal_aware_guardband",
+    "vtr_benchmark",
+    "worst_case_frequency",
+]

@@ -1,0 +1,158 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``characterize [--corner C]`` — print the Table II-style fabric
+  characterization for a design corner;
+- ``guardband BENCH [--ambient T]`` — run Algorithm 1 on a VTR benchmark
+  and compare against the worst-case margin;
+- ``corners`` — print the Fig. 3-style corner-crossing summary;
+- ``grades [--count K]`` — plan a temperature-grade portfolio (Sec. III-C
+  extension);
+- ``suite [--ambient T]`` — Fig. 6/7-style per-benchmark gains over the
+  whole VTR-19 suite (first run pays the place-and-route cost).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro import (
+    ArchParams,
+    build_fabric,
+    run_flow,
+    thermal_aware_guardband,
+    vtr_benchmark,
+    worst_case_frequency,
+)
+from repro.core.design import corner_delay_curves
+from repro.core.grades import plan_temperature_grades
+from repro.core.margins import guardband_gain
+from repro.netlists.vtr_suite import VTR_BENCHMARKS, benchmark_names
+from repro.reporting.figures import format_bar_chart
+from repro.reporting.tables import format_table
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    fabric = build_fabric(args.corner, ArchParams())
+    rows = []
+    for name, char in fabric.resources.items():
+        intercept, slope = char.delay_fit()
+        leak_c, leak_k = char.leakage_fit()
+        rows.append(
+            (name, f"{char.area_um2:.1f}",
+             f"{intercept * 1e12:.0f}+{slope * 1e12:.2f}T",
+             f"{char.pdyn_w_base * 1e6:.2f}",
+             f"{leak_c * 1e6:.2f}e^{leak_k:.3f}T")
+        )
+    print(format_table(
+        ["resource", "area um2", "delay ps", "Pdyn uW", "Plkg uW"],
+        rows, title=f"D{args.corner:g} characterization",
+    ))
+    return 0
+
+
+def _cmd_guardband(args: argparse.Namespace) -> int:
+    arch = ArchParams()
+    fabric = build_fabric(25.0, arch)
+    flow = run_flow(vtr_benchmark(args.benchmark), arch)
+    result = thermal_aware_guardband(flow, fabric, args.ambient)
+    f_wc = worst_case_frequency(flow, fabric)
+    print(
+        f"{args.benchmark}: thermal-aware {result.frequency_hz / 1e6:.1f} MHz "
+        f"vs worst-case {f_wc / 1e6:.1f} MHz "
+        f"(+{guardband_gain(result.frequency_hz, f_wc) * 100:.1f}%), "
+        f"{result.iterations} iterations, "
+        f"die {result.tile_temperatures.mean():.1f} C mean / "
+        f"{result.tile_temperatures.max():.1f} C max"
+    )
+    return 0
+
+
+def _cmd_corners(args: argparse.Namespace) -> int:
+    curves = corner_delay_curves((0.0, 25.0, 100.0), "cp", ArchParams())
+    rows = []
+    for t in np.arange(0.0, 101.0, 10.0):
+        winner = curves.best_corner_at(float(t))
+        rows.append((f"{t:.0f} C", f"D{winner:g}"))
+    print(format_table(["operating T", "fastest device"], rows,
+                       title="Fig. 3 corner winners"))
+    return 0
+
+
+def _cmd_grades(args: argparse.Namespace) -> int:
+    plan = plan_temperature_grades(args.count)
+    rows = [
+        (f"[{band.t_low:.0f}, {band.t_high:.0f}] C",
+         f"D{band.corner_celsius:g}",
+         f"{band.expected_delay_s * 1e12:.2f} ps")
+        for band in plan.bands
+    ]
+    print(format_table(
+        ["band", "grade corner", "E[d]"],
+        rows,
+        title=f"{len(plan.bands)}-grade portfolio "
+              f"(range-average {plan.average_delay_s * 1e12:.2f} ps)",
+    ))
+    return 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    arch = ArchParams()
+    fabric = build_fabric(25.0, arch)
+    names, values = [], []
+    for spec in VTR_BENCHMARKS:
+        flow = run_flow(vtr_benchmark(spec.name), arch)
+        result = thermal_aware_guardband(
+            flow, fabric, args.ambient, base_activity=spec.base_activity
+        )
+        gain = guardband_gain(
+            result.frequency_hz, worst_case_frequency(flow, fabric)
+        )
+        names.append(spec.name)
+        values.append(gain * 100)
+        print(f"  {spec.name:16s} {gain * 100:5.1f}%", flush=True)
+    print()
+    print(format_bar_chart(
+        names + ["average"], values + [float(np.mean(values))],
+        title=f"guardbanding gain at Tamb={args.ambient:g}C",
+    ))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Thermal-aware FPGA design and flow (DATE'19 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("characterize", help="Table II-style characterization")
+    p.add_argument("--corner", type=float, default=25.0)
+    p.set_defaults(func=_cmd_characterize)
+
+    p = sub.add_parser("guardband", help="Algorithm 1 on one benchmark")
+    p.add_argument("benchmark", choices=benchmark_names())
+    p.add_argument("--ambient", type=float, default=25.0)
+    p.set_defaults(func=_cmd_guardband)
+
+    p = sub.add_parser("corners", help="corner-crossing summary (Fig. 3)")
+    p.set_defaults(func=_cmd_corners)
+
+    p = sub.add_parser("grades", help="temperature-grade portfolio")
+    p.add_argument("--count", type=int, default=3)
+    p.set_defaults(func=_cmd_grades)
+
+    p = sub.add_parser("suite", help="Fig. 6/7-style suite gains")
+    p.add_argument("--ambient", type=float, default=25.0)
+    p.set_defaults(func=_cmd_suite)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

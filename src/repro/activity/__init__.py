@@ -1,0 +1,5 @@
+"""Signal activity estimation (ACE 2.0 stand-in)."""
+
+from repro.activity.ace import ActivityEstimate, estimate_activity
+
+__all__ = ["ActivityEstimate", "estimate_activity"]

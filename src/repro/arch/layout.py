@@ -1,0 +1,151 @@
+"""Device floorplan: a grid of CLB, BRAM, DSP and IO tiles.
+
+Island-style column organization (paper Fig. 4a): an IO ring around a CLB
+sea, with periodic BRAM and DSP columns, as in Stratix/Arria-class devices.
+Each tile is the unit of the thermal model ("an FPGA tile comprises a logic
+cluster (or other hard-cores) and its neighboring routing resources" —
+paper footnote 2), so the layout also defines the power/temperature vector
+layout used by Algorithm 1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.arch.params import ArchParams
+
+
+class TileType(Enum):
+    """What occupies a grid location."""
+
+    IO = "io"
+    CLB = "clb"
+    BRAM = "bram"
+    DSP = "dsp"
+    EMPTY = "empty"
+
+
+IO_CAPACITY = 8
+"""IO pads per perimeter tile."""
+
+
+@dataclass(frozen=True)
+class Tile:
+    """One grid location."""
+
+    x: int
+    y: int
+    type: TileType
+
+    @property
+    def capacity(self) -> int:
+        """How many netlist blocks of the matching kind fit here."""
+        if self.type == TileType.IO:
+            return IO_CAPACITY
+        if self.type == TileType.EMPTY:
+            return 0
+        return 1
+
+
+class FabricLayout:
+    """A ``width x height`` grid of tiles with BRAM/DSP columns."""
+
+    def __init__(self, arch: ArchParams, width: int, height: int):
+        if width < 4 or height < 4:
+            raise ValueError(f"grid must be at least 4x4, got {width}x{height}")
+        self.arch = arch
+        self.width = width
+        self.height = height
+        self._tiles: List[Tile] = []
+        for y in range(height):
+            for x in range(width):
+                self._tiles.append(Tile(x, y, self._type_at(x, y)))
+
+    def _type_at(self, x: int, y: int) -> TileType:
+        if x == 0 or y == 0 or x == self.width - 1 or y == self.height - 1:
+            return TileType.IO
+        bram_p = self.arch.bram_column_period
+        dsp_p = self.arch.dsp_column_period
+        # Offset the hard columns so they interleave rather than collide.
+        if bram_p and x % bram_p == bram_p // 2:
+            return TileType.BRAM
+        if dsp_p and x % dsp_p == dsp_p - 1 and x != self.width - 1:
+            return TileType.DSP
+        return TileType.CLB
+
+    # -- lookups ---------------------------------------------------------------
+
+    def tile(self, x: int, y: int) -> Tile:
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise IndexError(f"tile ({x}, {y}) outside {self.width}x{self.height} grid")
+        return self._tiles[y * self.width + x]
+
+    def tile_index(self, x: int, y: int) -> int:
+        """Flat index of a tile in power/temperature vectors."""
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise IndexError(f"tile ({x}, {y}) outside {self.width}x{self.height} grid")
+        return y * self.width + x
+
+    @property
+    def n_tiles(self) -> int:
+        return self.width * self.height
+
+    def tiles(self) -> Iterator[Tile]:
+        return iter(self._tiles)
+
+    def locations_of(self, tile_type: TileType) -> List[Tuple[int, int]]:
+        return [(t.x, t.y) for t in self._tiles if t.type == tile_type]
+
+    def capacity_of(self, tile_type: TileType) -> int:
+        return sum(t.capacity for t in self._tiles if t.type == tile_type)
+
+    def neighbors(self, x: int, y: int) -> List[Tuple[int, int]]:
+        """4-connected neighbor coordinates (for the thermal grid)."""
+        out = []
+        for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            nx, ny = x + dx, y + dy
+            if 0 <= nx < self.width and 0 <= ny < self.height:
+                out.append((nx, ny))
+        return out
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def for_netlist(
+        cls,
+        arch: ArchParams,
+        n_clb: int,
+        n_bram: int,
+        n_dsp: int,
+        n_io: int,
+        target_utilization: float = 0.75,
+        max_dim: int = 64,
+    ) -> "FabricLayout":
+        """Smallest square layout fitting the given block counts.
+
+        Grows the grid until every block type fits at no more than
+        ``target_utilization`` of its capacity (mirroring VPR's auto-sizing).
+        """
+        if min(n_clb, n_bram, n_dsp, n_io) < 0:
+            raise ValueError("block counts must be non-negative")
+        if not (0.0 < target_utilization <= 1.0):
+            raise ValueError("target_utilization must be in (0, 1]")
+        side = max(5, int(math.ceil(math.sqrt(max(n_clb, 1) / target_utilization))) + 2)
+        while side <= max_dim:
+            layout = cls(arch, side, side)
+            fits = (
+                layout.capacity_of(TileType.CLB) * target_utilization >= n_clb
+                and layout.capacity_of(TileType.BRAM) >= n_bram
+                and layout.capacity_of(TileType.DSP) >= n_dsp
+                and layout.capacity_of(TileType.IO) >= n_io
+            )
+            if fits:
+                return layout
+            side += 1
+        raise ValueError(
+            f"netlist does not fit a {max_dim}x{max_dim} grid "
+            f"(clb={n_clb}, bram={n_bram}, dsp={n_dsp}, io={n_io})"
+        )

@@ -1,0 +1,33 @@
+"""VPR stand-in: packing, placement, routing and temperature-aware STA.
+
+The flow (:func:`repro.cad.flow.run_flow`) mirrors VPR 7: technology-mapped
+netlist -> BLE/cluster packing -> simulated-annealing placement -> PathFinder
+negotiated-congestion routing on the RR graph -> static timing analysis.
+
+The STA (:mod:`repro.cad.timing`) is the paper's modified VPR timing
+analyzer: every delay element knows which *tile* it sits in, so the critical
+path can be re-evaluated for any per-tile temperature vector — the inner
+operation of Algorithm 1.
+"""
+
+from repro.cad.pack import Cluster, PackedNetlist, pack_netlist
+from repro.cad.place import Placement
+from repro.cad.route import RoutingResult
+from repro.cad.timing import TimingAnalyzer, TimingReport
+from repro.cad.flow import FlowResult, run_flow
+
+# The ``place``/``route`` functions live in their submodules
+# (``repro.cad.place.place``, ``repro.cad.route.route``); re-exporting them
+# here would shadow the submodules themselves on the package object.
+
+__all__ = [
+    "Cluster",
+    "FlowResult",
+    "PackedNetlist",
+    "Placement",
+    "RoutingResult",
+    "TimingAnalyzer",
+    "TimingReport",
+    "pack_netlist",
+    "run_flow",
+]

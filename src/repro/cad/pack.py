@@ -1,0 +1,264 @@
+"""Packing: LUT/FF pairs into BLEs, BLEs into logic clusters.
+
+Follows the classic AAPack/T-VPack recipe at reduced complexity:
+
+1. A flip-flop whose data input is a LUT output shared with no other FF is
+   fused with that LUT into one BLE (the LUT's output mux exposes both the
+   combinational and the registered signal).
+2. Clusters are grown greedily: seed with the highest-connectivity
+   unclustered BLE, then repeatedly absorb the BLE sharing the most nets
+   with the cluster, subject to the cluster-size (N) and cluster-input (I)
+   constraints.
+
+BRAM and DSP blocks become single-block clusters of their own tile type;
+IO pads become single-pad IO clusters (several share one IO tile at
+placement, per the tile capacity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.arch.layout import TileType
+from repro.arch.params import ArchParams
+from repro.netlists.netlist import Block, BlockType, Net, Netlist
+
+
+@dataclass
+class Ble:
+    """Basic logic element: an optional LUT fused with an optional FF."""
+
+    id: int
+    lut: Optional[int]
+    ff: Optional[int]
+
+
+@dataclass
+class Cluster:
+    """A placeable unit: logic cluster, hard block, or IO pad group."""
+
+    id: int
+    type: TileType
+    block_ids: List[int] = field(default_factory=list)
+    input_nets: Set[int] = field(default_factory=set)
+    """Nets entering the cluster from outside."""
+    output_nets: Set[int] = field(default_factory=set)
+    """Nets driven inside and consumed outside."""
+
+
+@dataclass
+class PackedNetlist:
+    """Packing result: clusters plus block-to-cluster lookup."""
+
+    netlist: Netlist
+    arch: ArchParams
+    clusters: List[Cluster]
+    cluster_of_block: Dict[int, int]
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for cluster in self.clusters:
+            out[cluster.type.value] = out.get(cluster.type.value, 0) + 1
+        return out
+
+    def clusters_of_type(self, type_: TileType) -> List[Cluster]:
+        return [c for c in self.clusters if c.type == type_]
+
+
+def pack_netlist(netlist: Netlist, arch: ArchParams) -> PackedNetlist:
+    """Pack a technology-mapped netlist for the given architecture."""
+    netlist.validate()
+    bles = _form_bles(netlist)
+    clusters: List[Cluster] = []
+    cluster_of_block: Dict[int, int] = {}
+
+    # -- logic clusters -------------------------------------------------------
+    unclustered: Set[int] = {b.id for b in bles}
+    ble_nets = [_ble_nets(netlist, b) for b in bles]
+    net_to_bles: Dict[int, Set[int]] = {}
+    for ble in bles:
+        for net_id in ble_nets[ble.id][0] | ble_nets[ble.id][1]:
+            net_to_bles.setdefault(net_id, set()).add(ble.id)
+
+    while unclustered:
+        seed = max(
+            unclustered,
+            key=lambda b: (len(ble_nets[b][0]) + len(ble_nets[b][1]), -b),
+        )
+        members = [seed]
+        unclustered.discard(seed)
+        while len(members) < arch.cluster_size:
+            candidate = _best_candidate(
+                members, unclustered, ble_nets, net_to_bles, netlist, arch
+            )
+            if candidate is None:
+                break
+            members.append(candidate)
+            unclustered.discard(candidate)
+        cluster = _make_cluster(len(clusters), TileType.CLB, members, bles, netlist)
+        clusters.append(cluster)
+        for block_id in cluster.block_ids:
+            cluster_of_block[block_id] = cluster.id
+
+    # -- hard blocks and IO ----------------------------------------------------
+    type_map = {
+        BlockType.BRAM: TileType.BRAM,
+        BlockType.DSP: TileType.DSP,
+        BlockType.INPUT: TileType.IO,
+        BlockType.OUTPUT: TileType.IO,
+    }
+    for block in netlist.blocks:
+        if block.type not in type_map:
+            continue
+        cluster = Cluster(len(clusters), type_map[block.type], [block.id])
+        cluster.input_nets = set(block.input_nets)
+        cluster.output_nets = set(block.output_nets)
+        clusters.append(cluster)
+        cluster_of_block[block.id] = cluster.id
+
+    packed = PackedNetlist(netlist, arch, clusters, cluster_of_block)
+    _check_packing(packed)
+    return packed
+
+
+def _form_bles(netlist: Netlist) -> List[Ble]:
+    """Fuse each FF with its driving LUT where possible."""
+    bles: List[Ble] = []
+    fused_ffs: Set[int] = set()
+    claimed_luts: Dict[int, int] = {}
+
+    for ff in netlist.blocks_of_type(BlockType.FF):
+        driver_net = netlist.nets[ff.input_nets[0]]
+        driver = netlist.blocks[driver_net.driver]
+        # Strict T-VPack fusion: only when the FF is the sole consumer of
+        # the LUT output, so the fused BLE exposes exactly one output and
+        # the cluster never needs more than N output pins.
+        if (
+            driver.type == BlockType.LUT
+            and driver.id not in claimed_luts
+            and driver_net.sinks == [ff.id]
+        ):
+            claimed_luts[driver.id] = ff.id
+            fused_ffs.add(ff.id)
+
+    for lut in netlist.blocks_of_type(BlockType.LUT):
+        bles.append(Ble(len(bles), lut.id, claimed_luts.get(lut.id)))
+    for ff in netlist.blocks_of_type(BlockType.FF):
+        if ff.id not in fused_ffs:
+            bles.append(Ble(len(bles), None, ff.id))
+    return bles
+
+
+def _ble_nets(netlist: Netlist, ble: Ble) -> Tuple[Set[int], Set[int]]:
+    """(external input nets, output nets) of a BLE."""
+    inputs: Set[int] = set()
+    outputs: Set[int] = set()
+    internal: Set[int] = set()
+    if ble.lut is not None:
+        lut = netlist.blocks[ble.lut]
+        inputs |= set(lut.input_nets)
+        outputs |= set(lut.output_nets)
+        if ble.ff is not None:
+            internal |= set(lut.output_nets) & set(netlist.blocks[ble.ff].input_nets)
+    if ble.ff is not None:
+        ff = netlist.blocks[ble.ff]
+        inputs |= set(ff.input_nets) - internal
+        outputs |= set(ff.output_nets)
+    return inputs, outputs
+
+
+def _best_candidate(
+    members: List[int],
+    unclustered: Set[int],
+    ble_nets: List[Tuple[Set[int], Set[int]]],
+    net_to_bles: Dict[int, Set[int]],
+    netlist: Netlist,
+    arch: ArchParams,
+) -> Optional[int]:
+    """Highest-affinity feasible BLE to absorb next, or ``None``."""
+    member_nets: Set[int] = set()
+    for m in members:
+        member_nets |= ble_nets[m][0] | ble_nets[m][1]
+    candidates: Dict[int, int] = {}
+    for net_id in member_nets:
+        for ble_id in net_to_bles.get(net_id, ()):
+            if ble_id in unclustered:
+                candidates[ble_id] = candidates.get(ble_id, 0) + 1
+    ordering = sorted(candidates.items(), key=lambda kv: (-kv[1], kv[0]))
+    if not ordering:
+        # Nothing connected: absorb any unclustered BLE to fill the cluster.
+        ordering = [(min(unclustered), 0)] if unclustered else []
+    for ble_id, _gain in ordering:
+        if _inputs_after_adding(members + [ble_id], ble_nets) <= arch.cluster_inputs:
+            return ble_id
+    return None
+
+
+def _inputs_after_adding(
+    members: List[int], ble_nets: List[Tuple[Set[int], Set[int]]]
+) -> int:
+    inputs: Set[int] = set()
+    outputs: Set[int] = set()
+    for m in members:
+        inputs |= ble_nets[m][0]
+        outputs |= ble_nets[m][1]
+    return len(inputs - outputs)
+
+
+def _make_cluster(
+    cluster_id: int,
+    type_: TileType,
+    members: List[int],
+    bles: List[Ble],
+    netlist: Netlist,
+) -> Cluster:
+    block_ids: List[int] = []
+    inputs: Set[int] = set()
+    outputs: Set[int] = set()
+    for m in members:
+        ble = bles[m]
+        if ble.lut is not None:
+            block_ids.append(ble.lut)
+        if ble.ff is not None:
+            block_ids.append(ble.ff)
+    block_set = set(block_ids)
+    for block_id in block_ids:
+        block = netlist.blocks[block_id]
+        for net_id in block.input_nets:
+            if netlist.nets[net_id].driver not in block_set:
+                inputs.add(net_id)
+        for net_id in block.output_nets:
+            if any(s not in block_set for s in netlist.nets[net_id].sinks):
+                outputs.add(net_id)
+    return Cluster(cluster_id, type_, block_ids, inputs, outputs)
+
+
+def _check_packing(packed: PackedNetlist) -> None:
+    """Every block in exactly one cluster; constraints respected."""
+    seen: Set[int] = set()
+    for cluster in packed.clusters:
+        for block_id in cluster.block_ids:
+            if block_id in seen:
+                raise ValueError(
+                    f"block {block_id} packed into multiple clusters"
+                )
+            seen.add(block_id)
+        if cluster.type == TileType.CLB:
+            n_luts = sum(
+                1
+                for b in cluster.block_ids
+                if packed.netlist.blocks[b].type == BlockType.LUT
+            )
+            if n_luts > packed.arch.cluster_size:
+                raise ValueError(
+                    f"cluster {cluster.id} holds {n_luts} LUTs "
+                    f"(N = {packed.arch.cluster_size})"
+                )
+            if len(cluster.input_nets) > packed.arch.cluster_inputs:
+                raise ValueError(
+                    f"cluster {cluster.id} needs {len(cluster.input_nets)} inputs "
+                    f"(I = {packed.arch.cluster_inputs})"
+                )
+    if len(seen) != packed.netlist.n_blocks:
+        raise ValueError("some blocks were not packed")

@@ -1,0 +1,219 @@
+"""Simulated-annealing placement (VPR-style).
+
+Wirelength-driven anneal over cluster locations: half-perimeter wirelength
+cost, adaptive temperature schedule driven by the acceptance rate, and a
+shrinking range window.  Deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.arch.layout import FabricLayout, TileType
+from repro.cad.pack import Cluster, PackedNetlist
+
+
+@dataclass
+class Placement:
+    """Cluster locations plus per-tile occupancy."""
+
+    layout: FabricLayout
+    location: Dict[int, Tuple[int, int]]
+    """cluster id -> (x, y)."""
+    occupants: Dict[Tuple[int, int], List[int]] = field(default_factory=dict)
+
+    def tile_of_cluster(self, cluster_id: int) -> Tuple[int, int]:
+        return self.location[cluster_id]
+
+    def validate(self, packed: PackedNetlist) -> None:
+        for cluster in packed.clusters:
+            if cluster.id not in self.location:
+                raise ValueError(f"cluster {cluster.id} not placed")
+            x, y = self.location[cluster.id]
+            tile = self.layout.tile(x, y)
+            if tile.type != cluster.type:
+                raise ValueError(
+                    f"cluster {cluster.id} ({cluster.type.value}) placed on "
+                    f"{tile.type.value} tile ({x}, {y})"
+                )
+        for key, occupants in self.occupants.items():
+            cap = self.layout.tile(*key).capacity
+            if len(occupants) > cap:
+                raise ValueError(
+                    f"tile {key} over capacity: {len(occupants)} > {cap}"
+                )
+
+
+def place(
+    packed: PackedNetlist,
+    layout: FabricLayout,
+    seed: int = 7,
+    effort: float = 1.0,
+    net_weights: Optional[Dict[int, float]] = None,
+) -> Placement:
+    """Anneal the clusters of ``packed`` onto ``layout``.
+
+    ``effort`` scales the number of moves per temperature (1.0 is the
+    VPR-like default; tests use less).  ``net_weights`` (netlist net id ->
+    weight) enables timing-driven placement: weighted half-perimeter
+    wirelength pulls timing-critical nets short at the expense of slack-rich
+    ones (see :mod:`repro.cad.criticality`).
+    """
+    rng = np.random.default_rng(seed)
+    placement = _initial_placement(packed, layout, rng)
+    nets = _placement_nets(packed, net_weights)
+    if not nets or len(packed.clusters) <= 1:
+        return placement
+
+    cost = sum(_net_hpwl(net, placement.location) for net in nets)
+    nets_of_cluster: Dict[int, List[int]] = {}
+    for net_index, (_weight, clusters) in enumerate(nets):
+        for cluster_id in clusters:
+            nets_of_cluster.setdefault(cluster_id, []).append(net_index)
+
+    movable = [c.id for c in packed.clusters]
+    n = len(movable)
+    moves_per_t = max(16, int(effort * 5 * n**1.33))
+    # Initial temperature: VPR heuristic — std-dev of a random-move sample.
+    t = _initial_temperature(packed, layout, placement, nets, nets_of_cluster, rng)
+    range_limit = float(max(layout.width, layout.height))
+
+    while t > 0.002 * max(cost, 1e-9) / max(len(nets), 1):
+        accepted = 0
+        for _ in range(moves_per_t):
+            delta, apply_move = _propose(
+                packed, layout, placement, nets, nets_of_cluster, rng, range_limit
+            )
+            if apply_move is None:
+                continue
+            if delta <= 0 or rng.random() < math.exp(-delta / max(t, 1e-30)):
+                apply_move()
+                cost += delta
+                accepted += 1
+        rate = accepted / moves_per_t
+        # VPR schedule: cool slowly in the productive 15-80 % band.
+        if rate > 0.96:
+            alpha = 0.5
+        elif rate > 0.8:
+            alpha = 0.9
+        elif rate > 0.15:
+            alpha = 0.95
+        else:
+            alpha = 0.8
+        t *= alpha
+        range_limit = min(
+            float(max(layout.width, layout.height)),
+            max(1.0, range_limit * (1.0 - 0.44 + rate)),
+        )
+
+    placement.validate(packed)
+    return placement
+
+
+def _initial_placement(
+    packed: PackedNetlist, layout: FabricLayout, rng: np.random.Generator
+) -> Placement:
+    location: Dict[int, Tuple[int, int]] = {}
+    occupants: Dict[Tuple[int, int], List[int]] = {}
+    slots: Dict[TileType, List[Tuple[int, int]]] = {}
+    for tile in layout.tiles():
+        for _ in range(tile.capacity):
+            slots.setdefault(tile.type, []).append((tile.x, tile.y))
+    for type_, available in slots.items():
+        rng.shuffle(available)
+    cursor: Dict[TileType, int] = {t: 0 for t in slots}
+    for cluster in packed.clusters:
+        pool = slots.get(cluster.type, [])
+        index = cursor.get(cluster.type, 0)
+        if index >= len(pool):
+            raise ValueError(
+                f"not enough {cluster.type.value} tiles for cluster {cluster.id}"
+            )
+        xy = pool[index]
+        cursor[cluster.type] = index + 1
+        location[cluster.id] = xy
+        occupants.setdefault(xy, []).append(cluster.id)
+    return Placement(layout, location, occupants)
+
+
+def _placement_nets(
+    packed: PackedNetlist, net_weights: Optional[Dict[int, float]] = None
+) -> List[Tuple[float, List[int]]]:
+    """(weight, cluster ids) per net (single-cluster nets dropped)."""
+    nets: List[Tuple[float, List[int]]] = []
+    for net in packed.netlist.nets:
+        clusters: Set[int] = {packed.cluster_of_block[net.driver]}
+        clusters |= {packed.cluster_of_block[s] for s in net.sinks}
+        if len(clusters) > 1:
+            weight = 1.0 if net_weights is None else net_weights.get(net.id, 1.0)
+            nets.append((weight, sorted(clusters)))
+    return nets
+
+
+def _net_hpwl(
+    net: Tuple[float, List[int]], location: Dict[int, Tuple[int, int]]
+) -> float:
+    weight, clusters = net
+    xs = [location[c][0] for c in clusters]
+    ys = [location[c][1] for c in clusters]
+    return weight * ((max(xs) - min(xs)) + (max(ys) - min(ys)))
+
+
+def _initial_temperature(packed, layout, placement, nets, nets_of_cluster, rng):
+    deltas = []
+    for _ in range(min(200, 10 * len(packed.clusters))):
+        delta, apply_move = _propose(
+            packed, layout, placement, nets, nets_of_cluster, rng,
+            float(max(layout.width, layout.height)),
+        )
+        if apply_move is not None:
+            apply_move()  # VPR applies the sampling moves too
+            deltas.append(delta)
+    if not deltas:
+        return 1.0
+    return 20.0 * float(np.std(deltas)) + 1e-9
+
+
+def _propose(packed, layout, placement, nets, nets_of_cluster, rng, range_limit):
+    """Propose a move; returns (delta_cost, apply_callable | None)."""
+    cluster = packed.clusters[int(rng.integers(0, len(packed.clusters)))]
+    x0, y0 = placement.location[cluster.id]
+    limit = max(1, int(range_limit))
+    x1 = int(np.clip(x0 + rng.integers(-limit, limit + 1), 0, layout.width - 1))
+    y1 = int(np.clip(y0 + rng.integers(-limit, limit + 1), 0, layout.height - 1))
+    if (x1, y1) == (x0, y0):
+        return 0.0, None
+    target = layout.tile(x1, y1)
+    if target.type != cluster.type:
+        return 0.0, None
+
+    occupants = placement.occupants.setdefault((x1, y1), [])
+    swap_with: Optional[int] = None
+    if len(occupants) >= target.capacity:
+        swap_with = occupants[int(rng.integers(0, len(occupants)))]
+
+    moved = [(cluster.id, (x0, y0), (x1, y1))]
+    if swap_with is not None:
+        moved.append((swap_with, (x1, y1), (x0, y0)))
+
+    affected: Set[int] = set()
+    for cluster_id, _old, _new in moved:
+        affected |= set(nets_of_cluster.get(cluster_id, ()))
+    before = sum(_net_hpwl(nets[i], placement.location) for i in affected)
+    trial = dict(placement.location)
+    for cluster_id, _old, new in moved:
+        trial[cluster_id] = new
+    after = sum(_net_hpwl(nets[i], trial) for i in affected)
+    delta = after - before
+
+    def apply_move() -> None:
+        for cluster_id, old, new in moved:
+            placement.location[cluster_id] = new
+            placement.occupants[old].remove(cluster_id)
+            placement.occupants.setdefault(new, []).append(cluster_id)
+
+    return delta, apply_move

@@ -1,0 +1,308 @@
+"""Temperature-aware static timing analysis.
+
+This is the paper's modified VPR timing analyzer (Sec. IV-A): every delay
+element on every path is tagged with the *tile* it occupies, and its delay
+is evaluated from the fabric's characterized ``delay(resource, T)`` at that
+tile's temperature.  Re-running the analysis under a new per-tile
+temperature vector — the inner step of Algorithm 1 (line 4) — is therefore a
+single vectorized pass; the entire netlist is re-probed every time because
+the critical path itself moves with temperature (paper Sec. III-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.arch.layout import FabricLayout
+from repro.arch.rrgraph import RRGraph, RRNodeType
+from repro.cad.pack import PackedNetlist
+from repro.cad.place import Placement
+from repro.cad.route import RoutingResult
+from repro.coffe.fabric import Fabric
+from repro.netlists.netlist import BlockType
+
+FF_CLK_TO_Q_S = 35e-12
+FF_SETUP_S = 25e-12
+"""Flip-flop constants (temperature dependence negligible vs. the fabric)."""
+
+
+@dataclass
+class TimingReport:
+    """Result of one STA evaluation."""
+
+    critical_path_s: float
+    frequency_hz: float
+    critical_endpoint: int
+    """Block id of the failing endpoint."""
+    critical_blocks: List[int]
+    """Blocks on the critical path, startpoint first."""
+
+
+class TimingAnalyzer:
+    """Tile-tagged timing graph over a placed-and-routed design."""
+
+    def __init__(
+        self,
+        packed: PackedNetlist,
+        placement: Placement,
+        routing: RoutingResult,
+        layout: FabricLayout,
+    ):
+        self.packed = packed
+        self.placement = placement
+        self.layout = layout
+        netlist = packed.netlist
+
+        self.block_tile: List[int] = [0] * netlist.n_blocks
+        for block in netlist.blocks:
+            xy = placement.location[packed.cluster_of_block[block.id]]
+            self.block_tile[block.id] = layout.tile_index(*xy)
+
+        self._comb_order = netlist.combinational_order()
+        # (net id, sink block) -> [(resource, tile index), ...]
+        self.sink_elements: Dict[Tuple[int, int], List[Tuple[str, int]]] = {}
+        # net id -> deduplicated elements for dynamic-power accounting
+        self.net_power_elements: Dict[int, List[Tuple[str, int]]] = {}
+        self._build_net_elements(routing)
+
+    # -- construction -----------------------------------------------------------
+
+    def _build_net_elements(self, routing: RoutingResult) -> None:
+        packed = self.packed
+        netlist = packed.netlist
+        graph = routing.graph
+        edge_resource: Dict[Tuple[int, int], str] = {}
+
+        def resource_of(u: int, v: int) -> str:
+            key = (u, v)
+            if key not in edge_resource:
+                for edge in graph.out_edges[u]:
+                    edge_resource[(u, edge.dst)] = edge.resource
+            return edge_resource[key]
+
+        for net in netlist.nets:
+            driver_cluster = packed.cluster_of_block[net.driver]
+            src_xy = self.placement.location[driver_cluster]
+            route = routing.routes.get(net.id)
+            power_nodes: Set[int] = set()
+            power_elements: List[Tuple[str, int]] = []
+
+            # Parent pointers over the route tree, to rebuild full paths.
+            parent: Dict[int, int] = {}
+            if route is not None:
+                for path in route.sink_paths.values():
+                    for a, b in zip(path, path[1:]):
+                        parent[b] = a
+
+            for sink in net.sinks:
+                sink_xy = self.placement.location[packed.cluster_of_block[sink]]
+                sink_tile = self.layout.tile_index(*sink_xy)
+                if sink_xy == src_xy:
+                    # Intra-tile connection: feedback mux into the local mux.
+                    self.sink_elements[(net.id, sink)] = [
+                        ("feedback_mux", sink_tile),
+                        ("local_mux", sink_tile),
+                    ]
+                    continue
+                assert route is not None, f"net {net.id} missing a route"
+                sink_node = routing.graph.sink_of[sink_xy]
+                chain: List[int] = [sink_node]
+                while chain[-1] != route.source_node:
+                    chain.append(parent[chain[-1]])
+                chain.reverse()
+                elements: List[Tuple[str, int]] = []
+                for u, v in zip(chain, chain[1:]):
+                    node = graph.nodes[v]
+                    tile = self.layout.tile_index(node.x, node.y)
+                    elements.append((resource_of(u, v), tile))
+                    if v not in power_nodes:
+                        power_nodes.add(v)
+                        power_elements.append((resource_of(u, v), tile))
+                self.sink_elements[(net.id, sink)] = elements
+
+            if power_elements:
+                self.net_power_elements[net.id] = power_elements
+
+    # -- evaluation ----------------------------------------------------------------
+
+    def _resource_delays(
+        self, fabric: Fabric, t_tiles: np.ndarray
+    ) -> Dict[str, np.ndarray]:
+        resources = (
+            "sb_mux", "cb_mux", "local_mux", "feedback_mux", "output_mux",
+            "lut", "bram", "dsp",
+        )
+        return {r: np.asarray(fabric.delay_s(r, t_tiles)) for r in resources}
+
+    def _normalize_temps(self, t_tiles) -> np.ndarray:
+        t_tiles = np.asarray(t_tiles, dtype=float)
+        if t_tiles.ndim == 0:
+            t_tiles = np.full(self.layout.n_tiles, float(t_tiles))
+        if len(t_tiles) != self.layout.n_tiles:
+            raise ValueError(
+                f"temperature vector has {len(t_tiles)} entries, layout has "
+                f"{self.layout.n_tiles} tiles"
+            )
+        return t_tiles
+
+    def _arrival_pass(
+        self, fabric: Fabric, t_tiles: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, Dict[int, float]]:
+        """Full arrival-time propagation.
+
+        Returns per-block input arrivals, worst-predecessor indices and a
+        map endpoint block -> required-path delay (arrival + setup where
+        applicable).
+        """
+        delays = self._resource_delays(fabric, t_tiles)
+        netlist = self.packed.netlist
+        n = netlist.n_blocks
+        in_arrival = np.zeros(n)
+        in_pred = np.full(n, -1, dtype=int)
+        endpoints: Dict[int, float] = {}
+
+        for block_id in self._comb_order:
+            block = netlist.blocks[block_id]
+            tile = self.block_tile[block_id]
+            if block.type == BlockType.INPUT:
+                t_out = 0.0
+            elif block.type == BlockType.FF:
+                t_out = FF_CLK_TO_Q_S
+            elif block.type == BlockType.BRAM:
+                t_out = float(delays["bram"][tile])
+            elif block.type == BlockType.LUT:
+                t_out = in_arrival[block_id] + float(delays["lut"][tile])
+            elif block.type == BlockType.DSP:
+                t_out = in_arrival[block_id] + float(delays["dsp"][tile])
+            else:  # OUTPUT pad: endpoint only
+                t_out = in_arrival[block_id]
+
+            if block.type in (BlockType.FF, BlockType.BRAM):
+                endpoints[block_id] = in_arrival[block_id] + FF_SETUP_S
+            elif block.type == BlockType.OUTPUT:
+                endpoints[block_id] = t_out
+
+            for net_id in block.output_nets:
+                net = netlist.nets[net_id]
+                for sink in net.sinks:
+                    elements = self.sink_elements[(net_id, sink)]
+                    d_net = 0.0
+                    for resource, elem_tile in elements:
+                        d_net += float(delays[resource][elem_tile])
+                    arr = t_out + d_net
+                    if arr > in_arrival[sink]:
+                        in_arrival[sink] = arr
+                        in_pred[sink] = block_id
+        return in_arrival, in_pred, endpoints
+
+    def _chain_to(self, endpoint: int, in_pred: np.ndarray) -> List[int]:
+        chain: List[int] = [endpoint]
+        while in_pred[chain[-1]] >= 0:
+            chain.append(int(in_pred[chain[-1]]))
+        chain.reverse()
+        return chain
+
+    def critical_path(
+        self, fabric: Fabric, t_tiles: np.ndarray
+    ) -> TimingReport:
+        """Longest register-to-register (or PI/PO) path delay.
+
+        ``t_tiles`` is the per-tile temperature vector in Celsius (length =
+        number of layout tiles).  A scalar broadcasts to a uniform die
+        temperature.
+        """
+        t_tiles = self._normalize_temps(t_tiles)
+        _, in_pred, endpoints = self._arrival_pass(fabric, t_tiles)
+        if not endpoints:
+            raise ValueError("design has no timing endpoints")
+        best_endpoint = max(endpoints, key=lambda e: endpoints[e])
+        best_cp = endpoints[best_endpoint]
+        if best_cp <= 0.0:
+            raise ValueError("design has no timing endpoints")
+        return TimingReport(
+            critical_path_s=best_cp,
+            frequency_hz=1.0 / best_cp,
+            critical_endpoint=best_endpoint,
+            critical_blocks=self._chain_to(best_endpoint, in_pred),
+        )
+
+    def endpoint_slacks(
+        self, fabric: Fabric, t_tiles: np.ndarray, clock_period_s: float
+    ) -> Dict[int, float]:
+        """Setup slack of every endpoint at a target clock period, seconds.
+
+        Negative slack means the endpoint fails timing at that clock under
+        the given thermal profile.
+        """
+        if clock_period_s <= 0.0:
+            raise ValueError("clock period must be positive")
+        t_tiles = self._normalize_temps(t_tiles)
+        _, _, endpoints = self._arrival_pass(fabric, t_tiles)
+        return {e: clock_period_s - d for e, d in endpoints.items()}
+
+    def top_paths(
+        self, fabric: Fabric, t_tiles: np.ndarray, k: int = 5
+    ) -> List[TimingReport]:
+        """The ``k`` worst endpoint paths, slowest first.
+
+        One path per endpoint (the classic per-endpoint report); useful for
+        inspecting near-critical paths whose ranking shifts with
+        temperature (paper Sec. II's criticism of CP-sampling methods).
+        """
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        t_tiles = self._normalize_temps(t_tiles)
+        _, in_pred, endpoints = self._arrival_pass(fabric, t_tiles)
+        worst = sorted(endpoints.items(), key=lambda kv: -kv[1])[:k]
+        return [
+            TimingReport(
+                critical_path_s=delay,
+                frequency_hz=1.0 / delay if delay > 0 else float("inf"),
+                critical_endpoint=endpoint,
+                critical_blocks=self._chain_to(endpoint, in_pred),
+            )
+            for endpoint, delay in worst
+            if delay > 0.0
+        ]
+
+    def critical_path_resource_mix(
+        self, fabric: Fabric, t_tiles: np.ndarray
+    ) -> Dict[str, float]:
+        """Fraction of the critical-path delay per resource type.
+
+        Explains the per-benchmark spread of guardbanding gains (DSP-heavy
+        paths gain most — paper Figs. 6-8).
+        """
+        t_tiles = np.asarray(t_tiles, dtype=float)
+        if t_tiles.ndim == 0:
+            t_tiles = np.full(self.layout.n_tiles, float(t_tiles))
+        report = self.critical_path(fabric, t_tiles)
+        delays = self._resource_delays(fabric, t_tiles)
+        netlist = self.packed.netlist
+        totals: Dict[str, float] = {}
+
+        def add(resource: str, tile: int) -> None:
+            totals[resource] = totals.get(resource, 0.0) + float(
+                delays[resource][tile]
+            )
+
+        for prev, current in zip(report.critical_blocks, report.critical_blocks[1:]):
+            # Net segment between prev and current.
+            for net_id in netlist.blocks[prev].output_nets:
+                if current in netlist.nets[net_id].sinks:
+                    for resource, tile in self.sink_elements[(net_id, current)]:
+                        add(resource, tile)
+                    break
+            block = netlist.blocks[current]
+            if block.type == BlockType.LUT:
+                add("lut", self.block_tile[current])
+            elif block.type == BlockType.DSP:
+                add("dsp", self.block_tile[current])
+        start = netlist.blocks[report.critical_blocks[0]]
+        if start.type == BlockType.BRAM:
+            add("bram", self.block_tile[start.id])
+        total = sum(totals.values()) or 1.0
+        return {k: v / total for k, v in sorted(totals.items())}

@@ -1,0 +1,56 @@
+"""COFFE stand-in: automatic transistor sizing and resource characterization.
+
+Given an architecture description (:class:`repro.arch.params.ArchParams`) and
+a *design corner temperature*, this package sizes the transistors of every
+FPGA resource (routing multiplexers, LUT, BRAM, DSP) for minimum area-delay
+product at that corner, then characterizes the sized fabric across the whole
+0..100 Celsius junction range:
+
+- ``delay(T)`` linear fits (paper Table II delay column, Fig. 1),
+- ``leakage(T)`` exponential fits (Table II Plkg column),
+- dynamic power per access and silicon area.
+
+The result is a :class:`repro.coffe.fabric.Fabric` — the per-corner device
+model consumed by the CAD flow and by Algorithm 1.
+"""
+
+from repro.coffe.characterize import (
+    ResourceCharacterization,
+    characterize_fabric,
+    characterize_resource,
+)
+from repro.coffe.fabric import (
+    CP_WEIGHTS,
+    Fabric,
+    ResourceType,
+    build_fabric,
+)
+from repro.coffe.sizing import SizingResult, size_subcircuit
+from repro.coffe.subcircuits import (
+    LutModel,
+    MuxModel,
+    SizableCircuit,
+    WireLoad,
+    soft_fabric_circuits,
+)
+from repro.coffe.bram import BramModel
+from repro.coffe.dsp import DspModel
+
+__all__ = [
+    "BramModel",
+    "CP_WEIGHTS",
+    "DspModel",
+    "Fabric",
+    "LutModel",
+    "MuxModel",
+    "ResourceCharacterization",
+    "ResourceType",
+    "SizableCircuit",
+    "SizingResult",
+    "WireLoad",
+    "build_fabric",
+    "characterize_fabric",
+    "characterize_resource",
+    "size_subcircuit",
+    "soft_fabric_circuits",
+]

@@ -1,0 +1,107 @@
+"""Stratix-like DSP block model (paper Sec. IV-A).
+
+The paper characterizes a Stratix-like DSP (Boutros et al., FPL'18)
+synthesized from NanGate standard cells with per-temperature liberty
+libraries (SiliconSmart + Design Compiler).  We reproduce the aggregate
+behaviour with a gate-level critical-path model: a multiplier/adder chain of
+stacked-CMOS stages built from minimum-size-class logic devices plus
+inter-cell wire.  Minimum-size logic devices are phonon-mobility dominated,
+which gives the DSP the steepest delay-vs-temperature curve of paper Fig. 1
+(up to ~84 % at 100 C).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+from repro.coffe.subcircuits import (
+    DRIVER_MEDIUM,
+    LOGIC_MIN,
+    SizableCircuit,
+    WireLoad,
+    inverter_input_cap,
+    inverter_leakage,
+    inverter_output_cap,
+    transistor_area_um2,
+)
+from repro.spice.devices import drain_capacitance, effective_resistance
+
+STACK_BODY_FACTOR = 1.12
+"""Effective Vth increase of a device inside a 2-high CMOS stack."""
+
+N_LOGIC_STAGES = 14
+"""Gate stages on the multiplier-adder critical path."""
+
+FANOUT_PER_STAGE = 2.4
+EQUIVALENT_GATES = 9000
+"""Total gate count for area/leakage/power accounting (27x27 mult + adders)."""
+
+
+class DspModel(SizableCircuit):
+    """Critical-path + aggregate model of the DSP hard block."""
+
+    def __init__(self, name: str, vdd: float):
+        self.name = name
+        self.vdd = vdd
+        self.cell_wire = WireLoad(resistance_ohms=45.0, capacitance_farads=0.35e-15)
+        self.stage_device = LOGIC_MIN.scaled(
+            name="dsp_stage", vth0=LOGIC_MIN.vth0 * STACK_BODY_FACTOR
+        )
+
+    @property
+    def size_names(self) -> Tuple[str, ...]:
+        return ("w_gate", "w_drive")
+
+    @property
+    def default_sizes(self) -> Dict[str, float]:
+        return {"w_gate": 2.0, "w_drive": 6.0}
+
+    def delay_seconds(self, sizes: Mapping[str, float], t_kelvin: float) -> float:
+        self.validate_sizes(sizes)
+        w_g, w_d = sizes["w_gate"], sizes["w_drive"]
+        # A 2-stack pulls through twice the single-device resistance.
+        r_stage = 2.0 * effective_resistance(self.stage_device, self.vdd, w_g, t_kelvin)
+        c_stage = (
+            2.0 * drain_capacitance(self.stage_device, w_g)
+            + FANOUT_PER_STAGE * inverter_input_cap(self.stage_device, w_g)
+            + self.cell_wire.capacitance_farads
+        )
+        t_stage = (
+            r_stage * c_stage
+            + self.cell_wire.resistance_at(t_kelvin)
+            * self.cell_wire.capacitance_farads
+            / 2.0
+        )
+        t_logic = N_LOGIC_STAGES * t_stage
+        # Pipeline/output driver stage.
+        r_d = effective_resistance(DRIVER_MEDIUM, self.vdd, w_d, t_kelvin)
+        t_drive = r_d * (inverter_output_cap(DRIVER_MEDIUM, w_d) + 10e-15)
+        return t_logic + t_drive
+
+    def area_um2(self, sizes: Mapping[str, float]) -> float:
+        self.validate_sizes(sizes)
+        gate_area = EQUIVALENT_GATES * 4.0 * transistor_area_um2(sizes["w_gate"])
+        driver_area = 64.0 * (1.0 + 1.8) * transistor_area_um2(sizes["w_drive"])
+        return gate_area + driver_area
+
+    def leakage_watts(self, sizes: Mapping[str, float], t_kelvin: float) -> float:
+        self.validate_sizes(sizes)
+        # A stacked-off gate leaks far less than a lone device; 0.35 folds in
+        # the average stacking factor across the gate population.
+        p_gates = 0.35 * EQUIVALENT_GATES * inverter_leakage(
+            self.stage_device, sizes["w_gate"], self.vdd, t_kelvin
+        )
+        p_drivers = 64.0 * inverter_leakage(
+            DRIVER_MEDIUM, sizes["w_drive"], self.vdd, t_kelvin
+        )
+        return p_gates + p_drivers
+
+    def switched_cap_farads(self, sizes: Mapping[str, float]) -> float:
+        self.validate_sizes(sizes)
+        c_gate = (
+            inverter_input_cap(self.stage_device, sizes["w_gate"])
+            + 2.0 * drain_capacitance(self.stage_device, sizes["w_gate"])
+            + self.cell_wire.capacitance_farads
+        )
+        # A multiply toggles a large share of the gate population.
+        return 0.30 * EQUIVALENT_GATES * c_gate

@@ -1,0 +1,256 @@
+"""Automated transistor sizing at a design-corner temperature.
+
+Two-phase scheme, mirroring how a fabric family is engineered:
+
+1. **Reference sizing** (:func:`size_subcircuit`): minimize the COFFE-style
+   area-delay product at the 25 C base corner.  This fixes the silicon *area
+   budget* of each resource — the tile floorplan is common to all speed/
+   temperature grades of a device family.
+2. **Corner sizing** (:func:`size_subcircuit_budgeted`): at each design
+   corner temperature, minimize *delay at that corner* subject to the common
+   area budget.
+
+Because every corner device spends the same silicon, the corner-T device is
+by construction the fastest *at its own corner*, and the delay-vs-T curves
+of differently-optimized fabrics cross exactly as in paper Figs. 2-3: the
+relative speed of a subcircuit's stages (pass-transistor tree vs. large
+velocity-saturated driver vs. metal wire) shifts with temperature, so the
+optimal width allocation — and hence the sized fabric — is
+corner-dependent.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from repro.coffe.subcircuits import SizableCircuit
+
+MIN_WIDTH = 1.0
+MAX_WIDTH = 80.0
+GRID_POINTS_PER_OCTAVE = 16
+MAX_SWEEPS = 16
+RELATIVE_TOLERANCE = 1e-6
+
+
+@dataclass
+class SizingResult:
+    """Outcome of sizing one subcircuit at a design corner."""
+
+    circuit_name: str
+    corner_kelvin: float
+    sizes: Dict[str, float]
+    delay_seconds: float
+    area_um2: float
+    cost: float
+    sweeps: int
+    area_budget_um2: Optional[float] = None
+
+
+def _candidate_widths(current: float, half_octaves: int = 2) -> list:
+    """Geometric grid spanning ``2^-half_octaves .. 2^half_octaves`` x current."""
+    step = 2.0 ** (1.0 / GRID_POINTS_PER_OCTAVE)
+    n_steps = GRID_POINTS_PER_OCTAVE * half_octaves
+    candidates = set()
+    for k in range(-n_steps, n_steps + 1):
+        w = current * step**k
+        candidates.add(min(max(w, MIN_WIDTH), MAX_WIDTH))
+    return sorted(candidates)
+
+
+def size_subcircuit(
+    circuit: SizableCircuit,
+    t_kelvin: float,
+    area_exponent: float = 1.0,
+    initial_sizes: Optional[Mapping[str, float]] = None,
+    max_sweeps: int = MAX_SWEEPS,
+) -> SizingResult:
+    """Reference sizing: minimize ``delay * area^area_exponent`` at a corner.
+
+    Deterministic coordinate descent over a geometric width grid.
+    """
+    if t_kelvin <= 0.0:
+        raise ValueError(f"corner temperature must be positive, got {t_kelvin} K")
+    sizes: Dict[str, float] = dict(initial_sizes or circuit.default_sizes)
+    circuit.validate_sizes(sizes)
+
+    def cost_of(s: Mapping[str, float]) -> float:
+        delay = circuit.design_delay_seconds(s, t_kelvin)
+        return delay * circuit.area_um2(s) ** area_exponent
+
+    best_cost = cost_of(sizes)
+    sweeps_done = 0
+    for sweep in range(max_sweeps):
+        sweeps_done = sweep + 1
+        improved = False
+        for name in circuit.size_names:
+            best_w = sizes[name]
+            for w in _candidate_widths(sizes[name]):
+                if w == sizes[name]:
+                    continue
+                trial = dict(sizes)
+                trial[name] = w
+                c = cost_of(trial)
+                if c < best_cost * (1.0 - RELATIVE_TOLERANCE):
+                    best_cost = c
+                    best_w = w
+            if best_w != sizes[name]:
+                sizes[name] = best_w
+                improved = True
+        if not improved:
+            break
+
+    return SizingResult(
+        circuit_name=circuit.name,
+        corner_kelvin=t_kelvin,
+        sizes=sizes,
+        delay_seconds=circuit.design_delay_seconds(sizes, t_kelvin),
+        area_um2=circuit.area_um2(sizes),
+        cost=best_cost,
+        sweeps=sweeps_done,
+    )
+
+
+def size_subcircuit_budgeted(
+    circuit: SizableCircuit,
+    t_kelvin: float,
+    area_budget_um2: float,
+    initial_sizes: Optional[Mapping[str, float]] = None,
+    max_sweeps: int = MAX_SWEEPS,
+) -> SizingResult:
+    """Corner sizing: minimize delay at ``t_kelvin`` with area <= budget.
+
+    Coordinate descent restricted to feasible moves, interleaved with a
+    uniform-rescale step that re-inflates all widths to exhaust the budget
+    (the unconstrained delay optimum always wants more area, so the budget
+    binds and coordinate moves trade width between stages along it).
+    """
+    if t_kelvin <= 0.0:
+        raise ValueError(f"corner temperature must be positive, got {t_kelvin} K")
+    if area_budget_um2 <= 0.0:
+        raise ValueError(f"area budget must be positive, got {area_budget_um2}")
+    sizes: Dict[str, float] = dict(initial_sizes or circuit.default_sizes)
+    circuit.validate_sizes(sizes)
+    sizes = _rescale_to_budget(circuit, sizes, area_budget_um2)
+    if circuit.area_um2(sizes) > area_budget_um2 * (1.0 + 1e-9):
+        raise ValueError(
+            f"{circuit.name}: area budget {area_budget_um2:.3g} um2 infeasible "
+            f"even at minimum widths"
+        )
+
+    best_delay = circuit.design_delay_seconds(sizes, t_kelvin)
+    area_coeff = _area_coefficients(circuit, sizes)
+    sweeps_done = 0
+    for sweep in range(max_sweeps):
+        sweeps_done = sweep + 1
+        improved = False
+        # Single-variable moves (shrinking always stays feasible).
+        for name in circuit.size_names:
+            best_w = sizes[name]
+            for w in _candidate_widths(sizes[name]):
+                if w == sizes[name]:
+                    continue
+                trial = dict(sizes)
+                trial[name] = w
+                if circuit.area_um2(trial) > area_budget_um2:
+                    continue
+                d = circuit.design_delay_seconds(trial, t_kelvin)
+                if d < best_delay * (1.0 - RELATIVE_TOLERANCE):
+                    best_delay = d
+                    best_w = w
+            if best_w != sizes[name]:
+                sizes[name] = best_w
+                improved = True
+        # Pairwise width transfers: grow one variable and shrink another so
+        # the area stays exactly on budget.  These are the moves that walk
+        # *along* a tight budget; single-variable moves deadlock there.
+        names = list(circuit.size_names)
+        for i, grow in enumerate(names):
+            for shrink in names:
+                if shrink == grow or area_coeff[shrink] <= 0.0:
+                    continue
+                for w_grow in _candidate_widths(sizes[grow], half_octaves=1):
+                    if w_grow <= sizes[grow]:
+                        continue
+                    extra = (w_grow - sizes[grow]) * area_coeff[grow]
+                    w_shrink = sizes[shrink] - extra / area_coeff[shrink]
+                    if w_shrink < MIN_WIDTH:
+                        continue
+                    trial = dict(sizes)
+                    trial[grow] = w_grow
+                    trial[shrink] = w_shrink
+                    if circuit.area_um2(trial) > area_budget_um2 * (1.0 + 1e-9):
+                        continue
+                    d = circuit.design_delay_seconds(trial, t_kelvin)
+                    if d < best_delay * (1.0 - RELATIVE_TOLERANCE):
+                        best_delay = d
+                        sizes = trial
+                        improved = True
+        # Exhaust any slack the coordinate moves opened up.
+        rescaled = _rescale_to_budget(circuit, sizes, area_budget_um2)
+        d = circuit.design_delay_seconds(rescaled, t_kelvin)
+        if d < best_delay * (1.0 - RELATIVE_TOLERANCE):
+            sizes = rescaled
+            best_delay = d
+            improved = True
+        if not improved:
+            break
+
+    return SizingResult(
+        circuit_name=circuit.name,
+        corner_kelvin=t_kelvin,
+        sizes=sizes,
+        delay_seconds=best_delay,
+        area_um2=circuit.area_um2(sizes),
+        cost=best_delay,
+        sweeps=sweeps_done,
+        area_budget_um2=area_budget_um2,
+    )
+
+
+def _area_coefficients(
+    circuit: SizableCircuit, sizes: Mapping[str, float]
+) -> Dict[str, float]:
+    """Per-variable area slope d(area)/d(width).
+
+    All area models in :mod:`repro.coffe` are affine in the widths, so a
+    single finite difference per variable is exact.
+    """
+    base = circuit.area_um2(sizes)
+    coeffs: Dict[str, float] = {}
+    delta = 1.0
+    for name in circuit.size_names:
+        trial = dict(sizes)
+        trial[name] = sizes[name] + delta
+        coeffs[name] = (circuit.area_um2(trial) - base) / delta
+    return coeffs
+
+
+def _rescale_to_budget(
+    circuit: SizableCircuit,
+    sizes: Mapping[str, float],
+    area_budget_um2: float,
+) -> Dict[str, float]:
+    """Uniformly scale all widths so the area lands on (just under) budget."""
+    lo, hi = 1e-3, 1e3
+
+    def area_at(scale: float) -> float:
+        scaled = {
+            k: min(max(v * scale, MIN_WIDTH), MAX_WIDTH) for k, v in sizes.items()
+        }
+        return circuit.area_um2(scaled)
+
+    if area_at(hi) <= area_budget_um2:
+        scale = hi
+    elif area_at(lo) > area_budget_um2:
+        scale = lo
+    else:
+        for _ in range(60):
+            mid = math.sqrt(lo * hi)
+            if area_at(mid) > area_budget_um2:
+                hi = mid
+            else:
+                lo = mid
+        scale = lo
+    return {k: min(max(v * scale, MIN_WIDTH), MAX_WIDTH) for k, v in sizes.items()}

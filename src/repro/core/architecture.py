@@ -1,0 +1,95 @@
+"""Thermal-aware architecture selection (paper Sec. III-C, Eq. 1).
+
+A single fabric cannot win at every temperature (Sec. III-B), but FPGAs are
+usually deployed in foreknown field conditions.  Assuming a uniformly
+distributed operating temperature over ``[Tmin, Tmax]``, pick the design
+corner that minimizes the expected delay
+
+    E[d] = integral_{Tmin}^{Tmax} d(T) dT / (Tmax - Tmin).
+
+This is the basis for the paper's proposed temperature grades (e.g. a
+70 C-optimized grade for datacenter accelerators whose junction runs near
+100 C next to 68 C CPUs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.arch.params import ArchParams
+from repro.coffe.fabric import Fabric, build_fabric
+
+DEFAULT_CANDIDATE_CORNERS = (0.0, 25.0, 50.0, 70.0, 85.0, 100.0)
+
+
+def expected_delay(
+    fabric: Fabric,
+    t_min: float,
+    t_max: float,
+    component: str = "cp",
+    n_samples: int = 201,
+) -> float:
+    """Eq. 1: expected delay over a uniform ``[t_min, t_max]`` range, seconds."""
+    if t_max < t_min:
+        raise ValueError(f"t_max ({t_max}) < t_min ({t_min})")
+    if t_max == t_min:
+        grid = np.array([t_min])
+    else:
+        grid = np.linspace(t_min, t_max, n_samples)
+    if component == "cp":
+        delays = np.asarray(fabric.cp_delay_s(grid))
+    else:
+        delays = np.asarray(fabric.delay_s(component, grid))
+    if t_max == t_min:
+        return float(delays[0])
+    trapezoid = getattr(np, "trapezoid", None) or np.trapz
+    return float(trapezoid(delays, grid) / (t_max - t_min))
+
+
+@dataclass
+class CornerChoice:
+    """Result of a design-corner selection."""
+
+    corner_celsius: float
+    expected_delay_s: float
+    expected_delays: Dict[float, float]
+    """Eq. 1 value for every candidate corner."""
+    t_min: float
+    t_max: float
+
+    def advantage_over(self, corner: float) -> float:
+        """Fractional E[d] advantage of the winner over another candidate."""
+        return self.expected_delays[corner] / self.expected_delay_s - 1.0
+
+
+def select_design_corner(
+    t_min: float,
+    t_max: float,
+    candidates: Sequence[float] = DEFAULT_CANDIDATE_CORNERS,
+    component: str = "cp",
+    arch: Optional[ArchParams] = None,
+) -> CornerChoice:
+    """Pick the candidate corner minimizing Eq. 1 over the field range.
+
+    This is the paper's thermal-aware architecture proposal: a datacenter
+    accelerator living at 60..100 C junction gets a hot-corner grade, an
+    outdoor unit spanning 0..50 C a cool one.
+    """
+    arch = arch or ArchParams()
+    if not candidates:
+        raise ValueError("need at least one candidate corner")
+    expected: Dict[float, float] = {}
+    for corner in candidates:
+        fabric = build_fabric(float(corner), arch)
+        expected[float(corner)] = expected_delay(fabric, t_min, t_max, component)
+    winner = min(expected, key=lambda c: expected[c])
+    return CornerChoice(
+        corner_celsius=winner,
+        expected_delay_s=expected[winner],
+        expected_delays=expected,
+        t_min=t_min,
+        t_max=t_max,
+    )

@@ -1,0 +1,91 @@
+"""Comparison baselines from the related work (paper Sec. II).
+
+Besides the conventional worst-case margin (:mod:`repro.core.margins`), the
+paper discusses two prior families it improves upon:
+
+- **Online sensor-based scaling** ([10] Levine, [12] Zhao): measure *one*
+  chip temperature (e.g. a ring-oscillator sensor) and scale the clock for
+  it.  This ignores on-chip variation — "this approach assumes the same
+  temperature across the entire chip (and the entire CP) while the
+  temperature variation can reach above 20 C" — so a sensor away from the
+  hotspot yields an *optimistic* (unsafe) clock unless extra margin is
+  added.
+- **Oracle retiming**: re-time at the exact converged per-tile profile with
+  no compensation margin at all — the unreachable upper bound that bounds
+  Algorithm 1's delta_t cost from above.
+
+These functions quantify both against a converged
+:class:`~repro.core.guardband.GuardbandResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cad.flow import FlowResult
+from repro.coffe.fabric import Fabric
+from repro.core.guardband import GuardbandResult
+
+
+@dataclass
+class SensorBaseline:
+    """Outcome of single-sensor uniform-temperature scaling."""
+
+    frequency_hz: float
+    """Clock chosen from the sensor reading (plus margin)."""
+    sensor_celsius: float
+    true_critical_path_s: float
+    """Critical path under the real per-tile profile."""
+    is_safe: bool
+    """Whether the chosen clock period covers the true critical path."""
+
+
+def oracle_frequency(
+    flow: FlowResult, fabric: Fabric, result: GuardbandResult
+) -> float:
+    """Upper bound: exact per-tile retiming with zero margin, hertz."""
+    report = flow.timing.critical_path(fabric, result.tile_temperatures)
+    return report.frequency_hz
+
+
+def sensor_uniform_baseline(
+    flow: FlowResult,
+    fabric: Fabric,
+    result: GuardbandResult,
+    sensor_tile: int = 0,
+    sensor_margin_celsius: float = 0.0,
+) -> SensorBaseline:
+    """Single-sensor DVFS baseline at a converged operating point.
+
+    The sensor sits in ``sensor_tile`` (prior work inserts RO sensors in
+    *unused* resources, which may be far from the hotspots); the whole die
+    is assumed to be at that reading plus ``sensor_margin_celsius``.
+    Safety is judged against the true per-tile profile.
+    """
+    temps = result.tile_temperatures
+    if not (0 <= sensor_tile < len(temps)):
+        raise ValueError(f"sensor tile {sensor_tile} out of range")
+    if sensor_margin_celsius < 0.0:
+        raise ValueError("sensor margin must be non-negative")
+    reading = float(temps[sensor_tile]) + sensor_margin_celsius
+    assumed = np.full(flow.layout.n_tiles, reading)
+    chosen = flow.timing.critical_path(fabric, assumed)
+    true = flow.timing.critical_path(fabric, temps)
+    return SensorBaseline(
+        frequency_hz=chosen.frequency_hz,
+        sensor_celsius=reading,
+        true_critical_path_s=true.critical_path_s,
+        is_safe=1.0 / chosen.frequency_hz >= true.critical_path_s - 1e-15,
+    )
+
+
+def coldest_tile(result: GuardbandResult) -> int:
+    """Index of the coolest tile — the adversarial sensor location."""
+    return int(np.argmin(result.tile_temperatures))
+
+
+def hottest_tile(result: GuardbandResult) -> int:
+    """Index of the hottest tile — the conservative sensor location."""
+    return int(np.argmax(result.tile_temperatures))

@@ -1,0 +1,105 @@
+"""Thermal-aware design analysis (paper Sec. III-B, Figs. 2-3).
+
+Builds fabrics optimized at different corner temperatures and compares
+their delay across the operating range: each corner device is fastest near
+its own corner, and the curves cross — the observation motivating
+thermal-aware architecture selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.arch.params import ArchParams
+from repro.coffe.fabric import Fabric, build_fabric
+
+DEFAULT_CORNERS = (0.0, 25.0, 100.0)
+"""The corners of paper Figs. 2-3 (D0, D25, D100)."""
+
+FIG2_OPERATING_POINTS = (0.0, 25.0, 100.0)
+FIG2_COMPONENTS = ("cp", "bram", "dsp")
+
+
+@dataclass
+class CornerCurves:
+    """Delay-vs-temperature curves of fabrics at several design corners."""
+
+    t_grid_celsius: np.ndarray
+    curves: Dict[float, np.ndarray]
+    """design corner -> delay (seconds) over the grid."""
+    component: str
+
+    def best_corner_at(self, t_celsius: float) -> float:
+        """Design corner with the lowest delay at an operating temperature."""
+        best = None
+        for corner, delays in self.curves.items():
+            d = float(np.interp(t_celsius, self.t_grid_celsius, delays))
+            if best is None or d < best[1]:
+                best = (corner, d)
+        assert best is not None
+        return best[0]
+
+    def crossover_ratio(
+        self, corner_a: float, corner_b: float, t_celsius: float
+    ) -> float:
+        """Delay ratio ``D_a / D_b`` at an operating temperature."""
+        da = float(np.interp(t_celsius, self.t_grid_celsius, self.curves[corner_a]))
+        db = float(np.interp(t_celsius, self.t_grid_celsius, self.curves[corner_b]))
+        return da / db
+
+
+def corner_delay_curves(
+    corners: Sequence[float] = DEFAULT_CORNERS,
+    component: str = "cp",
+    arch: Optional[ArchParams] = None,
+    t_grid: Optional[np.ndarray] = None,
+) -> CornerCurves:
+    """Delay(T) of the chosen component for fabrics at several corners.
+
+    ``component`` is ``"cp"`` (the representative soft-fabric critical
+    path), ``"bram"``, ``"dsp"``, or any Table II resource name.
+    Reproduces paper Fig. 3 (component = cp) and the data behind Fig. 2.
+    """
+    arch = arch or ArchParams()
+    grid = np.arange(0.0, 101.0, 1.0) if t_grid is None else np.asarray(t_grid)
+    curves: Dict[float, np.ndarray] = {}
+    for corner in corners:
+        fabric = build_fabric(float(corner), arch)
+        if component == "cp":
+            delays = np.asarray(fabric.cp_delay_s(grid))
+        else:
+            delays = np.asarray(fabric.delay_s(component, grid))
+        curves[float(corner)] = delays
+    return CornerCurves(grid, curves, component)
+
+
+def fig2_normalized_delays(
+    corners: Sequence[float] = DEFAULT_CORNERS,
+    operating_points: Sequence[float] = FIG2_OPERATING_POINTS,
+    components: Sequence[str] = FIG2_COMPONENTS,
+    arch: Optional[ArchParams] = None,
+) -> Dict[str, Dict[float, Dict[float, float]]]:
+    """Paper Fig. 2: per-component delays normalized within each chunk.
+
+    Returns ``{component: {operating_T: {corner: normalized delay}}}`` where
+    each operating-temperature chunk is normalized to its fastest corner.
+    """
+    arch = arch or ArchParams()
+    out: Dict[str, Dict[float, Dict[float, float]]] = {}
+    for component in components:
+        curves = corner_delay_curves(corners, component, arch)
+        per_point: Dict[float, Dict[float, float]] = {}
+        for t_op in operating_points:
+            raw = {
+                corner: float(
+                    np.interp(t_op, curves.t_grid_celsius, curves.curves[corner])
+                )
+                for corner in curves.curves
+            }
+            fastest = min(raw.values())
+            per_point[float(t_op)] = {c: d / fastest for c, d in raw.items()}
+        out[component] = per_point
+    return out

@@ -1,0 +1,37 @@
+"""Conventional worst-case guardbanding — the paper's baseline.
+
+The one-size-fits-all policy: clock the design for the slowest supported
+junction temperature (``Tworst = 100 C``) regardless of how cool the die
+actually runs.  Every gain the paper reports (Figs. 6-8) is measured
+against this baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cad.flow import FlowResult
+from repro.coffe.fabric import Fabric
+
+T_WORST_CELSIUS = 100.0
+"""Maximum supported junction temperature (Intel Arria 10 class devices)."""
+
+
+def worst_case_frequency(
+    flow: FlowResult,
+    fabric: Fabric,
+    t_worst: float = T_WORST_CELSIUS,
+) -> float:
+    """Baseline clock frequency assuming a uniform ``t_worst`` die, hertz."""
+    t_tiles = np.full(flow.layout.n_tiles, float(t_worst))
+    report = flow.timing.critical_path(fabric, t_tiles)
+    return report.frequency_hz
+
+
+def guardband_gain(
+    guardbanded_frequency_hz: float, worst_case_frequency_hz: float
+) -> float:
+    """Fractional performance improvement over the worst-case baseline."""
+    if worst_case_frequency_hz <= 0.0:
+        raise ValueError("baseline frequency must be positive")
+    return guardbanded_frequency_hz / worst_case_frequency_hz - 1.0

@@ -1,0 +1,232 @@
+"""BLIF-style netlist serialization.
+
+A pragmatic subset of Berkeley Logic Interchange Format extended with the
+hard-block subcircuits VTR uses, so netlists can be exchanged with other
+tooling and checked into benchmarks:
+
+- ``.model/.inputs/.outputs/.end`` structure;
+- ``.names <in...> <out>`` declares a LUT (cover rows are accepted and
+  ignored — the timing/power flow is function-agnostic);
+- ``.latch <in> <out> [re clk init]`` declares a flip-flop;
+- ``.subckt bram|dsp <port>=<net> ...`` declares a hard block.
+
+Nets are identified by name; every net must have exactly one driver.
+``write_blif``/``read_blif`` round-trip losslessly for netlists produced by
+:mod:`repro.netlists.generator`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, TextIO, Tuple, Union
+
+from repro.netlists.netlist import Block, BlockType, Net, Netlist
+
+
+class BlifError(ValueError):
+    """Raised on malformed BLIF input."""
+
+
+def write_blif(netlist: Netlist, destination: Union[str, Path, TextIO]) -> None:
+    """Write a netlist in the extended-BLIF subset."""
+    netlist.validate()
+    if hasattr(destination, "write"):
+        _write(netlist, destination)  # type: ignore[arg-type]
+    else:
+        with open(destination, "w") as handle:
+            _write(netlist, handle)
+
+
+def _net_name(netlist: Netlist, net_id: int) -> str:
+    return netlist.nets[net_id].name
+
+
+def _write(netlist: Netlist, out: TextIO) -> None:
+    out.write(f".model {netlist.name}\n")
+    inputs = [
+        _net_name(netlist, b.output_nets[0])
+        for b in netlist.blocks_of_type(BlockType.INPUT)
+    ]
+    outputs = [
+        _net_name(netlist, b.input_nets[0])
+        for b in netlist.blocks_of_type(BlockType.OUTPUT)
+        if b.input_nets
+    ]
+    out.write(".inputs " + " ".join(inputs) + "\n")
+    out.write(".outputs " + " ".join(outputs) + "\n")
+    for block in netlist.blocks:
+        if block.type == BlockType.LUT:
+            names = [_net_name(netlist, n) for n in block.input_nets]
+            names.append(_net_name(netlist, block.output_nets[0]))
+            out.write(".names " + " ".join(names) + "\n")
+            # Emit a generic cover (all-ones product term) for tool
+            # compatibility; the flow itself is function-agnostic.
+            if block.input_nets:
+                out.write("1" * len(block.input_nets) + " 1\n")
+        elif block.type == BlockType.FF:
+            out.write(
+                f".latch {_net_name(netlist, block.input_nets[0])} "
+                f"{_net_name(netlist, block.output_nets[0])} re clk 0\n"
+            )
+        elif block.type in (BlockType.BRAM, BlockType.DSP):
+            ports = [
+                f"in{i}={_net_name(netlist, n)}"
+                for i, n in enumerate(block.input_nets)
+            ]
+            ports += [
+                f"out{i}={_net_name(netlist, n)}"
+                for i, n in enumerate(block.output_nets)
+            ]
+            out.write(f".subckt {block.type.value} " + " ".join(ports) + "\n")
+    out.write(".end\n")
+
+
+def read_blif(source: Union[str, Path, TextIO]) -> Netlist:
+    """Parse the extended-BLIF subset back into a :class:`Netlist`."""
+    if hasattr(source, "read"):
+        text = source.read()  # type: ignore[union-attr]
+        name_hint = "blif"
+    else:
+        text = Path(source).read_text()
+        name_hint = Path(source).stem
+    lines = _logical_lines(text)
+    return _parse(lines, name_hint)
+
+
+def _logical_lines(text: str) -> List[str]:
+    """Strip comments, join continuation lines."""
+    merged: List[str] = []
+    pending = ""
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].rstrip()
+        if not line.strip():
+            continue
+        if line.endswith("\\"):
+            pending += line[:-1] + " "
+            continue
+        merged.append((pending + line).strip())
+        pending = ""
+    if pending.strip():
+        merged.append(pending.strip())
+    return merged
+
+
+def _parse(lines: List[str], name_hint: str) -> Netlist:
+    model_name = name_hint
+    inputs: List[str] = []
+    outputs: List[str] = []
+    luts: List[Tuple[List[str], str]] = []
+    latches: List[Tuple[str, str]] = []
+    subckts: List[Tuple[str, List[Tuple[str, str]]]] = []
+
+    index = 0
+    while index < len(lines):
+        line = lines[index]
+        tokens = line.split()
+        directive = tokens[0]
+        if directive == ".model":
+            if len(tokens) >= 2:
+                model_name = tokens[1]
+        elif directive == ".inputs":
+            inputs.extend(tokens[1:])
+        elif directive == ".outputs":
+            outputs.extend(tokens[1:])
+        elif directive == ".names":
+            if len(tokens) < 2:
+                raise BlifError(f".names needs at least an output: {line!r}")
+            luts.append((tokens[1:-1], tokens[-1]))
+            # Swallow the cover rows.
+            while index + 1 < len(lines) and not lines[index + 1].startswith("."):
+                index += 1
+        elif directive == ".latch":
+            if len(tokens) < 3:
+                raise BlifError(f".latch needs input and output: {line!r}")
+            latches.append((tokens[1], tokens[2]))
+        elif directive == ".subckt":
+            if len(tokens) < 2:
+                raise BlifError(f".subckt needs a model name: {line!r}")
+            kind = tokens[1]
+            if kind not in ("bram", "dsp"):
+                raise BlifError(f"unsupported subcircuit {kind!r}")
+            bindings = []
+            for binding in tokens[2:]:
+                if "=" not in binding:
+                    raise BlifError(f"malformed port binding {binding!r}")
+                port, net = binding.split("=", 1)
+                bindings.append((port, net))
+            subckts.append((kind, bindings))
+        elif directive == ".end":
+            break
+        else:
+            raise BlifError(f"unsupported directive {directive!r}")
+        index += 1
+
+    return _build(model_name, inputs, outputs, luts, latches, subckts)
+
+
+def _build(
+    model_name: str,
+    inputs: List[str],
+    outputs: List[str],
+    luts: List[Tuple[List[str], str]],
+    latches: List[Tuple[str, str]],
+    subckts: List[Tuple[str, List[Tuple[str, str]]]],
+) -> Netlist:
+    netlist = Netlist(model_name)
+    nets_by_name: Dict[str, Net] = {}
+
+    def declare_driver(net_name: str, driver: Block) -> None:
+        if net_name in nets_by_name:
+            raise BlifError(f"net {net_name!r} has multiple drivers")
+        net = netlist.add_net(driver, net_name)
+        nets_by_name[net_name] = net
+
+    # Pass 1: create driver blocks so every net exists before connecting.
+    for name in inputs:
+        declare_driver(name, netlist.add_block(BlockType.INPUT, f"pi_{name}"))
+    lut_blocks: List[Block] = []
+    for fanin, out_name in luts:
+        block = netlist.add_block(BlockType.LUT)
+        lut_blocks.append(block)
+        declare_driver(out_name, block)
+    latch_blocks: List[Block] = []
+    for _in_name, out_name in latches:
+        block = netlist.add_block(BlockType.FF)
+        latch_blocks.append(block)
+        declare_driver(out_name, block)
+    hard_blocks: List[Block] = []
+    for kind, bindings in subckts:
+        type_ = BlockType.BRAM if kind == "bram" else BlockType.DSP
+        block = netlist.add_block(type_)
+        hard_blocks.append(block)
+        for port, net_name in bindings:
+            if port.startswith("out"):
+                declare_driver(net_name, block)
+
+    def lookup(net_name: str) -> Net:
+        if net_name not in nets_by_name:
+            raise BlifError(f"net {net_name!r} is never driven")
+        return nets_by_name[net_name]
+
+    # Pass 2: connect sinks.
+    for (fanin, _out), block in zip(luts, lut_blocks):
+        for net_name in fanin:
+            netlist.connect(lookup(net_name), block)
+    for (in_name, _out), block in zip(latches, latch_blocks):
+        netlist.connect(lookup(in_name), block)
+    for (kind, bindings), block in zip(subckts, hard_blocks):
+        for port, net_name in bindings:
+            if not port.startswith("out"):
+                netlist.connect(lookup(net_name), block)
+    for name in outputs:
+        pad = netlist.add_block(BlockType.OUTPUT, f"po_{name}")
+        netlist.connect(lookup(name), pad)
+
+    # Give any dangling net an output pad so the netlist is well-formed.
+    for net in netlist.nets:
+        if not net.sinks:
+            pad = netlist.add_block(BlockType.OUTPUT, f"po_dangle_{net.name}")
+            netlist.connect(net, pad)
+
+    netlist.validate()
+    return netlist

@@ -1,0 +1,183 @@
+"""Seeded synthetic netlist generator.
+
+Builds layered, technology-mapped netlists with a controlled resource mix:
+
+- ``depth`` layers of K-input LUTs between register stages, with
+  locality-biased fan-in (most inputs come from the previous one or two
+  layers) and a geometric fanout distribution — the structure VPR-style
+  benchmarks exhibit;
+- a configurable fraction of LUT outputs registered into FFs (pipelining);
+- BRAM and DSP blocks spliced mid-pipeline: their inputs tap an early
+  layer, their (registered) outputs feed later layers;
+- primary inputs/outputs sized to the block counts.
+
+Deterministic for a given :class:`NetlistSpec` (seeded RNG), so every bench
+and test sees identical netlists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.netlists.netlist import Block, BlockType, Net, Netlist
+
+
+@dataclass(frozen=True)
+class NetlistSpec:
+    """Parameters of a synthetic benchmark."""
+
+    name: str
+    n_luts: int
+    n_brams: int = 0
+    n_dsps: int = 0
+    depth: int = 8
+    """Target combinational LUT depth between registers."""
+    lut_inputs: int = 6
+    ff_ratio: float = 0.35
+    """Fraction of LUT outputs that are registered."""
+    n_inputs: int = 0
+    """Primary inputs; 0 derives a count from the LUT count."""
+    n_outputs: int = 0
+    base_activity: float = 0.15
+    """Mean switching activity of the primary inputs."""
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_luts < 1:
+            raise ValueError(f"{self.name}: need at least 1 LUT")
+        if self.depth < 1:
+            raise ValueError(f"{self.name}: depth must be >= 1")
+        if not (0.0 <= self.ff_ratio <= 1.0):
+            raise ValueError(f"{self.name}: ff_ratio must be in [0, 1]")
+        if not (0.0 < self.base_activity <= 1.0):
+            raise ValueError(f"{self.name}: base_activity must be in (0, 1]")
+
+
+def generate_netlist(spec: NetlistSpec) -> Netlist:
+    """Generate a validated netlist from a spec."""
+    rng = np.random.default_rng(spec.seed)
+    netlist = Netlist(spec.name)
+
+    n_inputs = spec.n_inputs or max(8, spec.n_luts // 6)
+    n_outputs = spec.n_outputs or max(4, spec.n_luts // 10)
+
+    # Primary inputs drive the first layer.
+    available: List[Net] = []
+    for i in range(n_inputs):
+        pad = netlist.add_block(BlockType.INPUT, f"pi_{i}")
+        available.append(netlist.add_net(pad, f"pi_net_{i}"))
+
+    # Distribute LUTs over layers (roughly equal, all layers non-empty).
+    layer_sizes = _layer_sizes(spec.n_luts, spec.depth)
+    recent: List[List[Net]] = [list(available)]
+    all_lut_nets: List[Net] = []
+
+    for layer_idx, size in enumerate(layer_sizes):
+        layer_nets: List[Net] = []
+        for j in range(size):
+            lut = netlist.add_block(BlockType.LUT, f"lut_{layer_idx}_{j}")
+            k = int(rng.integers(2, spec.lut_inputs + 1))
+            for net in _pick_fanins(rng, recent, k):
+                netlist.connect(net, lut)
+            out = netlist.add_net(lut, f"{lut.name}_o")
+            layer_nets.append(out)
+            all_lut_nets.append(out)
+            # Register some outputs: the FF output re-enters the pool, and
+            # feeds back to keep state loops realistic.
+            if rng.random() < spec.ff_ratio:
+                ff = netlist.add_block(BlockType.FF, f"ff_{layer_idx}_{j}")
+                netlist.connect(out, ff)
+                ff_out = netlist.add_net(ff, f"{ff.name}_q")
+                layer_nets.append(ff_out)
+        recent.append(layer_nets)
+        if len(recent) > 3:
+            recent.pop(0)
+
+    # Splice hard blocks: inputs from the existing pool, outputs join it.
+    # DSP blocks cascade in multiply-accumulate chains and BRAMs in
+    # FIFO/buffer chains (as the real diffeq/LU benchmarks do), which puts
+    # the hard blocks on the critical path — the paper's DSP/BRAM-heavy
+    # benchmarks owe their larger thermal guardbands to exactly this.
+    pool = [net for layer in recent for net in layer] or available
+    hard_nets: List[Net] = []
+    previous_bram: Optional[Net] = None
+    for i in range(spec.n_brams):
+        bram = netlist.add_block(BlockType.BRAM, f"bram_{i}")
+        if previous_bram is not None and i % 3:
+            netlist.connect(previous_bram, bram)
+        for net in _pick_fanins(rng, [pool], min(12, len(pool))):
+            netlist.connect(net, bram)
+        outs = [netlist.add_net(bram, f"{bram.name}_do{p}") for p in range(4)]
+        hard_nets.extend(outs)
+        previous_bram = outs[0]
+    previous_dsp: Optional[Net] = None
+    for i in range(spec.n_dsps):
+        dsp = netlist.add_block(BlockType.DSP, f"dsp_{i}")
+        if previous_dsp is not None and i % 4:
+            netlist.connect(previous_dsp, dsp)
+        for net in _pick_fanins(rng, [pool], min(16, len(pool))):
+            netlist.connect(net, dsp)
+        outs = [netlist.add_net(dsp, f"{dsp.name}_p{p}") for p in range(4)]
+        hard_nets.extend(outs)
+        previous_dsp = outs[0]
+
+    # Hard-block outputs feed small output cones so they land on paths.
+    cone_sources = hard_nets or pool
+    for i, net in enumerate(hard_nets):
+        lut = netlist.add_block(BlockType.LUT, f"lut_cone_{i}")
+        netlist.connect(net, lut)
+        extra = _pick_fanins(rng, [pool], min(2, len(pool)))
+        for e in extra:
+            if e is not net:
+                netlist.connect(e, lut)
+        all_lut_nets.append(netlist.add_net(lut, f"{lut.name}_o"))
+
+    # Primary outputs tap the last layers (and hard cones).
+    sink_pool = all_lut_nets[-max(n_outputs * 2, 8):] or available
+    for i in range(n_outputs):
+        pad = netlist.add_block(BlockType.OUTPUT, f"po_{i}")
+        net = sink_pool[int(rng.integers(0, len(sink_pool)))]
+        netlist.connect(net, pad)
+
+    # Guarantee no dangling nets: give driverless-sink nets an output pad.
+    for net in netlist.nets:
+        if not net.sinks:
+            pad = netlist.add_block(BlockType.OUTPUT, f"po_dangle_{net.id}")
+            netlist.connect(net, pad)
+
+    netlist.validate()
+    return netlist
+
+
+def _layer_sizes(n_luts: int, depth: int) -> List[int]:
+    depth = min(depth, n_luts)
+    base = n_luts // depth
+    sizes = [base] * depth
+    for i in range(n_luts - base * depth):
+        sizes[i % depth] += 1
+    return sizes
+
+
+def _pick_fanins(
+    rng: np.random.Generator, recent: List[List[Net]], k: int
+) -> List[Net]:
+    """Pick ``k`` distinct fan-in nets, biased towards the newest layers."""
+    pools = [layer for layer in recent if layer]
+    if not pools:
+        raise ValueError("no nets available for fan-in")
+    picked: List[Net] = []
+    seen = set()
+    attempts = 0
+    while len(picked) < k and attempts < 20 * k:
+        attempts += 1
+        # Bias: newest pool with probability ~0.6, then earlier ones.
+        weights = np.array([0.4**i for i in range(len(pools))][::-1])
+        pool = pools[int(rng.choice(len(pools), p=weights / weights.sum()))]
+        net = pool[int(rng.integers(0, len(pool)))]
+        if net.id not in seen:
+            seen.add(net.id)
+            picked.append(net)
+    return picked

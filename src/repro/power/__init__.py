@@ -1,0 +1,5 @@
+"""Per-tile power model (Algorithm 1, line 5)."""
+
+from repro.power.model import PowerBreakdown, PowerModel, tile_inventory
+
+__all__ = ["PowerBreakdown", "PowerModel", "tile_inventory"]

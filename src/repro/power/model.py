@@ -1,0 +1,186 @@
+"""Per-tile power model.
+
+Implements Algorithm 1 line 5: ``p = p_dyn(netlist, alpha, f) + p_lkg(T)``.
+
+- **Dynamic** power accrues only on *used* resources: every mux a routed
+  net passes through (with that net's activity), every occupied LUT, and
+  the hard blocks — scaled linearly in frequency and activity from the
+  characterized 100 MHz / alpha=1 base (paper Sec. IV-A).
+- **Leakage** accrues on the *entire tile inventory* (an FPGA leaks in all
+  its configurable resources whether used or not — the very reason the
+  paper calls FPGAs "an abundance of leaky resources"), evaluated at each
+  tile's own temperature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.activity.ace import ActivityEstimate
+from repro.arch.layout import TileType
+from repro.arch.params import ArchParams
+from repro.cad.flow import FlowResult
+from repro.coffe.fabric import Fabric
+from repro.netlists.netlist import BlockType
+
+RESOURCES = (
+    "sb_mux", "cb_mux", "local_mux", "feedback_mux", "output_mux",
+    "lut", "bram", "dsp",
+)
+_RES_INDEX = {name: i for i, name in enumerate(RESOURCES)}
+
+
+def tile_inventory(arch: ArchParams, tile_type: TileType) -> Dict[str, float]:
+    """Leaky resource counts of one tile (cluster + neighbouring routing).
+
+    The CLB inventory reproduces the paper's soft-fabric tile: with Table II
+    areas it sums to ~1196 um^2 (paper Sec. IV-A).  Hard-block tiles carry
+    their block plus a routing interface.
+    """
+    sb_per_tile = arch.channel_tracks / 2.0
+    if tile_type == TileType.CLB:
+        return {
+            "lut": float(arch.cluster_size),
+            "local_mux": float(arch.cluster_size * arch.lut_size),
+            "feedback_mux": float(arch.cluster_size),
+            "output_mux": float(arch.cluster_size),
+            "sb_mux": sb_per_tile,
+            "cb_mux": float(arch.cluster_inputs),
+        }
+    if tile_type == TileType.BRAM:
+        return {"bram": 1.0, "sb_mux": sb_per_tile, "cb_mux": 20.0}
+    if tile_type == TileType.DSP:
+        return {"dsp": 1.0, "sb_mux": sb_per_tile, "cb_mux": 27.0}
+    if tile_type == TileType.IO:
+        return {"sb_mux": sb_per_tile / 2.0, "cb_mux": 8.0}
+    return {}
+
+
+@dataclass
+class PowerBreakdown:
+    """Per-tile power split at one operating point."""
+
+    dynamic_w: np.ndarray
+    leakage_w: np.ndarray
+
+    @property
+    def total_w(self) -> np.ndarray:
+        return self.dynamic_w + self.leakage_w
+
+    @property
+    def total_watts(self) -> float:
+        return float(self.total_w.sum())
+
+
+class PowerModel:
+    """Evaluates the per-tile power vector for a placed-and-routed design."""
+
+    def __init__(
+        self,
+        flow: FlowResult,
+        fabric: Fabric,
+        activity: ActivityEstimate,
+    ):
+        self.flow = flow
+        self.fabric = fabric
+        self.activity = activity
+        layout = flow.layout
+        self.n_tiles = layout.n_tiles
+
+        # Leakage inventory matrix: counts[resource, tile].
+        self._counts = np.zeros((len(RESOURCES), self.n_tiles))
+        for tile in layout.tiles():
+            index = layout.tile_index(tile.x, tile.y)
+            for name, count in tile_inventory(flow.arch, tile.type).items():
+                self._counts[_RES_INDEX[name], index] = count
+
+        # Dynamic users: (tile indices, activities) per resource.
+        users: Dict[str, Tuple[List[int], List[float]]] = {
+            name: ([], []) for name in RESOURCES
+        }
+
+        def add(resource: str, tile: int, alpha: float) -> None:
+            tiles, alphas = users[resource]
+            tiles.append(tile)
+            alphas.append(alpha)
+
+        timing = flow.timing
+        for net_id, elements in timing.net_power_elements.items():
+            alpha = activity.of_net(net_id)
+            for resource, tile in elements:
+                add(resource, tile, alpha)
+        for (net_id, _sink), elements in timing.sink_elements.items():
+            # Intra-tile feedback/local muxes are not in net_power_elements.
+            if elements and elements[0][0] == "feedback_mux":
+                alpha = activity.of_net(net_id)
+                for resource, tile in elements:
+                    add(resource, tile, alpha)
+        for block in flow.netlist.blocks:
+            tile = timing.block_tile[block.id]
+            if block.output_nets:
+                alpha = float(
+                    np.mean([activity.of_net(n) for n in block.output_nets])
+                )
+            elif block.input_nets:
+                alpha = float(
+                    np.mean([activity.of_net(n) for n in block.input_nets])
+                )
+            else:
+                alpha = 0.0
+            if block.type == BlockType.LUT:
+                add("lut", tile, alpha)
+            elif block.type == BlockType.BRAM:
+                add("bram", tile, alpha)
+            elif block.type == BlockType.DSP:
+                add("dsp", tile, alpha)
+
+        self._dyn_tiles: Dict[str, np.ndarray] = {}
+        self._dyn_alphas: Dict[str, np.ndarray] = {}
+        for name, (tiles, alphas) in users.items():
+            self._dyn_tiles[name] = np.asarray(tiles, dtype=int)
+            self._dyn_alphas[name] = np.asarray(alphas)
+
+    # -- evaluation ----------------------------------------------------------
+
+    def dynamic_power(self, frequency_hz: float) -> np.ndarray:
+        """Per-tile dynamic power at the given clock frequency, watts."""
+        if frequency_hz < 0.0:
+            raise ValueError(f"negative frequency: {frequency_hz}")
+        out = np.zeros(self.n_tiles)
+        for name in RESOURCES:
+            tiles = self._dyn_tiles[name]
+            if len(tiles) == 0:
+                continue
+            base = self.fabric.dynamic_power_w(name, frequency_hz, 1.0)
+            np.add.at(out, tiles, base * self._dyn_alphas[name])
+        return out
+
+    def leakage_power(self, t_tiles: np.ndarray) -> np.ndarray:
+        """Per-tile leakage power for a per-tile temperature vector, watts."""
+        t_tiles = np.asarray(t_tiles, dtype=float)
+        if t_tiles.ndim == 0:
+            t_tiles = np.full(self.n_tiles, float(t_tiles))
+        if len(t_tiles) != self.n_tiles:
+            raise ValueError(
+                f"temperature vector has {len(t_tiles)} entries, need "
+                f"{self.n_tiles}"
+            )
+        out = np.zeros(self.n_tiles)
+        for i, name in enumerate(RESOURCES):
+            counts = self._counts[i]
+            if not counts.any():
+                continue
+            out += counts * np.asarray(self.fabric.leakage_w(name, t_tiles))
+        return out
+
+    def evaluate(
+        self, frequency_hz: float, t_tiles: np.ndarray
+    ) -> PowerBreakdown:
+        """Full per-tile power at one operating point (Algorithm 1 line 5)."""
+        return PowerBreakdown(
+            dynamic_w=self.dynamic_power(frequency_hz),
+            leakage_w=self.leakage_power(t_tiles),
+        )

@@ -1,0 +1,7 @@
+"""Plain-text tables and series used by the benchmark harness."""
+
+from repro.reporting.tables import format_table
+from repro.reporting.figures import format_bar_chart, format_series
+from repro.reporting.heatmap import format_heatmap
+
+__all__ = ["format_bar_chart", "format_heatmap", "format_series", "format_table"]

@@ -1,0 +1,45 @@
+"""ASCII renderings of the paper's figures (bar charts and series)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def format_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str = "",
+    unit: str = "%",
+    width: int = 46,
+) -> str:
+    """Horizontal bar chart, one row per label (paper Figs. 6-8 style)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not values:
+        return title
+    peak = max(max(values), 1e-12)
+    label_width = max(len(l) for l in labels)
+    lines: List[str] = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, int(round(width * value / peak)))
+        lines.append(f"{label.ljust(label_width)} |{bar.ljust(width)}| {value:6.1f}{unit}")
+    return "\n".join(lines)
+
+
+def format_series(
+    x_values: Sequence[float],
+    series: Sequence[Tuple[str, Sequence[float]]],
+    title: str = "",
+    x_label: str = "T (C)",
+    fmt: str = "{:9.3f}",
+) -> str:
+    """Column-per-series table of y(x) (paper Figs. 1 and 3 style)."""
+    lines: List[str] = [title] if title else []
+    header = f"{x_label:>8s} " + " ".join(f"{name:>9s}" for name, _ in series)
+    lines.append(header)
+    for i, x in enumerate(x_values):
+        row = f"{x:8.1f} " + " ".join(
+            fmt.format(values[i]) for _, values in series
+        )
+        lines.append(row)
+    return "\n".join(lines)

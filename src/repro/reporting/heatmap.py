@@ -1,0 +1,49 @@
+"""ASCII heatmaps of per-tile quantities (temperature, power)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.arch.layout import FabricLayout
+
+SHADES = " .:-=+*#%@"
+"""Ten intensity levels, cold to hot."""
+
+
+def format_heatmap(
+    layout: FabricLayout,
+    values: np.ndarray,
+    title: str = "",
+    legend_unit: str = "C",
+    v_min: Optional[float] = None,
+    v_max: Optional[float] = None,
+) -> str:
+    """Render a per-tile vector as an ASCII die map (row 0 at the bottom).
+
+    Useful for eyeballing the thermal profile Algorithm 1 converges to, or
+    the dynamic-power concentration of a placed design.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.shape != (layout.n_tiles,):
+        raise ValueError(
+            f"value vector shape {values.shape} != ({layout.n_tiles},)"
+        )
+    lo = float(values.min()) if v_min is None else v_min
+    hi = float(values.max()) if v_max is None else v_max
+    span = max(hi - lo, 1e-12)
+
+    rows: List[str] = [title] if title else []
+    for y in reversed(range(layout.height)):
+        cells = []
+        for x in range(layout.width):
+            v = values[layout.tile_index(x, y)]
+            level = int((v - lo) / span * (len(SHADES) - 1) + 0.5)
+            level = min(max(level, 0), len(SHADES) - 1)
+            cells.append(SHADES[level])
+        rows.append("".join(cells))
+    rows.append(
+        f"[{SHADES[0]}]={lo:.2f}{legend_unit}  [{SHADES[-1]}]={hi:.2f}{legend_unit}"
+    )
+    return "\n".join(rows)

@@ -1,0 +1,51 @@
+"""Fixed-width plain-text table formatting for bench output."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render a simple aligned table.
+
+    Cells are stringified; numeric-looking cells are right-aligned.
+    """
+    cells: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row!r}"
+            )
+        cells.append([_fmt(value) for value in row])
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    for index, row in enumerate(cells):
+        rendered = " | ".join(
+            cell.rjust(w) if _is_numeric(cell) else cell.ljust(w)
+            for cell, w in zip(row, widths)
+        )
+        lines.append(rendered)
+        if index == 0:
+            lines.append(sep)
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _is_numeric(cell: str) -> bool:
+    try:
+        float(cell.rstrip("%x"))
+        return True
+    except ValueError:
+        return False

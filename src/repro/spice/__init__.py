@@ -1,0 +1,69 @@
+"""A small MNA circuit simulator — the HSPICE stand-in.
+
+Supports DC operating-point analysis (Newton-Raphson), transient analysis
+(trapezoidal companion models) and the measurement helpers the
+characterization flow needs (propagation delay, static leakage, Monte-Carlo
+threshold variation).
+
+The MOSFET model is the smooth alpha-power law defined in
+:mod:`repro.spice.devices` over the parameters of
+:mod:`repro.technology.ptm22`.
+"""
+
+from repro.spice.devices import (
+    drain_current,
+    effective_resistance,
+    gate_capacitance,
+    drain_capacitance,
+    off_current,
+)
+from repro.spice.netlist import (
+    Capacitor,
+    Circuit,
+    CurrentSource,
+    Mosfet,
+    PiecewiseLinearSource,
+    Resistor,
+    VoltageSource,
+)
+from repro.spice.dc import DCResult, solve_dc
+from repro.spice.transient import TransientResult, simulate_transient
+from repro.spice.measure import (
+    crossing_time,
+    propagation_delay,
+    static_supply_current,
+)
+from repro.spice.montecarlo import sram_weakest_cell_leakage
+from repro.spice.sweep import (
+    SweepResult,
+    dc_sweep,
+    delay_vs_temperature,
+    temperature_sweep,
+)
+
+__all__ = [
+    "Capacitor",
+    "Circuit",
+    "CurrentSource",
+    "DCResult",
+    "Mosfet",
+    "PiecewiseLinearSource",
+    "Resistor",
+    "TransientResult",
+    "VoltageSource",
+    "crossing_time",
+    "drain_capacitance",
+    "drain_current",
+    "effective_resistance",
+    "gate_capacitance",
+    "off_current",
+    "propagation_delay",
+    "SweepResult",
+    "dc_sweep",
+    "delay_vs_temperature",
+    "simulate_transient",
+    "solve_dc",
+    "sram_weakest_cell_leakage",
+    "static_supply_current",
+    "temperature_sweep",
+]

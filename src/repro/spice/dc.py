@@ -1,0 +1,90 @@
+"""Newton-Raphson DC operating-point solver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.spice.netlist import Circuit
+
+MAX_ITERATIONS = 400
+VOLTAGE_TOLERANCE = 1e-9
+RESIDUAL_TOLERANCE = 1e-12
+MAX_STEP_VOLTS = 0.4
+"""Per-iteration Newton step clamp, for global convergence."""
+
+
+class ConvergenceError(RuntimeError):
+    """Raised when the Newton iteration fails to converge."""
+
+
+@dataclass
+class DCResult:
+    """Solved DC operating point."""
+
+    circuit: Circuit
+    x: np.ndarray
+
+    def voltage(self, node_name: str) -> float:
+        """Node voltage in volts."""
+        index = self.circuit.node_index(node_name)
+        if index == 0:
+            return 0.0
+        return float(self.x[index - 1])
+
+    def source_current(self, branch: int = 0) -> float:
+        """Branch current of the given voltage source (amps, out of + pin)."""
+        if branch < 0 or branch >= len(self.circuit.vsources):
+            raise IndexError(f"no voltage source with branch index {branch}")
+        return float(self.x[self.circuit.num_nodes - 1 + branch])
+
+
+def solve_dc(
+    circuit: Circuit,
+    initial_guess: Optional[Dict[str, float]] = None,
+    max_iterations: int = MAX_ITERATIONS,
+) -> DCResult:
+    """Solve the DC operating point of ``circuit``.
+
+    ``initial_guess`` maps node names to starting voltages; unlisted nodes
+    start at 0 V.  Uses damped Newton with a per-step voltage clamp.
+    """
+    x = np.zeros(circuit.num_unknowns)
+    if initial_guess:
+        for name, volts in initial_guess.items():
+            index = circuit.node_index(name)
+            if index != 0:
+                x[index - 1] = volts
+
+    n_voltage_unknowns = circuit.num_nodes - 1
+    for _ in range(max_iterations):
+        jac, res = circuit.assemble(x, time=None)
+        try:
+            dx = np.linalg.solve(jac, -res)
+        except np.linalg.LinAlgError as exc:
+            raise ConvergenceError(
+                f"singular Jacobian in circuit {circuit.title!r}"
+            ) from exc
+        # Clamp voltage updates only; source branch currents move freely.
+        v_step = dx[:n_voltage_unknowns]
+        worst = float(np.max(np.abs(v_step))) if len(v_step) else 0.0
+        if worst > MAX_STEP_VOLTS:
+            dx = dx * (MAX_STEP_VOLTS / worst)
+        x = x + dx
+        if worst < VOLTAGE_TOLERANCE and float(np.max(np.abs(res))) < 1e-6:
+            # Converged on step size; verify residual at the new point.
+            _, res_new = circuit.assemble(x, time=None)
+            if float(np.max(np.abs(res_new))) < max(RESIDUAL_TOLERANCE, 1e-12):
+                return DCResult(circuit, x)
+            if float(np.max(np.abs(res_new))) < 1e-9:
+                return DCResult(circuit, x)
+    # Accept a slightly looser residual rather than failing outright.
+    _, res_final = circuit.assemble(x, time=None)
+    if float(np.max(np.abs(res_final))) < 1e-7:
+        return DCResult(circuit, x)
+    raise ConvergenceError(
+        f"DC analysis of {circuit.title!r} did not converge after "
+        f"{max_iterations} iterations (residual {float(np.max(np.abs(res_final))):.3e})"
+    )

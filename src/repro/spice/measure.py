@@ -1,0 +1,77 @@
+"""Waveform and operating-point measurements (HSPICE ``.measure`` stand-in)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.spice.dc import solve_dc
+from repro.spice.netlist import Circuit
+from repro.spice.transient import TransientResult
+
+
+def crossing_time(
+    times: np.ndarray,
+    waveform: np.ndarray,
+    level: float,
+    direction: str = "rise",
+    start_after: float = 0.0,
+) -> Optional[float]:
+    """First time the waveform crosses ``level`` in the given direction.
+
+    Linearly interpolates between samples; returns ``None`` if there is no
+    crossing after ``start_after``.
+    """
+    if direction not in ("rise", "fall"):
+        raise ValueError(f"direction must be 'rise' or 'fall', got {direction!r}")
+    for i in range(1, len(times)):
+        if times[i] <= start_after:
+            continue
+        v0, v1 = waveform[i - 1], waveform[i]
+        if direction == "rise" and v0 < level <= v1:
+            frac = (level - v0) / (v1 - v0)
+            return float(times[i - 1] + frac * (times[i] - times[i - 1]))
+        if direction == "fall" and v0 > level >= v1:
+            frac = (v0 - level) / (v0 - v1)
+            return float(times[i - 1] + frac * (times[i] - times[i - 1]))
+    return None
+
+
+def propagation_delay(
+    result: TransientResult,
+    input_node: str,
+    output_node: str,
+    vdd: float,
+    input_edge: str = "rise",
+    output_edge: Optional[str] = None,
+) -> float:
+    """50 %-to-50 % propagation delay from input to output, seconds.
+
+    ``output_edge`` defaults to the opposite of ``input_edge`` (a single
+    inverting stage); pass it explicitly for non-inverting paths.
+    """
+    if output_edge is None:
+        output_edge = "fall" if input_edge == "rise" else "rise"
+    mid = vdd / 2.0
+    t_in = crossing_time(result.times, result.waveform(input_node), mid, input_edge)
+    if t_in is None:
+        raise ValueError(f"input {input_node!r} never crosses {mid:g} V")
+    t_out = crossing_time(
+        result.times, result.waveform(output_node), mid, output_edge, start_after=t_in
+    )
+    if t_out is None:
+        raise ValueError(f"output {output_node!r} never crosses {mid:g} V")
+    return t_out - t_in
+
+
+def static_supply_current(circuit: Circuit, supply_branch: int = 0) -> float:
+    """Static (leakage) current drawn from a supply, amps.
+
+    Solves the DC operating point and returns the magnitude of the current
+    delivered by the voltage source with the given branch index.
+    """
+    dc = solve_dc(circuit)
+    # The MNA branch current flows out of the + terminal through the circuit;
+    # a sourcing supply therefore shows a negative branch current.
+    return abs(dc.source_current(supply_branch))

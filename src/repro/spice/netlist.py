@@ -1,0 +1,388 @@
+"""Circuit netlist representation for the MNA simulator.
+
+A :class:`Circuit` owns a set of named nodes (``"0"`` / ``"gnd"`` is ground)
+and a list of elements.  Elements know how to *stamp* themselves into the
+modified-nodal-analysis Jacobian/residual used by the DC and transient
+solvers.
+
+The unknown vector ``x`` is laid out as ``[v_1 .. v_{N-1}, i_V1 .. i_Vk]``:
+node voltages for every non-ground node followed by one branch current per
+voltage source.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.spice.devices import drain_current_and_derivatives
+from repro.technology.ptm22 import DeviceParams
+
+GMIN = 1e-12
+"""Minimum conductance from every node to ground, for conditioning."""
+
+
+class Element:
+    """Base class for netlist elements.
+
+    Subclasses implement :meth:`stamp`, adding their contribution to the
+    Jacobian matrix ``jac`` and residual vector ``res`` given the current
+    solution estimate.  ``res`` holds KCL residuals (sum of currents *leaving*
+    each node) followed by voltage-source constraint residuals.
+    """
+
+    def stamp(
+        self,
+        jac: np.ndarray,
+        res: np.ndarray,
+        x: np.ndarray,
+        circuit: "Circuit",
+        time: Optional[float],
+    ) -> None:
+        raise NotImplementedError
+
+
+def _voltage(x: np.ndarray, node: int) -> float:
+    """Voltage of a node index in the unknown vector (ground is 0 V)."""
+    if node == 0:
+        return 0.0
+    return float(x[node - 1])
+
+
+@dataclass
+class Resistor(Element):
+    """Linear resistor between two nodes."""
+
+    node_a: int
+    node_b: int
+    ohms: float
+
+    def __post_init__(self) -> None:
+        if self.ohms <= 0.0:
+            raise ValueError(f"resistance must be positive, got {self.ohms}")
+
+    def stamp(self, jac, res, x, circuit, time) -> None:
+        g = 1.0 / self.ohms
+        va = _voltage(x, self.node_a)
+        vb = _voltage(x, self.node_b)
+        i = g * (va - vb)
+        for node, sign in ((self.node_a, 1.0), (self.node_b, -1.0)):
+            if node == 0:
+                continue
+            row = node - 1
+            res[row] += sign * i
+            if self.node_a != 0:
+                jac[row, self.node_a - 1] += sign * g
+            if self.node_b != 0:
+                jac[row, self.node_b - 1] -= sign * g
+
+
+@dataclass
+class Capacitor(Element):
+    """Linear capacitor; open circuit in DC, companion model in transient."""
+
+    node_a: int
+    node_b: int
+    farads: float
+    # Transient state, managed by the transient solver.
+    _v_prev: float = field(default=0.0, repr=False)
+    _i_prev: float = field(default=0.0, repr=False)
+    _geq: float = field(default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.farads < 0.0:
+            raise ValueError(f"capacitance must be non-negative, got {self.farads}")
+
+    def begin_step(self, timestep: float, method: str) -> None:
+        """Prepare the companion model for the next transient step."""
+        if method == "trap":
+            self._geq = 2.0 * self.farads / timestep
+        elif method == "be":
+            self._geq = self.farads / timestep
+        else:
+            raise ValueError(f"unknown integration method {method!r}")
+        self._method = method
+
+    def end_step(self, x: np.ndarray) -> None:
+        """Record branch voltage/current after a converged transient step."""
+        v = _voltage(x, self.node_a) - _voltage(x, self.node_b)
+        if getattr(self, "_method", "trap") == "trap":
+            i = self._geq * (v - self._v_prev) - self._i_prev
+        else:
+            i = self._geq * (v - self._v_prev)
+        self._v_prev = v
+        self._i_prev = i
+
+    def set_initial_voltage(self, volts: float) -> None:
+        self._v_prev = volts
+        self._i_prev = 0.0
+
+    def stamp(self, jac, res, x, circuit, time) -> None:
+        if time is None:
+            return  # open in DC
+        v = _voltage(x, self.node_a) - _voltage(x, self.node_b)
+        if getattr(self, "_method", "trap") == "trap":
+            i = self._geq * (v - self._v_prev) - self._i_prev
+        else:
+            i = self._geq * (v - self._v_prev)
+        for node, sign in ((self.node_a, 1.0), (self.node_b, -1.0)):
+            if node == 0:
+                continue
+            row = node - 1
+            res[row] += sign * i
+            if self.node_a != 0:
+                jac[row, self.node_a - 1] += sign * self._geq
+            if self.node_b != 0:
+                jac[row, self.node_b - 1] -= sign * self._geq
+
+
+@dataclass
+class CurrentSource(Element):
+    """Ideal current source pushing ``amps`` from node_a to node_b."""
+
+    node_a: int
+    node_b: int
+    amps: float
+
+    def stamp(self, jac, res, x, circuit, time) -> None:
+        if self.node_a != 0:
+            res[self.node_a - 1] += self.amps
+        if self.node_b != 0:
+            res[self.node_b - 1] -= self.amps
+
+
+@dataclass
+class VoltageSource(Element):
+    """Ideal voltage source; constant or time-dependent via a callable."""
+
+    node_pos: int
+    node_neg: int
+    volts: Union[float, Callable[[float], float]]
+    branch_index: int = -1
+    """Index of this source's branch-current unknown; set by the Circuit."""
+
+    def value(self, time: Optional[float]) -> float:
+        if callable(self.volts):
+            return float(self.volts(0.0 if time is None else time))
+        return float(self.volts)
+
+    def stamp(self, jac, res, x, circuit, time) -> None:
+        n_nodes = circuit.num_nodes - 1
+        branch_row = n_nodes + self.branch_index
+        i_branch = float(x[branch_row])
+        # Branch current flows out of the positive terminal through the
+        # external circuit: it *leaves* node_pos and *enters* node_neg.
+        if self.node_pos != 0:
+            res[self.node_pos - 1] += i_branch
+            jac[self.node_pos - 1, branch_row] += 1.0
+        if self.node_neg != 0:
+            res[self.node_neg - 1] -= i_branch
+            jac[self.node_neg - 1, branch_row] -= 1.0
+        v = _voltage(x, self.node_pos) - _voltage(x, self.node_neg)
+        res[branch_row] += v - self.value(time)
+        if self.node_pos != 0:
+            jac[branch_row, self.node_pos - 1] += 1.0
+        if self.node_neg != 0:
+            jac[branch_row, self.node_neg - 1] -= 1.0
+
+
+class PiecewiseLinearSource:
+    """Callable piecewise-linear waveform for a :class:`VoltageSource`.
+
+    ``points`` is a sequence of ``(time, volts)`` pairs sorted by time; the
+    waveform holds the first/last value outside the given range.
+    """
+
+    def __init__(self, points: Sequence[Tuple[float, float]]):
+        if not points:
+            raise ValueError("PWL source needs at least one point")
+        times = [p[0] for p in points]
+        if any(t2 <= t1 for t1, t2 in zip(times, times[1:])):
+            raise ValueError("PWL times must be strictly increasing")
+        self._times = times
+        self._values = [p[1] for p in points]
+
+    def __call__(self, time: float) -> float:
+        times, values = self._times, self._values
+        if time <= times[0]:
+            return values[0]
+        if time >= times[-1]:
+            return values[-1]
+        idx = bisect.bisect_right(times, time)
+        t0, t1 = times[idx - 1], times[idx]
+        v0, v1 = values[idx - 1], values[idx]
+        frac = (time - t0) / (t1 - t0)
+        return v0 + frac * (v1 - v0)
+
+
+def step_waveform(
+    t_step: float, v_low: float, v_high: float, t_rise: float
+) -> PiecewiseLinearSource:
+    """A low-to-high ramp starting at ``t_step`` with the given rise time."""
+    return PiecewiseLinearSource(
+        [(0.0, v_low), (t_step, v_low), (t_step + t_rise, v_high)]
+    )
+
+
+@dataclass
+class Mosfet(Element):
+    """MOSFET instance; NMOS or PMOS per its :class:`DeviceParams` flavour."""
+
+    params: DeviceParams
+    drain: int
+    gate: int
+    source: int
+    width: float
+    t_kelvin: float
+
+    def __post_init__(self) -> None:
+        if self.width <= 0.0:
+            raise ValueError(f"width must be positive, got {self.width}")
+        if self.t_kelvin <= 0.0:
+            raise ValueError(f"temperature must be positive, got {self.t_kelvin}")
+
+    def channel_current(
+        self, x: np.ndarray
+    ) -> Tuple[float, float, float, float]:
+        """Return ``(i_ds, di/dVd, di/dVg, di/dVs)``.
+
+        ``i_ds`` is the current flowing from the drain terminal to the source
+        terminal through the channel (negative for a conducting PMOS).
+        """
+        vd = _voltage(x, self.drain)
+        vg = _voltage(x, self.gate)
+        vs = _voltage(x, self.source)
+        mirror = self.params.polarity == "p"
+        if mirror:
+            vd, vg, vs = -vd, -vg, -vs
+        if vd >= vs:
+            i, gm, gds = drain_current_and_derivatives(
+                self.params, vg - vs, vd - vs, self.width, self.t_kelvin
+            )
+            did = (gds, gm, -(gm + gds))
+        else:
+            # Channel symmetry: the lower-potential terminal acts as source.
+            i, gm, gds = drain_current_and_derivatives(
+                self.params, vg - vd, vs - vd, self.width, self.t_kelvin
+            )
+            i = -i
+            did = (gm + gds, -gm, -gds)
+        if mirror:
+            # i(v) = -f(-v)  =>  di/dv = f'(-v): derivatives unchanged.
+            i = -i
+        return (i,) + did
+
+    def stamp(self, jac, res, x, circuit, time) -> None:
+        i_ds, d_vd, d_vg, d_vs = self.channel_current(x)
+        terminals = ((self.drain, d_vd), (self.gate, d_vg), (self.source, d_vs))
+        for node, sign in ((self.drain, 1.0), (self.source, -1.0)):
+            if node == 0:
+                continue
+            row = node - 1
+            res[row] += sign * i_ds
+            for term, deriv in terminals:
+                if term != 0:
+                    jac[row, term - 1] += sign * deriv
+
+
+class Circuit:
+    """A flat circuit: named nodes plus a list of elements."""
+
+    def __init__(self, title: str = ""):
+        self.title = title
+        self._nodes: Dict[str, int] = {"0": 0, "gnd": 0}
+        self._names: List[str] = ["0"]
+        self.elements: List[Element] = []
+        self.vsources: List[VoltageSource] = []
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes including ground."""
+        return len(self._names)
+
+    @property
+    def num_unknowns(self) -> int:
+        return self.num_nodes - 1 + len(self.vsources)
+
+    def node(self, name: str) -> int:
+        """Return the index for a node name, creating it if new."""
+        if name not in self._nodes:
+            self._nodes[name] = len(self._names)
+            self._names.append(name)
+        return self._nodes[name]
+
+    def node_name(self, index: int) -> str:
+        return self._names[index]
+
+    def node_index(self, name: str) -> int:
+        """Return the index of an existing node, or raise ``KeyError``."""
+        if name not in self._nodes:
+            raise KeyError(f"unknown node {name!r} in circuit {self.title!r}")
+        return self._nodes[name]
+
+    # -- convenience constructors -------------------------------------------
+
+    def resistor(self, a: str, b: str, ohms: float) -> Resistor:
+        elem = Resistor(self.node(a), self.node(b), ohms)
+        self.elements.append(elem)
+        return elem
+
+    def capacitor(self, a: str, b: str, farads: float) -> Capacitor:
+        elem = Capacitor(self.node(a), self.node(b), farads)
+        self.elements.append(elem)
+        return elem
+
+    def current_source(self, a: str, b: str, amps: float) -> CurrentSource:
+        elem = CurrentSource(self.node(a), self.node(b), amps)
+        self.elements.append(elem)
+        return elem
+
+    def voltage_source(
+        self, pos: str, neg: str, volts: Union[float, Callable[[float], float]]
+    ) -> VoltageSource:
+        elem = VoltageSource(self.node(pos), self.node(neg), volts)
+        elem.branch_index = len(self.vsources)
+        self.vsources.append(elem)
+        self.elements.append(elem)
+        return elem
+
+    def mosfet(
+        self,
+        params: DeviceParams,
+        drain: str,
+        gate: str,
+        source: str,
+        width: float,
+        t_kelvin: float,
+    ) -> Mosfet:
+        elem = Mosfet(
+            params, self.node(drain), self.node(gate), self.node(source), width, t_kelvin
+        )
+        self.elements.append(elem)
+        return elem
+
+    def capacitors(self) -> List[Capacitor]:
+        return [e for e in self.elements if isinstance(e, Capacitor)]
+
+    def assemble(
+        self, x: np.ndarray, time: Optional[float]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Build the Jacobian and residual at estimate ``x``.
+
+        Returns ``(jac, res)`` such that the Newton update solves
+        ``jac @ dx = -res``.
+        """
+        n = self.num_unknowns
+        jac = np.zeros((n, n))
+        res = np.zeros(n)
+        # gmin conditioning on every node.
+        for node in range(1, self.num_nodes):
+            jac[node - 1, node - 1] += GMIN
+            res[node - 1] += GMIN * float(x[node - 1])
+        for elem in self.elements:
+            elem.stamp(jac, res, x, self, time)
+        return jac, res

@@ -1,0 +1,116 @@
+"""Parameter sweeps over circuits (HSPICE ``.dc``/``.temp`` stand-ins).
+
+The characterization flow (paper Fig. 5a) is built on sweeps: DC transfer
+curves, leakage-vs-temperature, delay-vs-temperature.  These helpers drive
+the MNA solvers over a parameter grid and collect the measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.spice.dc import solve_dc
+from repro.spice.measure import propagation_delay
+from repro.spice.netlist import Circuit, VoltageSource
+from repro.spice.transient import simulate_transient
+
+
+@dataclass
+class SweepResult:
+    """Parameter grid plus one measurement array per probe."""
+
+    parameter: str
+    values: np.ndarray
+    measurements: Dict[str, np.ndarray]
+
+    def of(self, probe: str) -> np.ndarray:
+        try:
+            return self.measurements[probe]
+        except KeyError:
+            raise KeyError(
+                f"unknown probe {probe!r}; known: {sorted(self.measurements)}"
+            ) from None
+
+
+def dc_sweep(
+    circuit: Circuit,
+    source: VoltageSource,
+    values: Sequence[float],
+    probe_nodes: Sequence[str],
+    initial_guess: Optional[Dict[str, float]] = None,
+) -> SweepResult:
+    """Sweep a voltage source and record node voltages at each DC point.
+
+    The previous solution warm-starts each point, the way SPICE steps a
+    ``.dc`` sweep, so sharp transfer-curve transitions converge reliably.
+    """
+    if len(values) == 0:
+        raise ValueError("need at least one sweep value")
+    grid = np.asarray(values, dtype=float)
+    traces: Dict[str, List[float]] = {node: [] for node in probe_nodes}
+    guess = dict(initial_guess or {})
+    for value in grid:
+        source.volts = float(value)
+        result = solve_dc(circuit, initial_guess=guess)
+        for node in probe_nodes:
+            traces[node].append(result.voltage(node))
+        guess = {
+            circuit.node_name(i): float(result.x[i - 1])
+            for i in range(1, circuit.num_nodes)
+        }
+    return SweepResult(
+        parameter="volts",
+        values=grid,
+        measurements={k: np.asarray(v) for k, v in traces.items()},
+    )
+
+
+def temperature_sweep(
+    build_circuit: Callable[[float], Circuit],
+    temps_kelvin: Sequence[float],
+    measure: Callable[[Circuit], float],
+    probe: str = "value",
+) -> SweepResult:
+    """Rebuild + measure a circuit across temperatures (``.temp`` sweep).
+
+    ``build_circuit`` receives the temperature in kelvin and returns a
+    fresh circuit (device temperature is an element property in this
+    simulator); ``measure`` extracts one number from it.
+    """
+    if len(temps_kelvin) == 0:
+        raise ValueError("need at least one temperature")
+    grid = np.asarray(temps_kelvin, dtype=float)
+    values = np.array([measure(build_circuit(float(t))) for t in grid])
+    return SweepResult(parameter="t_kelvin", values=grid,
+                       measurements={probe: values})
+
+
+def delay_vs_temperature(
+    build_circuit: Callable[[float], Circuit],
+    temps_kelvin: Sequence[float],
+    input_node: str,
+    output_node: str,
+    vdd: float,
+    t_stop: float,
+    timestep: float,
+    input_edge: str = "rise",
+    output_edge: Optional[str] = None,
+) -> SweepResult:
+    """Transient propagation delay across a temperature grid.
+
+    The full-simulation counterpart of the Elmore models in
+    :mod:`repro.coffe.subcircuits` — used to validate them in the tests.
+    """
+
+    def measure(circuit: Circuit) -> float:
+        result = simulate_transient(
+            circuit, t_stop, timestep, record_nodes=[input_node, output_node]
+        )
+        return propagation_delay(
+            result, input_node, output_node, vdd, input_edge, output_edge
+        )
+
+    return temperature_sweep(build_circuit, temps_kelvin, measure, probe="delay_s")

@@ -1,0 +1,102 @@
+"""Fixed-step transient analysis with trapezoidal (or backward-Euler)
+capacitor companion models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.spice.dc import ConvergenceError, solve_dc
+from repro.spice.netlist import Circuit
+
+_NEWTON_MAX = 120
+_STEP_CLAMP = 0.5
+
+
+@dataclass
+class TransientResult:
+    """Waveforms from a transient run: ``times`` plus per-node voltages."""
+
+    circuit: Circuit
+    times: np.ndarray
+    voltages: Dict[str, np.ndarray]
+
+    def waveform(self, node_name: str) -> np.ndarray:
+        try:
+            return self.voltages[node_name]
+        except KeyError:
+            raise KeyError(
+                f"node {node_name!r} was not recorded; recorded nodes: "
+                f"{sorted(self.voltages)}"
+            ) from None
+
+
+def simulate_transient(
+    circuit: Circuit,
+    t_stop: float,
+    timestep: float,
+    record_nodes: Optional[List[str]] = None,
+    method: str = "trap",
+    dc_initial_guess: Optional[Dict[str, float]] = None,
+) -> TransientResult:
+    """Simulate ``circuit`` from a DC initial point to ``t_stop``.
+
+    The initial condition is the DC operating point with every time-varying
+    source evaluated at ``t = 0``.  ``record_nodes`` defaults to every node.
+    """
+    if timestep <= 0.0 or t_stop <= timestep:
+        raise ValueError("need 0 < timestep < t_stop")
+    if record_nodes is None:
+        record_nodes = [circuit.node_name(i) for i in range(1, circuit.num_nodes)]
+
+    dc = solve_dc(circuit, initial_guess=dc_initial_guess)
+    x = dc.x.copy()
+    capacitors = circuit.capacitors()
+    for cap in capacitors:
+        va = 0.0 if cap.node_a == 0 else float(x[cap.node_a - 1])
+        vb = 0.0 if cap.node_b == 0 else float(x[cap.node_b - 1])
+        cap.set_initial_voltage(va - vb)
+
+    n_steps = int(round(t_stop / timestep))
+    times = np.linspace(0.0, n_steps * timestep, n_steps + 1)
+    traces = {name: np.zeros(n_steps + 1) for name in record_nodes}
+    node_rows = {name: circuit.node_index(name) for name in record_nodes}
+    for name, idx in node_rows.items():
+        traces[name][0] = 0.0 if idx == 0 else float(x[idx - 1])
+
+    n_voltage_unknowns = circuit.num_nodes - 1
+    for step in range(1, n_steps + 1):
+        t_now = times[step]
+        for cap in capacitors:
+            cap.begin_step(timestep, method)
+        # Newton at this timepoint, warm-started from the previous solution.
+        converged = False
+        for _ in range(_NEWTON_MAX):
+            jac, res = circuit.assemble(x, time=t_now)
+            try:
+                dx = np.linalg.solve(jac, -res)
+            except np.linalg.LinAlgError as exc:
+                raise ConvergenceError(
+                    f"singular Jacobian at t={t_now:g}s in {circuit.title!r}"
+                ) from exc
+            v_step = dx[:n_voltage_unknowns]
+            worst = float(np.max(np.abs(v_step))) if len(v_step) else 0.0
+            if worst > _STEP_CLAMP:
+                dx = dx * (_STEP_CLAMP / worst)
+            x = x + dx
+            if worst < 1e-9:
+                converged = True
+                break
+        if not converged:
+            raise ConvergenceError(
+                f"transient Newton did not converge at t={t_now:g}s "
+                f"in {circuit.title!r}"
+            )
+        for cap in capacitors:
+            cap.end_step(x)
+        for name, idx in node_rows.items():
+            traces[name][step] = 0.0 if idx == 0 else float(x[idx - 1])
+
+    return TransientResult(circuit, times, traces)

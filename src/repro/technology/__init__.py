@@ -1,0 +1,49 @@
+"""22 nm predictive-technology-style device parameters and temperature laws.
+
+This package is the stand-in for the PTM 22 nm SPICE models the paper feeds
+to HSPICE.  It exposes two flavours of transistor:
+
+- :data:`HP_NMOS` / :data:`HP_PMOS` — high-performance (low-Vth) devices used
+  for the FPGA soft fabric and DSP block.
+- :data:`LP_NMOS` / :data:`LP_PMOS` — low-power (high-Vth) devices used for
+  the BRAM core, as the paper does.
+
+All temperatures at this layer are in Kelvin; the rest of the library works
+in Celsius and converts at the boundary (:func:`celsius_to_kelvin`).
+"""
+
+from repro.technology.ptm22 import (
+    HP_NMOS,
+    HP_PMOS,
+    LP_NMOS,
+    LP_PMOS,
+    VDD_NOMINAL,
+    VDD_LOW_POWER,
+    DeviceParams,
+    device_by_name,
+)
+from repro.technology.temperature import (
+    T_REFERENCE_K,
+    celsius_to_kelvin,
+    kelvin_to_celsius,
+    mobility_factor,
+    thermal_voltage,
+    threshold_voltage,
+)
+
+__all__ = [
+    "DeviceParams",
+    "HP_NMOS",
+    "HP_PMOS",
+    "LP_NMOS",
+    "LP_PMOS",
+    "T_REFERENCE_K",
+    "VDD_LOW_POWER",
+    "VDD_NOMINAL",
+    "celsius_to_kelvin",
+    "device_by_name",
+    "kelvin_to_celsius",
+    "mobility_factor",
+    "thermal_voltage",
+    "threshold_voltage",
+]

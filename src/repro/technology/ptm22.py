@@ -1,0 +1,170 @@
+"""22 nm predictive-technology-style device parameters.
+
+The paper feeds PTM 22 nm high-performance models to HSPICE for the soft
+fabric and the PTM low-power (high-Vth) flavour for the BRAM core.  We keep
+the same split.  Parameter values are chosen so that the characterization
+flow (:mod:`repro.coffe.characterize`) lands on the paper's Table II fits at
+the 25 Celsius corner; the temperature behaviour then follows from the
+physical laws in :mod:`repro.technology.temperature`.
+
+Widths are expressed in multiples of the minimum width ``W_MIN``; drawn
+channel length is fixed at the technology's minimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+VDD_NOMINAL = 0.8
+"""Nominal supply of the soft fabric, volts (paper Table I)."""
+
+VDD_LOW_POWER = 0.95
+"""Boosted supply of the low-power BRAM core, volts (paper Table I)."""
+
+W_MIN_M = 22e-9
+"""Minimum transistor width in metres; widths elsewhere are multiples of it."""
+
+
+@dataclass(frozen=True)
+class DeviceParams:
+    """Alpha-power-law MOSFET parameters for one device flavour.
+
+    The drain current model (evaluated in :mod:`repro.spice.devices`) is
+
+    ``Id = k(T) * W * Vgt_eff^alpha * (1 - exp(-Vds/Vdsat)) * (1 + lam*Vds)``
+
+    with the smooth EKV-style overdrive
+    ``Vgt_eff = n*vt * ln(1 + exp((Vgs - Vth(T)) / (n*vt)))`` which supplies
+    the subthreshold exponential automatically.
+    """
+
+    name: str
+    polarity: str
+    """'n' or 'p'."""
+    vth0: float
+    """Threshold-voltage magnitude at 25 Celsius, volts."""
+    kvt: float
+    """Vth temperature coefficient, volts per kelvin (Vth drops as T rises)."""
+    k_drive: float
+    """Transconductance at 25 C, amps per (unit width * volt^alpha)."""
+    alpha: float
+    """Alpha-power saturation exponent."""
+    mu_exp: float
+    """Mobility degradation exponent: k(T) = k_drive * (T/T0)^-mu_exp."""
+    subthreshold_n: float
+    """Subthreshold slope factor n (I ~ exp(Vgs/(n*vt)))."""
+    lam: float
+    """Channel-length modulation, 1/volt."""
+    vdsat: float
+    """Saturation smoothing voltage, volts."""
+    c_gate: float
+    """Gate capacitance per unit width, farads."""
+    c_drain: float
+    """Drain junction capacitance per unit width, farads."""
+    gate_leak_fraction: float = 0.93
+    """Share of total static leakage at 25 C that is gate/junction leakage.
+
+    Deep-nano planar devices leak through the thin gate oxide and the
+    junctions as well as the subthreshold channel; those components have a
+    far weaker temperature dependence (Arrhenius with a small activation
+    energy) than the subthreshold exponential.  The blend reproduces the
+    shallow ``~e^{0.014 T}`` leakage fits of paper Table II.
+    """
+    gate_leak_ea_ev: float = 0.10
+    """Arrhenius activation energy of the gate/junction component, eV."""
+
+    def __post_init__(self) -> None:
+        if self.polarity not in ("n", "p"):
+            raise ValueError(f"polarity must be 'n' or 'p', got {self.polarity!r}")
+        if self.vth0 <= 0.0 or self.k_drive <= 0.0:
+            raise ValueError("vth0 and k_drive must be positive")
+        if self.alpha < 1.0 or self.alpha > 2.0:
+            raise ValueError(f"alpha-power exponent out of range: {self.alpha}")
+
+    def scaled(self, **changes: float) -> "DeviceParams":
+        """Return a copy with the given fields replaced (e.g. Monte Carlo Vth)."""
+        return replace(self, **changes)
+
+
+# High-performance (low-Vth) devices: FPGA soft fabric and DSP block.
+# k_drive and capacitances are calibrated so a COFFE-sized fabric reproduces
+# the Table II delay fits at the 25 C corner; mu_exp/kvt set the
+# temperature sensitivity the paper measures (Fig. 1).
+HP_NMOS = DeviceParams(
+    name="hp_nmos",
+    polarity="n",
+    vth0=0.32,
+    kvt=0.30e-3,
+    k_drive=5.2e-4,
+    alpha=1.25,
+    mu_exp=2.05,
+    subthreshold_n=1.45,
+    lam=0.10,
+    vdsat=0.25,
+    c_gate=0.90e-16,
+    c_drain=0.55e-16,
+)
+
+HP_PMOS = DeviceParams(
+    name="hp_pmos",
+    polarity="p",
+    vth0=0.30,
+    kvt=0.28e-3,
+    k_drive=2.6e-4,
+    alpha=1.30,
+    mu_exp=1.95,
+    subthreshold_n=1.45,
+    lam=0.11,
+    vdsat=0.28,
+    c_gate=0.95e-16,
+    c_drain=0.60e-16,
+)
+
+# Low-power (high-Vth) devices: BRAM core (paper Sec. IV-A).  The high Vth
+# makes subthreshold leakage negligible, so the total is dominated by the
+# near-flat gate/junction component — matching the almost-quadratic
+# ``6.2 + (T/70)^2`` BRAM leakage fit of paper Table II.
+LP_NMOS = DeviceParams(
+    name="lp_nmos",
+    polarity="n",
+    vth0=0.45,
+    kvt=0.32e-3,
+    k_drive=3.4e-4,
+    alpha=1.30,
+    mu_exp=2.10,
+    subthreshold_n=1.50,
+    lam=0.08,
+    vdsat=0.25,
+    c_gate=0.95e-16,
+    c_drain=0.60e-16,
+    gate_leak_fraction=0.985,
+    gate_leak_ea_ev=0.03,
+)
+
+LP_PMOS = DeviceParams(
+    name="lp_pmos",
+    polarity="p",
+    vth0=0.43,
+    kvt=0.30e-3,
+    k_drive=1.7e-4,
+    alpha=1.35,
+    mu_exp=2.20,
+    subthreshold_n=1.50,
+    lam=0.09,
+    vdsat=0.28,
+    c_gate=1.0e-16,
+    c_drain=0.65e-16,
+    gate_leak_fraction=0.985,
+    gate_leak_ea_ev=0.03,
+)
+
+_DEVICES = {d.name: d for d in (HP_NMOS, HP_PMOS, LP_NMOS, LP_PMOS)}
+
+
+def device_by_name(name: str) -> DeviceParams:
+    """Look up one of the built-in device flavours by name."""
+    try:
+        return _DEVICES[name]
+    except KeyError:
+        known = ", ".join(sorted(_DEVICES))
+        raise KeyError(f"unknown device {name!r}; known devices: {known}") from None

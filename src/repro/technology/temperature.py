@@ -1,0 +1,73 @@
+"""Temperature scaling laws shared by every device model.
+
+Three physical effects drive everything the paper measures:
+
+- carrier **mobility** degrades with temperature, ``mu(T) = mu0 (T/T0)^-m``
+  with ``m ~ 1.5`` — transistors get weaker, delays grow near-linearly over
+  the 0..100 Celsius range (paper Fig. 1, Table II delay columns);
+- the **threshold voltage** drops with temperature,
+  ``Vth(T) = Vth0 - kvt (T - T0)`` — partially compensating drive loss and
+  exponentially boosting subthreshold leakage (Table II Plkg columns);
+- the **thermal voltage** ``kT/q`` grows, widening the subthreshold slope.
+"""
+
+from __future__ import annotations
+
+import math
+
+BOLTZMANN_OVER_Q = 8.617333262e-5
+"""Boltzmann constant over elementary charge, in volts per kelvin."""
+
+T_REFERENCE_K = 298.15
+"""Reference (characterization base) temperature: 25 Celsius, in kelvin."""
+
+ZERO_CELSIUS_K = 273.15
+
+
+def celsius_to_kelvin(t_celsius: float) -> float:
+    """Convert a Celsius temperature to kelvin."""
+    return t_celsius + ZERO_CELSIUS_K
+
+
+def kelvin_to_celsius(t_kelvin: float) -> float:
+    """Convert a kelvin temperature to Celsius."""
+    return t_kelvin - ZERO_CELSIUS_K
+
+
+def thermal_voltage(t_kelvin: float) -> float:
+    """Thermal voltage ``kT/q`` in volts at the given temperature."""
+    if t_kelvin <= 0.0:
+        raise ValueError(f"temperature must be positive, got {t_kelvin} K")
+    return BOLTZMANN_OVER_Q * t_kelvin
+
+
+def mobility_factor(t_kelvin: float, exponent: float = 1.5) -> float:
+    """Mobility degradation factor ``(T/T0)^-exponent`` relative to 25 C.
+
+    Multiplies the reference transconductance; below 1 above 25 Celsius.
+    """
+    if t_kelvin <= 0.0:
+        raise ValueError(f"temperature must be positive, got {t_kelvin} K")
+    return (t_kelvin / T_REFERENCE_K) ** (-exponent)
+
+
+def threshold_voltage(vth0: float, t_kelvin: float, kvt: float) -> float:
+    """Threshold voltage at temperature, ``Vth0 - kvt (T - T0)``.
+
+    ``vth0`` is the magnitude at 25 Celsius and ``kvt`` the (positive)
+    temperature coefficient in volts per kelvin; the returned magnitude
+    shrinks as the die heats up.
+    """
+    return vth0 - kvt * (t_kelvin - T_REFERENCE_K)
+
+
+def arrhenius_scale(t_kelvin: float, activation_ev: float) -> float:
+    """Arrhenius-style scale ``exp(Ea/k * (1/T0 - 1/T))`` relative to 25 C.
+
+    Used for junction/gate leakage components that are thermally activated.
+    """
+    if t_kelvin <= 0.0:
+        raise ValueError(f"temperature must be positive, got {t_kelvin} K")
+    inv_ref = 1.0 / T_REFERENCE_K
+    inv_t = 1.0 / t_kelvin
+    return math.exp(activation_ev / BOLTZMANN_OVER_Q * (inv_ref - inv_t))

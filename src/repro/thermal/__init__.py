@@ -1,0 +1,13 @@
+"""Steady-state grid thermal simulation (HotSpot 6.0 stand-in)."""
+
+from repro.thermal.package import ThermalPackage
+from repro.thermal.hotspot import ThermalSolver, xpe_cross_validation
+from repro.thermal.transient import TransientResult, TransientThermalSolver
+
+__all__ = [
+    "ThermalPackage",
+    "ThermalSolver",
+    "TransientResult",
+    "TransientThermalSolver",
+    "xpe_cross_validation",
+]

@@ -1,0 +1,82 @@
+"""Steady-state grid thermal solver (HotSpot stand-in).
+
+One thermal node per FPGA tile (paper footnote 2: "an FPGA tile comprises a
+logic cluster (or other hard-cores) and its neighboring routing
+resources").  Energy balance per tile::
+
+    sum_j g_lat (T_j - T_i) + g_vert (T_amb - T_i) + P_i = 0
+
+assembled as a sparse SPD system and solved directly.  Algorithm 1 (line 7)
+calls :meth:`ThermalSolver.solve` once per iteration with the updated
+per-tile power vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+from scipy.sparse import csr_matrix, lil_matrix
+from scipy.sparse.linalg import spsolve
+
+from repro.arch.layout import FabricLayout
+from repro.thermal.package import ThermalPackage
+
+
+class ThermalSolver:
+    """Pre-factored steady-state solver for one layout/package pair."""
+
+    def __init__(
+        self,
+        layout: FabricLayout,
+        package: Optional[ThermalPackage] = None,
+    ):
+        self.layout = layout
+        self.package = package or ThermalPackage()
+        n = layout.n_tiles
+        g_lat = self.package.g_lateral_w_per_k
+        g_vert = self.package.g_vertical_w_per_k
+
+        matrix = lil_matrix((n, n))
+        for tile in layout.tiles():
+            i = layout.tile_index(tile.x, tile.y)
+            diag = g_vert
+            for nx, ny in layout.neighbors(tile.x, tile.y):
+                j = layout.tile_index(nx, ny)
+                matrix[i, j] = -g_lat
+                diag += g_lat
+            matrix[i, i] = diag
+        self._conductance = csr_matrix(matrix)
+
+    def solve(self, power_w: np.ndarray, t_ambient: float) -> np.ndarray:
+        """Steady-state tile temperatures (Celsius) for a power vector (W)."""
+        power_w = np.asarray(power_w, dtype=float)
+        if power_w.shape != (self.layout.n_tiles,):
+            raise ValueError(
+                f"power vector shape {power_w.shape} != ({self.layout.n_tiles},)"
+            )
+        if np.any(power_w < 0.0):
+            raise ValueError("negative tile power")
+        rhs = power_w + self.package.g_vertical_w_per_k * t_ambient
+        return np.asarray(spsolve(self._conductance, rhs))
+
+    def average_rise(self, power_w: np.ndarray, t_ambient: float) -> float:
+        """Mean die temperature rise above ambient, Celsius."""
+        return float(self.solve(power_w, t_ambient).mean() - t_ambient)
+
+
+def xpe_cross_validation(
+    design_power_w: float,
+    base_power_w: float,
+    coefficient: float = 0.7,
+) -> float:
+    """Xilinx-Power-Estimator-style sanity check (paper Sec. IV-A).
+
+    The paper cross-validates its thermal simulations against the XPE
+    spreadsheet's sensitivity: ``dT ~= 0.7 * p_design / p_base``.  Returns
+    the predicted average temperature rise in Celsius.
+    """
+    if base_power_w <= 0.0:
+        raise ValueError("base (leakage) power must be positive")
+    return coefficient * design_power_w / base_power_w

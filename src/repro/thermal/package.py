@@ -1,0 +1,39 @@
+"""Thermal package parameters.
+
+The grid model couples each tile vertically to the ambient (through the
+die, heat spreader, sink and interface layers, lumped into one conductance)
+and laterally to its grid neighbours (silicon conduction).
+
+Defaults are calibrated to the operating points the paper reports:
+
+- for the (scaled) VTR designs at `Tamb = 25 C`, the die settles ~2 C above
+  ambient ("due to relatively low switching rate, the temperature converged
+  after ~2 C increase", Sec. IV-B);
+- high-activity hard-block regions can sit several degrees above the rest of
+  the die (on-chip variation "can reach above 20 C" on large devices,
+  Sec. II — proportionally smaller on our 1:100-scaled designs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ThermalPackage:
+    """Lumped package description for the grid solver."""
+
+    g_vertical_w_per_k: float = 3.0e-5
+    """Tile-to-ambient conductance (die + spreader + sink share), W/K."""
+
+    g_lateral_w_per_k: float = 2.0e-4
+    """Tile-to-neighbour lateral conductance through the silicon, W/K."""
+
+    def __post_init__(self) -> None:
+        if self.g_vertical_w_per_k <= 0.0 or self.g_lateral_w_per_k < 0.0:
+            raise ValueError("conductances must be positive")
+
+    @property
+    def rth_tile_k_per_w(self) -> float:
+        """Vertical thermal resistance of one isolated tile, K/W."""
+        return 1.0 / self.g_vertical_w_per_k

@@ -1,0 +1,123 @@
+"""Transient thermal simulation (the dynamic counterpart of the grid model).
+
+The steady-state solver answers Algorithm 1's question; the transient model
+answers *how fast* the die approaches that fixed point after a workload or
+power step — relevant when judging how often a deployed system would need
+to re-evaluate its thermal profile (the paper performs the analysis
+offline, once per application, which this model justifies: thermal time
+constants are orders of magnitude above clock periods).
+
+Per-tile heat capacity ``c_tile`` plus the steady-state conductance matrix
+``G`` give ``C dT/dt = P - G (T - T_amb·e)``; integrated with backward
+Euler (unconditionally stable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+from scipy.sparse import identity
+from scipy.sparse.linalg import factorized, spsolve
+
+from repro.arch.layout import FabricLayout
+from repro.thermal.hotspot import ThermalSolver
+from repro.thermal.package import ThermalPackage
+
+TILE_HEAT_CAPACITY_J_PER_K = 2.0e-6
+"""Lumped heat capacity of one tile (silicon + nearby package share), J/K."""
+
+
+@dataclass
+class TransientResult:
+    """Temperature trajectories of a transient run."""
+
+    times_s: np.ndarray
+    temperatures: np.ndarray
+    """Shape (n_steps + 1, n_tiles), Celsius."""
+
+    def tile_trace(self, tile_index: int) -> np.ndarray:
+        return self.temperatures[:, tile_index]
+
+    def final(self) -> np.ndarray:
+        return self.temperatures[-1]
+
+    def settling_time_s(
+        self, steady: np.ndarray, tolerance_celsius: float = 0.5
+    ) -> float:
+        """First time every tile is within tolerance of steady state."""
+        within = np.all(
+            np.abs(self.temperatures - steady[None, :]) <= tolerance_celsius,
+            axis=1,
+        )
+        # Require it to *stay* within tolerance from that point on.
+        for i in range(len(within)):
+            if within[i:].all():
+                return float(self.times_s[i])
+        return float("inf")
+
+
+class TransientThermalSolver:
+    """Backward-Euler integrator over the grid thermal network."""
+
+    def __init__(
+        self,
+        layout: FabricLayout,
+        package: Optional[ThermalPackage] = None,
+        tile_heat_capacity_j_per_k: float = TILE_HEAT_CAPACITY_J_PER_K,
+    ):
+        if tile_heat_capacity_j_per_k <= 0.0:
+            raise ValueError("heat capacity must be positive")
+        self.layout = layout
+        self.steady = ThermalSolver(layout, package)
+        self.package = self.steady.package
+        self.c_tile = tile_heat_capacity_j_per_k
+
+    @property
+    def time_constant_s(self) -> float:
+        """Dominant (vertical) thermal time constant of one tile."""
+        return self.c_tile / self.package.g_vertical_w_per_k
+
+    def simulate(
+        self,
+        power_w: np.ndarray,
+        t_ambient: float,
+        duration_s: float,
+        timestep_s: Optional[float] = None,
+        t_initial: Optional[np.ndarray] = None,
+    ) -> TransientResult:
+        """Integrate from ``t_initial`` (default: ambient) under fixed power."""
+        n = self.layout.n_tiles
+        power_w = np.asarray(power_w, dtype=float)
+        if power_w.shape != (n,):
+            raise ValueError(f"power vector shape {power_w.shape} != ({n},)")
+        if duration_s <= 0.0:
+            raise ValueError("duration must be positive")
+        if timestep_s is None:
+            timestep_s = self.time_constant_s / 20.0
+        if timestep_s <= 0.0 or timestep_s > duration_s:
+            raise ValueError("need 0 < timestep <= duration")
+
+        temps = (
+            np.full(n, float(t_ambient))
+            if t_initial is None
+            else np.asarray(t_initial, dtype=float).copy()
+        )
+        if temps.shape != (n,):
+            raise ValueError("t_initial has the wrong shape")
+
+        conductance = self.steady._conductance
+        system = identity(n, format="csr") * (self.c_tile / timestep_s) + conductance
+        solve = factorized(system.tocsc())
+        source = power_w + self.package.g_vertical_w_per_k * t_ambient
+
+        n_steps = int(round(duration_s / timestep_s))
+        times = np.linspace(0.0, n_steps * timestep_s, n_steps + 1)
+        trajectory = np.empty((n_steps + 1, n))
+        trajectory[0] = temps
+        for step in range(1, n_steps + 1):
+            rhs = (self.c_tile / timestep_s) * temps + source
+            temps = solve(rhs)
+            trajectory[step] = temps
+        return TransientResult(times, trajectory)

@@ -1,0 +1,177 @@
+"""Tests for architecture parameters, layout and RR graph."""
+
+import pytest
+
+from repro.arch.layout import FabricLayout, TileType
+from repro.arch.params import ArchParams
+from repro.arch.rrgraph import RRNodeType, build_rr_graph
+
+
+class TestArchParams:
+    def test_defaults_match_table1(self):
+        arch = ArchParams()
+        assert arch.lut_size == 6
+        assert arch.cluster_size == 10
+        assert arch.channel_tracks == 320
+        assert arch.wire_segment_length == 4
+        assert arch.cluster_inputs == 40
+        assert arch.sb_mux_size == 12
+        assert arch.cb_mux_size == 64
+        assert arch.local_mux_size == 25
+        assert arch.vdd == pytest.approx(0.8)
+        assert arch.vdd_low_power == pytest.approx(0.95)
+        assert arch.bram_rows * arch.bram_width_bits == 1024 * 32
+
+    def test_table1_rows_complete(self):
+        rows = dict(ArchParams().table1_rows())
+        assert rows["K"] == "6"
+        assert rows["Channel tracks"] == "320"
+        assert "BRAM" in rows
+
+    def test_frozen_and_hashable(self):
+        a, b = ArchParams(), ArchParams()
+        assert a == b and hash(a) == hash(b)
+
+    def test_with_changes(self):
+        arch = ArchParams().with_changes(lut_size=4)
+        assert arch.lut_size == 4
+        assert ArchParams().lut_size == 6
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("lut_size", 1),
+            ("cluster_size", 0),
+            ("channel_tracks", 1),
+            ("wire_segment_length", 0),
+            ("fc_in", 0.0),
+            ("fc_out", 1.5),
+            ("sb_mux_size", 1),
+        ],
+    )
+    def test_rejects_bad_values(self, field, value):
+        with pytest.raises(ValueError):
+            ArchParams().with_changes(**{field: value})
+
+
+class TestFabricLayout:
+    @pytest.fixture(scope="class")
+    def layout(self):
+        return FabricLayout(ArchParams(), 12, 12)
+
+    def test_perimeter_is_io(self, layout):
+        for x in range(layout.width):
+            assert layout.tile(x, 0).type == TileType.IO
+            assert layout.tile(x, layout.height - 1).type == TileType.IO
+
+    def test_has_hard_columns(self, layout):
+        assert layout.locations_of(TileType.BRAM)
+        assert layout.locations_of(TileType.DSP)
+
+    def test_bram_and_dsp_columns_disjoint(self, layout):
+        bram_cols = {x for x, _ in layout.locations_of(TileType.BRAM)}
+        dsp_cols = {x for x, _ in layout.locations_of(TileType.DSP)}
+        assert not bram_cols & dsp_cols
+
+    def test_tile_index_round_trip(self, layout):
+        for (x, y) in [(0, 0), (5, 7), (11, 11)]:
+            index = layout.tile_index(x, y)
+            tile = list(layout.tiles())[index]
+            assert (tile.x, tile.y) == (x, y)
+
+    def test_out_of_range_rejected(self, layout):
+        with pytest.raises(IndexError):
+            layout.tile(12, 0)
+        with pytest.raises(IndexError):
+            layout.tile_index(-1, 3)
+
+    def test_neighbors_interior_and_corner(self, layout):
+        assert len(layout.neighbors(5, 5)) == 4
+        assert len(layout.neighbors(0, 0)) == 2
+
+    def test_capacity_counts(self, layout):
+        assert layout.capacity_of(TileType.CLB) == len(
+            layout.locations_of(TileType.CLB)
+        )
+        assert layout.capacity_of(TileType.IO) == 8 * len(
+            layout.locations_of(TileType.IO)
+        )
+
+    def test_for_netlist_fits(self):
+        arch = ArchParams()
+        layout = FabricLayout.for_netlist(arch, n_clb=30, n_bram=4, n_dsp=2, n_io=40)
+        assert layout.capacity_of(TileType.CLB) >= 30
+        assert layout.capacity_of(TileType.BRAM) >= 4
+        assert layout.capacity_of(TileType.DSP) >= 2
+        assert layout.capacity_of(TileType.IO) >= 40
+
+    def test_for_netlist_rejects_monster(self):
+        with pytest.raises(ValueError, match="does not fit"):
+            FabricLayout.for_netlist(
+                ArchParams(), n_clb=10**6, n_bram=0, n_dsp=0, n_io=0, max_dim=16
+            )
+
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(ValueError):
+            FabricLayout(ArchParams(), 3, 3)
+
+
+class TestRRGraph:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        arch = ArchParams().with_changes(routed_channel_tracks=16)
+        layout = FabricLayout(arch, 8, 8)
+        return build_rr_graph(arch, layout), layout
+
+    def test_every_active_tile_has_pins(self, graph):
+        g, layout = graph
+        for tile in layout.tiles():
+            if tile.type == TileType.EMPTY:
+                continue
+            key = (tile.x, tile.y)
+            assert key in g.source_of
+            assert key in g.sink_of
+
+    def test_source_reaches_wires(self, graph):
+        g, layout = graph
+        source = g.source_of[(4, 4)]
+        opin_edges = g.out_edges[source]
+        assert len(opin_edges) == 1
+        assert opin_edges[0].resource == "output_mux"
+        opin = opin_edges[0].dst
+        wire_edges = g.out_edges[opin]
+        assert wire_edges
+        assert all(e.resource == "sb_mux" for e in wire_edges)
+        assert all(
+            g.nodes[e.dst].type in (RRNodeType.CHANX, RRNodeType.CHANY)
+            for e in wire_edges
+        )
+
+    def test_wires_have_switchblock_fanout(self, graph):
+        g, _ = graph
+        wires = [n for n in g.nodes if n.type == RRNodeType.CHANX]
+        assert wires
+        sample = wires[len(wires) // 2]
+        targets = [e for e in g.out_edges[sample.id] if e.resource == "sb_mux"]
+        assert targets
+
+    def test_ipin_to_sink_is_local_mux(self, graph):
+        g, _ = graph
+        ipin = g.ipin_of[(3, 3)]
+        edges = g.out_edges[ipin]
+        assert len(edges) == 1
+        assert edges[0].resource == "local_mux"
+        assert g.nodes[edges[0].dst].type == RRNodeType.SINK
+
+    def test_wire_capacity_is_one(self, graph):
+        g, _ = graph
+        for node in g.nodes:
+            if node.type in (RRNodeType.CHANX, RRNodeType.CHANY):
+                assert node.capacity == 1
+
+    def test_wire_span_length(self, graph):
+        g, layout = graph
+        for node in g.nodes:
+            if node.type == RRNodeType.CHANX:
+                x0, _, x1, _ = node.span
+                assert 0 <= x1 - x0 <= 3  # length-4 segments

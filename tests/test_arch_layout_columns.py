@@ -1,0 +1,63 @@
+"""Tests for the hard-block column structure and grid auto-sizing."""
+
+import pytest
+
+from repro.arch.layout import FabricLayout, TileType
+from repro.arch.params import ArchParams
+
+
+class TestColumnPattern:
+    def test_bram_columns_periodic(self):
+        arch = ArchParams()
+        layout = FabricLayout(arch, 20, 20)
+        bram_cols = sorted({x for x, _ in layout.locations_of(TileType.BRAM)})
+        assert bram_cols
+        for col in bram_cols:
+            assert col % arch.bram_column_period == arch.bram_column_period // 2
+
+    def test_columns_full_height(self):
+        layout = FabricLayout(ArchParams(), 16, 16)
+        bram_cols = {x for x, _ in layout.locations_of(TileType.BRAM)}
+        for col in bram_cols:
+            rows = [y for x, y in layout.locations_of(TileType.BRAM) if x == col]
+            assert len(rows) == layout.height - 2  # interior rows only
+
+    def test_disabling_columns(self):
+        arch = ArchParams().with_changes(bram_column_period=0, dsp_column_period=0)
+        layout = FabricLayout(arch, 10, 10)
+        assert not layout.locations_of(TileType.BRAM)
+        assert not layout.locations_of(TileType.DSP)
+        # Every interior tile is then a CLB.
+        assert layout.capacity_of(TileType.CLB) == 8 * 8
+
+    def test_clb_majority(self):
+        layout = FabricLayout(ArchParams(), 14, 14)
+        interior = (layout.width - 2) * (layout.height - 2)
+        assert layout.capacity_of(TileType.CLB) > interior / 2
+
+
+class TestAutoSizing:
+    def test_growth_driven_by_hard_blocks(self):
+        arch = ArchParams()
+        few = FabricLayout.for_netlist(arch, n_clb=4, n_bram=1, n_dsp=0, n_io=8)
+        many = FabricLayout.for_netlist(arch, n_clb=4, n_bram=30, n_dsp=0, n_io=8)
+        assert many.width > few.width
+
+    def test_io_capacity_drives_perimeter(self):
+        arch = ArchParams()
+        layout = FabricLayout.for_netlist(arch, n_clb=4, n_bram=0, n_dsp=0,
+                                          n_io=300)
+        assert layout.capacity_of(TileType.IO) >= 300
+
+    def test_utilization_headroom(self):
+        arch = ArchParams()
+        layout = FabricLayout.for_netlist(
+            arch, n_clb=50, n_bram=0, n_dsp=0, n_io=10, target_utilization=0.5
+        )
+        assert layout.capacity_of(TileType.CLB) >= 100
+
+    def test_rejects_bad_utilization(self):
+        with pytest.raises(ValueError):
+            FabricLayout.for_netlist(
+                ArchParams(), 5, 0, 0, 5, target_utilization=0.0
+            )

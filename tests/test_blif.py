@@ -1,0 +1,134 @@
+"""Tests for BLIF-style netlist serialization."""
+
+import io
+
+import pytest
+
+from repro.netlists.blif import BlifError, read_blif, write_blif
+from repro.netlists.generator import NetlistSpec, generate_netlist
+from repro.netlists.netlist import BlockType
+
+
+@pytest.fixture(scope="module")
+def netlist():
+    return generate_netlist(
+        NetlistSpec("blif_probe", n_luts=18, n_brams=1, n_dsps=1, depth=4,
+                    seed=55)
+    )
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self, netlist):
+        buffer = io.StringIO()
+        write_blif(netlist, buffer)
+        buffer.seek(0)
+        loaded = read_blif(buffer)
+        original = netlist.stats()
+        restored = loaded.stats()
+        for key in ("luts", "ffs", "brams", "dsps", "inputs"):
+            assert restored[key] == original[key], key
+
+    def test_connectivity_preserved(self, netlist):
+        buffer = io.StringIO()
+        write_blif(netlist, buffer)
+        buffer.seek(0)
+        loaded = read_blif(buffer)
+
+        def fanin_profile(nl):
+            return sorted(
+                (block.type.value, len(block.input_nets))
+                for block in nl.blocks
+                if block.type in (BlockType.LUT, BlockType.FF)
+            )
+
+        assert fanin_profile(loaded) == fanin_profile(netlist)
+
+    def test_file_round_trip(self, netlist, tmp_path):
+        path = tmp_path / "design.blif"
+        write_blif(netlist, path)
+        loaded = read_blif(path)
+        assert loaded.name == "blif_probe"
+        assert loaded.count(BlockType.LUT) == netlist.count(BlockType.LUT)
+
+    def test_loaded_netlist_flows(self, netlist, arch):
+        from repro.cad.flow import run_flow
+
+        buffer = io.StringIO()
+        write_blif(netlist, buffer)
+        buffer.seek(0)
+        loaded = read_blif(buffer)
+        loaded.name = "blif_probe_reloaded"
+        flow = run_flow(loaded, arch, use_cache=False)
+        assert flow.routing.overused_nodes == 0
+
+
+class TestParser:
+    def test_minimal_model(self):
+        text = """
+        .model tiny
+        .inputs a b
+        .outputs y
+        .names a b y
+        11 1
+        .end
+        """
+        nl = read_blif(io.StringIO(text))
+        assert nl.count(BlockType.LUT) == 1
+        assert nl.count(BlockType.INPUT) == 2
+
+    def test_latch(self):
+        text = """
+        .model reg
+        .inputs d
+        .outputs q
+        .latch d q re clk 0
+        .end
+        """
+        nl = read_blif(io.StringIO(text))
+        assert nl.count(BlockType.FF) == 1
+
+    def test_comments_and_continuations(self):
+        text = (
+            ".model c  # a comment\n"
+            ".inputs \\\na b\n"
+            ".outputs y\n"
+            ".names a b y\n"
+            "11 1\n"
+            ".end\n"
+        )
+        nl = read_blif(io.StringIO(text))
+        assert nl.count(BlockType.INPUT) == 2
+
+    def test_multiple_drivers_rejected(self):
+        text = """
+        .model bad
+        .inputs a
+        .outputs y
+        .names a y
+        1 1
+        .names a y
+        1 1
+        .end
+        """
+        with pytest.raises(BlifError, match="multiple drivers"):
+            read_blif(io.StringIO(text))
+
+    def test_undriven_net_rejected(self):
+        text = """
+        .model bad
+        .inputs a
+        .outputs y
+        .names ghost y
+        1 1
+        .end
+        """
+        with pytest.raises(BlifError, match="never driven"):
+            read_blif(io.StringIO(text))
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(BlifError, match="unsupported directive"):
+            read_blif(io.StringIO(".model x\n.gate nand2 a=b\n.end\n"))
+
+    def test_unknown_subckt_rejected(self):
+        with pytest.raises(BlifError, match="unsupported subcircuit"):
+            read_blif(io.StringIO(".model x\n.subckt carry4 a=b\n.end\n"))

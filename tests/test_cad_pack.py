@@ -1,0 +1,117 @@
+"""Tests for BLE formation and cluster packing."""
+
+import pytest
+
+from repro.arch.layout import TileType
+from repro.cad.pack import pack_netlist
+from repro.netlists.generator import NetlistSpec, generate_netlist
+from repro.netlists.netlist import BlockType, Netlist
+
+
+@pytest.fixture(scope="module")
+def packed(tiny_netlist, arch):
+    return pack_netlist(tiny_netlist, arch)
+
+
+class TestPacking:
+    def test_every_block_packed_once(self, packed):
+        seen = set()
+        for cluster in packed.clusters:
+            for block_id in cluster.block_ids:
+                assert block_id not in seen
+                seen.add(block_id)
+        assert len(seen) == packed.netlist.n_blocks
+
+    def test_cluster_size_constraint(self, packed, arch):
+        for cluster in packed.clusters_of_type(TileType.CLB):
+            luts = [
+                b for b in cluster.block_ids
+                if packed.netlist.blocks[b].type == BlockType.LUT
+            ]
+            assert len(luts) <= arch.cluster_size
+
+    def test_cluster_input_constraint(self, packed, arch):
+        for cluster in packed.clusters_of_type(TileType.CLB):
+            assert len(cluster.input_nets) <= arch.cluster_inputs
+
+    def test_cluster_output_constraint(self, packed, arch):
+        # Strict BLE fusion guarantees at most N outputs per cluster.
+        for cluster in packed.clusters_of_type(TileType.CLB):
+            assert len(cluster.output_nets) <= arch.cluster_size
+
+    def test_hard_blocks_get_own_clusters(self, packed):
+        for cluster in packed.clusters:
+            if cluster.type in (TileType.BRAM, TileType.DSP):
+                assert len(cluster.block_ids) == 1
+
+    def test_io_pads_are_io_clusters(self, packed):
+        pad_ids = {
+            b.id
+            for b in packed.netlist.blocks
+            if b.type in (BlockType.INPUT, BlockType.OUTPUT)
+        }
+        io_blocks = {
+            b
+            for c in packed.clusters_of_type(TileType.IO)
+            for b in c.block_ids
+        }
+        assert pad_ids == io_blocks
+
+    def test_input_nets_are_really_external(self, packed):
+        for cluster in packed.clusters:
+            members = set(cluster.block_ids)
+            for net_id in cluster.input_nets:
+                assert packed.netlist.nets[net_id].driver not in members
+
+    def test_counts_summary(self, packed):
+        counts = packed.counts()
+        assert counts["bram"] == 1
+        assert counts["dsp"] == 1
+        assert counts["clb"] >= 2
+
+
+class TestBleFusion:
+    def test_exclusive_lut_ff_pair_fused(self, arch):
+        nl = Netlist("pair")
+        pi = nl.add_block(BlockType.INPUT)
+        lut = nl.add_block(BlockType.LUT)
+        ff = nl.add_block(BlockType.FF)
+        po = nl.add_block(BlockType.OUTPUT)
+        nl.connect(nl.add_net(pi), lut)
+        lut_out = nl.add_net(lut)
+        nl.connect(lut_out, ff)
+        ff_out = nl.add_net(ff)
+        nl.connect(ff_out, po)
+        packed = pack_netlist(nl, arch)
+        clb = packed.clusters_of_type(TileType.CLB)[0]
+        assert set(clb.block_ids) == {lut.id, ff.id}
+
+    def test_shared_lut_output_not_fused_into_one_output(self, arch):
+        # LUT feeds both an FF and another consumer: the cluster must expose
+        # both signals, which strict fusion handles by not fusing.
+        nl = Netlist("shared")
+        pi = nl.add_block(BlockType.INPUT)
+        lut = nl.add_block(BlockType.LUT)
+        ff = nl.add_block(BlockType.FF)
+        po1 = nl.add_block(BlockType.OUTPUT)
+        po2 = nl.add_block(BlockType.OUTPUT)
+        nl.connect(nl.add_net(pi), lut)
+        lut_out = nl.add_net(lut)
+        nl.connect(lut_out, ff)
+        nl.connect(lut_out, po1)
+        nl.connect(nl.add_net(ff), po2)
+        packed = pack_netlist(nl, arch)
+        packed.netlist.validate()
+        for cluster in packed.clusters_of_type(TileType.CLB):
+            assert len(cluster.output_nets) <= arch.cluster_size
+
+
+class TestPackingScalesClusters:
+    def test_cluster_count_near_lut_count_over_n(self, arch):
+        nl = generate_netlist(NetlistSpec("mid", n_luts=95, depth=6, seed=5))
+        packed = pack_netlist(nl, arch)
+        n_clb = len(packed.clusters_of_type(TileType.CLB))
+        n_luts = nl.count(BlockType.LUT)
+        assert n_clb >= (n_luts + arch.cluster_size - 1) // arch.cluster_size
+        # Greedy packing should not be catastrophically sparse either.
+        assert n_clb <= 3 * ((n_luts // arch.cluster_size) + 1)

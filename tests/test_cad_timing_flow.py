@@ -1,0 +1,84 @@
+"""Tests for the temperature-aware STA and the end-to-end flow driver."""
+
+import numpy as np
+import pytest
+
+from repro.cad.flow import run_flow
+from repro.cad.timing import FF_CLK_TO_Q_S, FF_SETUP_S
+from repro.netlists.netlist import BlockType
+
+
+class TestTimingAnalyzer:
+    def test_critical_path_positive(self, tiny_flow, fabric25, uniform_25):
+        report = tiny_flow.timing.critical_path(fabric25, uniform_25)
+        assert report.critical_path_s > FF_CLK_TO_Q_S + FF_SETUP_S
+        assert report.frequency_hz == pytest.approx(1.0 / report.critical_path_s)
+
+    def test_scalar_temperature_broadcasts(self, tiny_flow, fabric25, uniform_25):
+        a = tiny_flow.timing.critical_path(fabric25, uniform_25)
+        b = tiny_flow.timing.critical_path(fabric25, np.asarray(25.0))
+        assert a.critical_path_s == pytest.approx(b.critical_path_s)
+
+    def test_wrong_vector_length_rejected(self, tiny_flow, fabric25):
+        with pytest.raises(ValueError, match="tiles"):
+            tiny_flow.timing.critical_path(fabric25, np.full(3, 25.0))
+
+    def test_hotter_is_slower(self, tiny_flow, fabric25, uniform_25):
+        cold = tiny_flow.timing.critical_path(fabric25, uniform_25)
+        hot = tiny_flow.timing.critical_path(fabric25, uniform_25 + 75.0)
+        assert hot.critical_path_s > 1.2 * cold.critical_path_s
+
+    def test_local_hotspot_only_matters_on_path(self, tiny_flow, fabric25, uniform_25):
+        # Heating a tile *off* the critical path must not slow it more than
+        # heating the whole die.
+        base = tiny_flow.timing.critical_path(fabric25, uniform_25)
+        hot_everywhere = tiny_flow.timing.critical_path(fabric25, uniform_25 + 50.0)
+        one_tile = uniform_25.copy()
+        one_tile[0] += 50.0
+        hot_corner = tiny_flow.timing.critical_path(fabric25, one_tile)
+        assert base.critical_path_s <= hot_corner.critical_path_s + 1e-15
+        assert hot_corner.critical_path_s <= hot_everywhere.critical_path_s
+
+    def test_critical_path_blocks_form_a_chain(self, tiny_flow, fabric25, uniform_25):
+        report = tiny_flow.timing.critical_path(fabric25, uniform_25)
+        netlist = tiny_flow.netlist
+        assert len(report.critical_blocks) >= 2
+        for prev, cur in zip(report.critical_blocks, report.critical_blocks[1:]):
+            fanout = {
+                sink
+                for net_id in netlist.blocks[prev].output_nets
+                for sink in netlist.nets[net_id].sinks
+            }
+            assert cur in fanout
+        assert report.critical_blocks[-1] == report.critical_endpoint
+
+    def test_startpoint_is_sequential_or_input(self, tiny_flow, fabric25, uniform_25):
+        report = tiny_flow.timing.critical_path(fabric25, uniform_25)
+        start = tiny_flow.netlist.blocks[report.critical_blocks[0]]
+        assert start.type in (BlockType.INPUT, BlockType.FF, BlockType.BRAM)
+
+    def test_resource_mix_sums_to_one(self, tiny_flow, fabric25, uniform_25):
+        mix = tiny_flow.timing.critical_path_resource_mix(fabric25, uniform_25)
+        assert sum(mix.values()) == pytest.approx(1.0)
+        assert all(0.0 <= v <= 1.0 for v in mix.values())
+
+
+class TestFlowDriver:
+    def test_in_memory_cache(self, tiny_netlist, arch, tiny_flow):
+        assert run_flow(tiny_netlist, arch, seed=11) is tiny_flow
+
+    def test_layout_fits_design(self, tiny_flow):
+        from repro.arch.layout import TileType
+
+        packed = tiny_flow.packed
+        layout = tiny_flow.layout
+        for type_ in (TileType.CLB, TileType.BRAM, TileType.DSP):
+            needed = len(packed.clusters_of_type(type_))
+            assert layout.capacity_of(type_) >= needed
+
+    def test_seed_changes_placement(self, tiny_netlist, arch, tiny_flow):
+        other = run_flow(tiny_netlist, arch, seed=12)
+        assert other.placement.location != tiny_flow.placement.location
+
+    def test_n_tiles_property(self, tiny_flow):
+        assert tiny_flow.n_tiles == tiny_flow.layout.width * tiny_flow.layout.height

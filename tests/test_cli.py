@@ -1,0 +1,35 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_characterize(self, capsys):
+        assert main(["characterize", "--corner", "25"]) == 0
+        out = capsys.readouterr().out
+        assert "sb_mux" in out and "bram" in out
+
+    def test_corners(self, capsys):
+        assert main(["corners"]) == 0
+        out = capsys.readouterr().out
+        assert "D0" in out and "D100" in out
+
+    def test_grades(self, capsys):
+        assert main(["grades", "--count", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "grade corner" in out
+
+    def test_guardband(self, capsys):
+        assert main(["guardband", "stereovision3", "--ambient", "25"]) == 0
+        out = capsys.readouterr().out
+        assert "thermal-aware" in out and "MHz" in out
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["guardband", "nonexistent"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

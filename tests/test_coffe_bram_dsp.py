@@ -1,0 +1,125 @@
+"""Tests for the BRAM and DSP hard-block models."""
+
+import pytest
+
+from repro.coffe.bram import BANK_CHOICES, BramModel
+from repro.coffe.dsp import DspModel
+from repro.technology import celsius_to_kelvin
+
+T0 = celsius_to_kelvin(0.0)
+T25 = celsius_to_kelvin(25.0)
+T100 = celsius_to_kelvin(100.0)
+
+
+@pytest.fixture(scope="module")
+def bram25() -> BramModel:
+    return BramModel("bram", 0.95, design_corner_kelvin=T25, mc_cells=400)
+
+
+@pytest.fixture(scope="module")
+def dsp() -> DspModel:
+    return DspModel("dsp", 0.8)
+
+
+class TestBramStructure:
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            BramModel("b", 0.95, T25, n_rows=1, n_cols=0)
+
+    def test_rejects_bad_banks(self):
+        with pytest.raises(ValueError):
+            BramModel("b", 0.95, T25, n_banks=3)
+
+    def test_variants_are_bank_options(self, bram25):
+        banks = sorted(v.n_banks for v in bram25.variants())
+        assert banks == sorted(BANK_CHOICES)
+
+    def test_weak_factor_above_one(self, bram25):
+        assert bram25.weak_factor > 1.5
+
+
+class TestBramDelay:
+    def test_positive_and_monotonic_in_temperature(self, bram25):
+        sizes = bram25.default_sizes
+        delays = [bram25.delay_seconds(sizes, celsius_to_kelvin(t))
+                  for t in (0.0, 25.0, 50.0, 75.0, 100.0)]
+        assert delays[0] > 0.0
+        assert all(a < b for a, b in zip(delays, delays[1:]))
+
+    def test_design_delay_is_pessimistic(self, bram25):
+        # Design evaluation (weakest Monte-Carlo cell) must never be faster
+        # than the nominal behaviour.
+        sizes = bram25.default_sizes
+        assert bram25.design_delay_seconds(sizes, T100) > bram25.delay_seconds(
+            sizes, T100
+        )
+
+    def test_banking_cuts_hot_development_time(self, bram25):
+        sizes = bram25.default_sizes
+        banked = [v for v in bram25.variants() if v.n_banks == 4][0]
+        assert banked.develop_time_seconds(
+            sizes, T100, weak=True
+        ) < bram25.develop_time_seconds(sizes, T100, weak=True)
+
+    def test_banking_costs_a_global_stage(self, bram25):
+        # The banked array pays a global-bitline stage that the flat array
+        # does not have: its non-bitline delay component is strictly larger.
+        sizes = bram25.default_sizes
+        banked = [v for v in bram25.variants() if v.n_banks == 4][0]
+        flat_rest = bram25.delay_seconds(sizes, T0) - bram25.develop_time_seconds(
+            sizes, T0
+        )
+        banked_rest = banked.delay_seconds(sizes, T0) - banked.develop_time_seconds(
+            sizes, T0
+        )
+        assert banked_rest > flat_rest
+
+    def test_bigger_sense_amp_needs_less_swing(self, bram25):
+        assert bram25._swing_volts(16.0) < bram25._swing_volts(1.0)
+
+
+class TestBramPower:
+    def test_leakage_grows_with_temperature(self, bram25):
+        sizes = bram25.default_sizes
+        assert bram25.leakage_watts(sizes, T100) > bram25.leakage_watts(sizes, T0)
+
+    def test_leakage_flatter_than_soft_fabric(self, bram25):
+        # Paper Table II: BRAM leakage is almost flat (6.2 + (T/70)^2).
+        sizes = bram25.default_sizes
+        # (Paper's fit gives 1.33x over the range; ours lands under 3.5x vs
+        # the ~4x of the soft fabric — see EXPERIMENTS.md for the deviation.)
+        ratio = bram25.leakage_watts(sizes, T100) / bram25.leakage_watts(sizes, T0)
+        assert ratio < 3.5
+
+    def test_area_dominated_by_cell_array(self, bram25):
+        sizes = bram25.default_sizes
+        fewer_rows = BramModel("b", 0.95, T25, n_rows=256, mc_cells=100)
+        assert bram25.area_um2(sizes) > 3.0 * fewer_rows.area_um2(sizes)
+
+    def test_switched_cap_positive(self, bram25):
+        assert bram25.switched_cap_farads(bram25.default_sizes) > 0.0
+
+
+class TestDsp:
+    def test_delay_temperature_rise_near_paper(self, dsp):
+        # Paper Table II: DSP delay rises ~80 % over 0..100 C.
+        sizes = dsp.default_sizes
+        rise = dsp.delay_seconds(sizes, T100) / dsp.delay_seconds(sizes, T0) - 1.0
+        assert 0.6 < rise < 1.0
+
+    def test_bigger_gates_faster(self, dsp):
+        slow = dsp.delay_seconds({"w_gate": 1.0, "w_drive": 6.0}, T25)
+        fast = dsp.delay_seconds({"w_gate": 3.0, "w_drive": 6.0}, T25)
+        assert fast < slow
+
+    def test_area_scales_with_gate_width(self, dsp):
+        a1 = dsp.area_um2({"w_gate": 1.0, "w_drive": 6.0})
+        a2 = dsp.area_um2({"w_gate": 2.0, "w_drive": 6.0})
+        assert a2 > a1
+
+    def test_leakage_positive_and_rising(self, dsp):
+        sizes = dsp.default_sizes
+        assert 0.0 < dsp.leakage_watts(sizes, T0) < dsp.leakage_watts(sizes, T100)
+
+    def test_single_variant(self, dsp):
+        assert dsp.variants() == (dsp,)

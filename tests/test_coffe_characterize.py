@@ -1,0 +1,116 @@
+"""Tests for the characterization/calibration layer itself."""
+
+import numpy as np
+import pytest
+
+from repro.arch.params import ArchParams
+from repro.coffe.characterize import (
+    AREA_BUDGET_HEADROOM,
+    REFERENCE_CORNER_CELSIUS,
+    T_GRID_CELSIUS,
+    build_circuits,
+    calibration_scales,
+    characterize_resource,
+    corner_sizing,
+    reference_sizings,
+)
+from repro.technology.temperature import celsius_to_kelvin
+
+
+class TestBuildCircuits:
+    def test_all_eight_resources(self, arch):
+        circuits = build_circuits(arch, 25.0)
+        assert len(circuits) == 8
+        assert {"bram", "dsp"} <= set(circuits)
+
+    def test_bram_carries_design_corner(self, arch):
+        hot = build_circuits(arch, 100.0)["bram"]
+        assert hot.design_corner_kelvin == pytest.approx(celsius_to_kelvin(100.0))
+
+
+class TestReferenceSizings:
+    def test_cached_per_arch(self, arch):
+        assert reference_sizings(arch) is reference_sizings(arch)
+
+    def test_covers_all_resources(self, arch):
+        refs = reference_sizings(arch)
+        assert set(refs) == set(build_circuits(arch, 25.0))
+
+    def test_reference_corner_is_25(self, arch):
+        for ref in reference_sizings(arch).values():
+            assert ref.corner_kelvin == pytest.approx(
+                celsius_to_kelvin(REFERENCE_CORNER_CELSIUS)
+            )
+
+
+class TestCornerSizing:
+    def test_respects_headroom_budget(self, arch):
+        refs = reference_sizings(arch)
+        for name, circuit in build_circuits(arch, 70.0).items():
+            variant, sizing = corner_sizing(arch, circuit, 70.0)
+            budget = refs[name].area_um2 * AREA_BUDGET_HEADROOM
+            assert sizing.area_um2 <= budget * (1.0 + 1e-9), name
+
+    def test_hot_corner_prefers_tgate_muxes(self, arch):
+        cold_variant, _ = corner_sizing(
+            arch, build_circuits(arch, 0.0)["lut"], 0.0
+        )
+        hot_variant, _ = corner_sizing(
+            arch, build_circuits(arch, 100.0)["lut"], 100.0
+        )
+        assert cold_variant.pass_style == "nmos"
+        assert hot_variant.pass_style == "tgate"
+
+    def test_cold_corner_keeps_flat_bram(self, arch):
+        cold_variant, _ = corner_sizing(
+            arch, build_circuits(arch, 0.0)["bram"], 0.0
+        )
+        hot_variant, _ = corner_sizing(
+            arch, build_circuits(arch, 100.0)["bram"], 100.0
+        )
+        assert cold_variant.n_banks == 1
+        assert hot_variant.n_banks > 1
+
+
+class TestCharacterizeResource:
+    def test_grid_is_one_degree_steps(self):
+        assert T_GRID_CELSIUS[0] == 0.0
+        assert T_GRID_CELSIUS[-1] == 100.0
+        assert np.all(np.diff(T_GRID_CELSIUS) == 1.0)
+
+    def test_fit_round_trips(self, arch):
+        circuit = build_circuits(arch, 25.0)["sb_mux"]
+        variant, sizing = corner_sizing(arch, circuit, 25.0)
+        char = characterize_resource(variant, 25.0, sizing)
+        intercept, slope = char.delay_fit()
+        mid = intercept + slope * 50.0
+        assert mid == pytest.approx(float(char.delay_at(50.0)), rel=0.02)
+
+    def test_leak_fit_positive(self, arch):
+        circuit = build_circuits(arch, 25.0)["lut"]
+        variant, sizing = corner_sizing(arch, circuit, 25.0)
+        char = characterize_resource(variant, 25.0, sizing)
+        c, k = char.leakage_fit()
+        assert c > 0.0 and k > 0.0
+
+
+class TestCalibration:
+    def test_scales_cover_everything(self, arch):
+        scales = calibration_scales(arch)
+        for mapping in (scales.delay, scales.area, scales.leakage, scales.pdyn):
+            assert set(mapping) == set(build_circuits(arch, 25.0))
+
+    def test_scales_positive(self, arch):
+        scales = calibration_scales(arch)
+        for mapping in (scales.delay, scales.area, scales.leakage, scales.pdyn):
+            assert all(v > 0.0 for v in mapping.values())
+
+    def test_scales_cached(self, arch):
+        assert calibration_scales(arch) is calibration_scales(arch)
+
+    def test_different_arch_different_scales(self):
+        small = ArchParams().with_changes(lut_size=4)
+        default = ArchParams()
+        assert calibration_scales(small).delay["lut"] != calibration_scales(
+            default
+        ).delay["lut"]

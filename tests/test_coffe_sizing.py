@@ -1,0 +1,94 @@
+"""Tests for reference and budget-constrained transistor sizing."""
+
+import pytest
+
+from repro.arch.params import ArchParams
+from repro.coffe.sizing import (
+    MIN_WIDTH,
+    SizingResult,
+    size_subcircuit,
+    size_subcircuit_budgeted,
+)
+from repro.coffe.subcircuits import soft_fabric_circuits
+from repro.technology import celsius_to_kelvin
+
+T0 = celsius_to_kelvin(0.0)
+T25 = celsius_to_kelvin(25.0)
+T100 = celsius_to_kelvin(100.0)
+
+
+@pytest.fixture(scope="module")
+def sb_mux():
+    return soft_fabric_circuits(ArchParams())["sb_mux"]
+
+
+@pytest.fixture(scope="module")
+def reference(sb_mux) -> SizingResult:
+    return size_subcircuit(sb_mux, T25)
+
+
+class TestReferenceSizing:
+    def test_improves_on_defaults(self, sb_mux, reference):
+        default_cost = sb_mux.delay_seconds(
+            sb_mux.default_sizes, T25
+        ) * sb_mux.area_um2(sb_mux.default_sizes)
+        assert reference.cost < default_cost
+
+    def test_deterministic(self, sb_mux, reference):
+        again = size_subcircuit(sb_mux, T25)
+        assert again.sizes == reference.sizes
+
+    def test_respects_min_width(self, reference):
+        assert all(w >= MIN_WIDTH for w in reference.sizes.values())
+
+    def test_rejects_bad_temperature(self, sb_mux):
+        with pytest.raises(ValueError):
+            size_subcircuit(sb_mux, -10.0)
+
+    def test_reports_consistent_fields(self, sb_mux, reference):
+        assert reference.delay_seconds == pytest.approx(
+            sb_mux.delay_seconds(reference.sizes, T25)
+        )
+        assert reference.area_um2 == pytest.approx(
+            sb_mux.area_um2(reference.sizes)
+        )
+
+
+class TestBudgetedSizing:
+    def test_never_exceeds_budget(self, sb_mux, reference):
+        budget = reference.area_um2 * 1.3
+        sized = size_subcircuit_budgeted(sb_mux, T25, budget)
+        assert sized.area_um2 <= budget * (1.0 + 1e-9)
+
+    def test_budget_binds(self, sb_mux, reference):
+        # Minimum-delay sizing always wants more silicon, so the optimizer
+        # should spend (nearly) the whole budget.
+        budget = reference.area_um2 * 1.3
+        sized = size_subcircuit_budgeted(sb_mux, T25, budget)
+        assert sized.area_um2 > 0.95 * budget
+
+    def test_more_budget_never_slower(self, sb_mux, reference):
+        lean = size_subcircuit_budgeted(sb_mux, T25, reference.area_um2 * 1.1)
+        rich = size_subcircuit_budgeted(sb_mux, T25, reference.area_um2 * 1.6)
+        assert rich.delay_seconds <= lean.delay_seconds * (1.0 + 1e-9)
+
+    def test_corner_device_fastest_at_its_corner(self, sb_mux, reference):
+        # The heart of paper Fig. 3: under equal silicon, the fabric sized
+        # at a corner is the fastest fabric *at* that corner.
+        budget = reference.area_um2 * 1.3
+        cold = size_subcircuit_budgeted(sb_mux, T0, budget)
+        hot = size_subcircuit_budgeted(sb_mux, T100, budget)
+        assert sb_mux.delay_seconds(cold.sizes, T0) <= sb_mux.delay_seconds(
+            hot.sizes, T0
+        ) * (1.0 + 1e-9)
+        assert sb_mux.delay_seconds(hot.sizes, T100) <= sb_mux.delay_seconds(
+            cold.sizes, T100
+        ) * (1.0 + 1e-9)
+
+    def test_infeasible_budget_raises(self, sb_mux):
+        with pytest.raises(ValueError, match="infeasible"):
+            size_subcircuit_budgeted(sb_mux, T25, 0.01)
+
+    def test_rejects_nonpositive_budget(self, sb_mux):
+        with pytest.raises(ValueError):
+            size_subcircuit_budgeted(sb_mux, T25, -1.0)

@@ -1,0 +1,175 @@
+"""Tests for the sizable subcircuit models (muxes, LUT)."""
+
+import pytest
+
+from repro.arch.params import ArchParams
+from repro.coffe.subcircuits import (
+    LutModel,
+    MuxModel,
+    NO_WIRE,
+    TGATE_COLD_PENALTY,
+    WireLoad,
+    soft_fabric_circuits,
+    tgate_resistance,
+    transistor_area_um2,
+)
+from repro.spice.devices import pass_gate_resistance
+from repro.coffe.subcircuits import PASS_ROUTING
+from repro.technology import celsius_to_kelvin
+
+T0 = celsius_to_kelvin(0.0)
+T25 = celsius_to_kelvin(25.0)
+T100 = celsius_to_kelvin(100.0)
+VDD = 0.8
+
+
+@pytest.fixture(scope="module")
+def sb_mux() -> MuxModel:
+    return soft_fabric_circuits(ArchParams())["sb_mux"]
+
+
+@pytest.fixture(scope="module")
+def lut() -> LutModel:
+    return soft_fabric_circuits(ArchParams())["lut"]
+
+
+class TestWireLoad:
+    def test_copper_tempco(self):
+        wire = WireLoad(100.0, 1e-15)
+        assert wire.resistance_at(T100) > wire.resistance_at(T0)
+        # ~39 % over the 100 K span.
+        ratio = wire.resistance_at(T100) / wire.resistance_at(T0)
+        assert ratio == pytest.approx(1.39 / 1.0, rel=0.15)
+
+    def test_no_wire_is_free(self):
+        assert NO_WIRE.resistance_at(T25) == 0.0
+
+
+class TestMuxModel:
+    def test_delay_positive_and_temperature_monotonic(self, sb_mux):
+        sizes = sb_mux.default_sizes
+        d0 = sb_mux.delay_seconds(sizes, T0)
+        d100 = sb_mux.delay_seconds(sizes, T100)
+        assert 0.0 < d0 < d100
+
+    def test_bigger_buffer_faster_into_load(self, sb_mux):
+        sizes = dict(sb_mux.default_sizes)
+        base = sb_mux.delay_seconds(sizes, T25)
+        sizes["w_inv2"] *= 2.0
+        assert sb_mux.delay_seconds(sizes, T25) < base
+
+    def test_area_grows_with_width(self, sb_mux):
+        small = sb_mux.area_um2(sb_mux.default_sizes)
+        big = sb_mux.area_um2({k: v * 2 for k, v in sb_mux.default_sizes.items()})
+        assert big > small
+
+    def test_leakage_grows_with_temperature(self, sb_mux):
+        sizes = sb_mux.default_sizes
+        assert sb_mux.leakage_watts(sizes, T100) > sb_mux.leakage_watts(sizes, T0)
+
+    def test_more_inputs_more_area(self):
+        small = MuxModel("m", 4, VDD)
+        large = MuxModel("m", 32, VDD)
+        assert large.area_um2(large.default_sizes) > small.area_um2(
+            small.default_sizes
+        )
+
+    def test_missing_size_raises(self, sb_mux):
+        with pytest.raises(KeyError, match="w_pass"):
+            sb_mux.delay_seconds({"w_inv1": 1.0, "w_inv2": 1.0}, T25)
+
+    def test_nonpositive_size_raises(self, sb_mux):
+        sizes = dict(sb_mux.default_sizes)
+        sizes["w_pass"] = 0.0
+        with pytest.raises(ValueError):
+            sb_mux.delay_seconds(sizes, T25)
+
+    def test_rejects_tiny_mux(self):
+        with pytest.raises(ValueError):
+            MuxModel("m", 1, VDD)
+
+    def test_rejects_unknown_style(self):
+        with pytest.raises(ValueError, match="pass style"):
+            MuxModel("m", 8, VDD, pass_style="ternary")
+
+    def test_variants_cover_both_styles(self, sb_mux):
+        styles = {v.pass_style for v in sb_mux.variants()}
+        assert styles == {"nmos", "tgate"}
+
+    def test_tgate_variant_costs_area(self, sb_mux):
+        nmos, tgate = sb_mux.variants()
+        sizes = sb_mux.default_sizes
+        assert tgate.area_um2(sizes) > nmos.area_um2(sizes)
+
+    def test_tgate_flatter_over_temperature(self, sb_mux):
+        nmos, tgate = sb_mux.variants()
+        sizes = sb_mux.default_sizes
+        nmos_ratio = nmos.delay_seconds(sizes, T100) / nmos.delay_seconds(sizes, T0)
+        tg_ratio = tgate.delay_seconds(sizes, T100) / tgate.delay_seconds(sizes, T0)
+        assert tg_ratio < nmos_ratio
+
+    def test_switched_cap_positive(self, sb_mux):
+        assert sb_mux.switched_cap_farads(sb_mux.default_sizes) > 0.0
+
+
+class TestTgateResistance:
+    def test_cold_penalty(self):
+        r_tg = tgate_resistance(VDD, 2.0, T0)
+        r_n = pass_gate_resistance(PASS_ROUTING, VDD, 2.0, T0)
+        assert r_tg == pytest.approx(TGATE_COLD_PENALTY * r_n, rel=1e-6)
+
+    def test_crosses_below_nmos_when_hot(self):
+        assert tgate_resistance(VDD, 2.0, T100) < pass_gate_resistance(
+            PASS_ROUTING, VDD, 2.0, T100
+        )
+
+
+class TestLutModel:
+    def test_most_temperature_sensitive_soft_resource(self, lut, sb_mux):
+        # Paper Fig. 1: the LUT's pass tree is the steepest soft resource.
+        lut_rise = lut.delay_seconds(lut.default_sizes, T100) / lut.delay_seconds(
+            lut.default_sizes, T0
+        )
+        sb_rise = sb_mux.delay_seconds(
+            sb_mux.default_sizes, T100
+        ) / sb_mux.delay_seconds(sb_mux.default_sizes, T0)
+        assert lut_rise > sb_rise
+
+    def test_area_exponential_in_k(self):
+        lut4 = LutModel("l4", 4, VDD)
+        lut6 = LutModel("l6", 6, VDD)
+        assert lut6.area_um2(lut6.default_sizes) > 3.0 * lut4.area_um2(
+            lut4.default_sizes
+        )
+
+    def test_deeper_lut_slower(self):
+        lut4 = LutModel("l4", 4, VDD)
+        lut6 = LutModel("l6", 6, VDD)
+        assert lut6.delay_seconds(lut6.default_sizes, T25) > lut4.delay_seconds(
+            lut4.default_sizes, T25
+        )
+
+    def test_rejects_k1(self):
+        with pytest.raises(ValueError):
+            LutModel("l", 1, VDD)
+
+
+class TestSoftFabricFactory:
+    def test_all_six_resources(self):
+        circuits = soft_fabric_circuits(ArchParams())
+        assert set(circuits) == {
+            "sb_mux", "cb_mux", "local_mux", "feedback_mux", "output_mux", "lut",
+        }
+
+    def test_mux_sizes_follow_arch(self):
+        arch = ArchParams()
+        circuits = soft_fabric_circuits(arch)
+        assert circuits["sb_mux"].n_inputs == arch.sb_mux_size
+        assert circuits["cb_mux"].n_inputs == arch.cb_mux_size
+        assert circuits["local_mux"].n_inputs == arch.local_mux_size
+
+    def test_transistor_area_affine(self):
+        a1 = transistor_area_um2(1.0)
+        a2 = transistor_area_um2(2.0)
+        a3 = transistor_area_um2(3.0)
+        assert a3 - a2 == pytest.approx(a2 - a1)

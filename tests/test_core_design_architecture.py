@@ -1,0 +1,117 @@
+"""Tests for thermal-aware design (Figs. 2-3) and architecture (Eq. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.architecture import expected_delay, select_design_corner
+from repro.core.design import (
+    corner_delay_curves,
+    fig2_normalized_delays,
+)
+
+
+@pytest.fixture(scope="module")
+def cp_curves(arch):
+    return corner_delay_curves((0.0, 25.0, 100.0), "cp", arch)
+
+
+class TestCornerCurves:
+    def test_each_corner_wins_its_own_temperature(self, cp_curves):
+        assert cp_curves.best_corner_at(0.0) == 0.0
+        assert cp_curves.best_corner_at(100.0) == 100.0
+
+    def test_d25_optimal_in_middle_band(self, cp_curves):
+        # Paper Fig. 3: D25 is optimal for T in ~[20, 65] C.
+        winners = {cp_curves.best_corner_at(t) for t in (30.0, 40.0, 50.0)}
+        assert winners == {25.0}
+
+    def test_crossover_ratios_in_paper_band(self, cp_curves):
+        # Paper: D100 is 6.3 % slower at 0 C; D0 is 9.0 % slower at 100 C.
+        at0 = cp_curves.crossover_ratio(100.0, 0.0, 0.0)
+        at100 = cp_curves.crossover_ratio(0.0, 100.0, 100.0)
+        assert 1.02 < at0 < 1.15
+        assert 1.02 < at100 < 1.15
+
+    def test_curves_monotonic_in_temperature(self, cp_curves):
+        for delays in cp_curves.curves.values():
+            assert np.all(np.diff(delays) > -1e-18)
+
+    def test_component_selection(self, arch):
+        bram = corner_delay_curves((0.0, 100.0), "bram", arch)
+        assert bram.component == "bram"
+        assert set(bram.curves) == {0.0, 100.0}
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def fig2(self, arch):
+        return fig2_normalized_delays(arch=arch)
+
+    def test_structure(self, fig2):
+        assert set(fig2) == {"cp", "bram", "dsp"}
+        for per_point in fig2.values():
+            assert set(per_point) == {0.0, 25.0, 100.0}
+
+    def test_each_chunk_normalized_to_fastest(self, fig2):
+        for per_point in fig2.values():
+            for bars in per_point.values():
+                assert min(bars.values()) == pytest.approx(1.0)
+
+    def test_matching_corner_is_fastest_in_its_chunk(self, fig2):
+        for component, per_point in fig2.items():
+            for t_op in (0.0, 100.0):
+                bars = per_point[t_op]
+                # Ties (e.g. DSP corners nearly coincide) tolerated.
+                assert bars[t_op] == pytest.approx(1.0, abs=5e-3), (component, t_op)
+
+    def test_bram_shows_strongest_corner_effect(self, fig2):
+        # Paper Fig. 2: "intensified in the Block RAM".
+        bram_spread = max(fig2["bram"][0.0].values())
+        dsp_spread = max(fig2["dsp"][0.0].values())
+        assert bram_spread > dsp_spread
+
+
+class TestExpectedDelay:
+    def test_point_range_equals_curve(self, fabric25):
+        point = expected_delay(fabric25, 40.0, 40.0)
+        assert point == pytest.approx(float(fabric25.cp_delay_s(40.0)))
+
+    def test_wider_hotter_range_slower(self, fabric25):
+        cool = expected_delay(fabric25, 0.0, 40.0)
+        hot = expected_delay(fabric25, 60.0, 100.0)
+        assert hot > cool
+
+    def test_average_between_extremes(self, fabric25):
+        e = expected_delay(fabric25, 0.0, 100.0)
+        assert float(fabric25.cp_delay_s(0.0)) < e < float(
+            fabric25.cp_delay_s(100.0)
+        )
+
+    def test_rejects_inverted_range(self, fabric25):
+        with pytest.raises(ValueError):
+            expected_delay(fabric25, 80.0, 20.0)
+
+
+class TestCornerSelection:
+    def test_hot_field_prefers_hot_corner(self, arch):
+        choice = select_design_corner(60.0, 100.0, (0.0, 25.0, 70.0, 100.0), arch=arch)
+        assert choice.corner_celsius >= 70.0
+
+    def test_cold_field_prefers_cold_corner(self, arch):
+        choice = select_design_corner(0.0, 30.0, (0.0, 25.0, 70.0, 100.0), arch=arch)
+        assert choice.corner_celsius <= 25.0
+
+    def test_expected_delays_recorded_for_all(self, arch):
+        candidates = (0.0, 70.0)
+        choice = select_design_corner(40.0, 90.0, candidates, arch=arch)
+        assert set(choice.expected_delays) == set(candidates)
+        assert choice.expected_delay_s == min(choice.expected_delays.values())
+
+    def test_advantage_nonnegative(self, arch):
+        choice = select_design_corner(50.0, 100.0, (0.0, 70.0), arch=arch)
+        for corner in choice.expected_delays:
+            assert choice.advantage_over(corner) >= 0.0
+
+    def test_rejects_empty_candidates(self, arch):
+        with pytest.raises(ValueError):
+            select_design_corner(0.0, 100.0, (), arch=arch)

@@ -1,0 +1,93 @@
+"""Tests for structural net criticality and timing-driven placement."""
+
+import numpy as np
+import pytest
+
+from repro.cad.criticality import (
+    MAX_WEIGHT,
+    MIN_WEIGHT,
+    criticality_weights,
+    net_criticalities,
+)
+from repro.cad.flow import run_flow
+from repro.netlists.generator import NetlistSpec, generate_netlist
+from repro.netlists.netlist import BlockType, Netlist
+
+
+def chain_netlist(depth: int) -> Netlist:
+    """A LUT chain plus a shallow side branch, both register-bounded."""
+    nl = Netlist(f"chain{depth}")
+    pi = nl.add_block(BlockType.INPUT)
+    net = nl.add_net(pi)
+    for i in range(depth):
+        lut = nl.add_block(BlockType.LUT, f"deep_{i}")
+        nl.connect(net, lut)
+        net = nl.add_net(lut)
+    ff = nl.add_block(BlockType.FF)
+    nl.connect(net, ff)
+    nl.connect(nl.add_net(ff), nl.add_block(BlockType.OUTPUT))
+    # Shallow branch off the primary input.
+    shallow = nl.add_block(BlockType.LUT, "shallow")
+    nl.connect(nl.nets[0], shallow)
+    nl.connect(nl.add_net(shallow), nl.add_block(BlockType.OUTPUT))
+    nl.validate()
+    return nl
+
+
+class TestNetCriticalities:
+    def test_range(self, tiny_netlist):
+        crits = net_criticalities(tiny_netlist)
+        assert all(0.0 <= c <= 1.0 + 1e-12 for c in crits.values())
+        assert max(crits.values()) == pytest.approx(1.0)
+
+    def test_deep_chain_outranks_shallow_branch(self):
+        nl = chain_netlist(6)
+        crits = net_criticalities(nl)
+        deep_net = next(
+            n for n in nl.nets if nl.blocks[n.driver].name == "deep_2"
+        )
+        shallow_net = next(
+            n for n in nl.nets if nl.blocks[n.driver].name == "shallow"
+        )
+        assert crits[deep_net.id] > 2.0 * crits[shallow_net.id]
+
+    def test_dsp_paths_count_extra(self):
+        nl = generate_netlist(
+            NetlistSpec("dspcrit", n_luts=12, n_dsps=3, depth=3, seed=4)
+        )
+        crits = net_criticalities(nl)
+        dsp_nets = [
+            crits[n.id]
+            for n in nl.nets
+            if nl.blocks[n.driver].type == BlockType.DSP
+        ]
+        assert max(dsp_nets) > 0.5
+
+    def test_weights_bounded(self, tiny_netlist):
+        weights = criticality_weights(tiny_netlist)
+        assert all(MIN_WEIGHT <= w <= MAX_WEIGHT + 1e-12 for w in weights.values())
+
+    def test_exponent_validation(self, tiny_netlist):
+        with pytest.raises(ValueError):
+            criticality_weights(tiny_netlist, exponent=0.0)
+
+
+class TestTimingDrivenFlow:
+    def test_usually_shortens_the_critical_path(self, arch, fabric25):
+        nl = generate_netlist(
+            NetlistSpec("td_probe", n_luts=60, depth=10, seed=31)
+        )
+        plain = run_flow(nl, arch, seed=5, use_cache=False)
+        driven = run_flow(nl, arch, seed=5, use_cache=False, timing_driven=True)
+        t = np.full(plain.n_tiles, 25.0)
+        cp_plain = plain.timing.critical_path(fabric25, t).critical_path_s
+        cp_driven = driven.timing.critical_path(fabric25, t).critical_path_s
+        # An anneal is stochastic; allow a small regression bound but expect
+        # no blow-up and usually an improvement.
+        assert cp_driven < cp_plain * 1.05
+
+    def test_cache_keys_distinct(self, arch):
+        nl = generate_netlist(NetlistSpec("td_cache", n_luts=12, depth=3, seed=2))
+        plain = run_flow(nl, arch, seed=5)
+        driven = run_flow(nl, arch, seed=5, timing_driven=True)
+        assert plain is not driven

@@ -1,0 +1,35 @@
+"""Smoke tests: every example script runs end-to-end.
+
+These reuse the warm flow/fabric caches, so they are cheap after the first
+suite run; they guarantee the documented entry points never rot.
+"""
+
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = [
+    ("examples/quickstart.py", []),
+    ("examples/corner_exploration.py", []),
+    ("examples/characterize_device.py", ["25"]),
+    ("examples/thermal_map.py", ["sha"]),
+]
+
+
+@pytest.mark.parametrize("path,argv", EXAMPLES, ids=[p for p, _ in EXAMPLES])
+def test_example_runs(path, argv, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [path] + argv)
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 100  # produced a real report
+
+
+def test_datacenter_example(capsys, monkeypatch):
+    # Heavier (builds several corner fabrics); kept separate so it's easy
+    # to deselect with -k.
+    monkeypatch.setattr(sys, "argv", ["examples/datacenter_accelerator.py"])
+    runpy.run_path("examples/datacenter_accelerator.py", run_name="__main__")
+    out = capsys.readouterr().out
+    assert "thermal-aware grade" in out
+    assert "boost" in out

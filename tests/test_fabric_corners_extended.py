@@ -1,0 +1,75 @@
+"""Extended corner-fabric behaviour across the full grade ladder."""
+
+import numpy as np
+import pytest
+
+from repro.coffe.fabric import build_fabric
+
+CORNERS = (0.0, 25.0, 50.0, 70.0, 100.0)
+
+
+@pytest.fixture(scope="module")
+def ladder(arch):
+    return {c: build_fabric(c, arch) for c in CORNERS}
+
+
+class TestGradeLadder:
+    def test_every_grade_beats_neighbours_at_home(self, ladder):
+        """Evaluated at its own corner, each grade is at least as fast as
+        every other grade (weak inequality: corners may tie)."""
+        for home, fabric in ladder.items():
+            own = float(fabric.cp_delay_s(home))
+            for other_corner, other in ladder.items():
+                assert own <= float(other.cp_delay_s(home)) * (1 + 1e-9), (
+                    home, other_corner,
+                )
+
+    def test_intercept_slope_tradeoff(self, ladder):
+        """Hotter grades trade a higher cold intercept for a flatter slope."""
+        cold_delays = {c: float(f.cp_delay_s(0.0)) for c, f in ladder.items()}
+        rises = {
+            c: float(f.cp_delay_s(100.0)) / float(f.cp_delay_s(0.0))
+            for c, f in ladder.items()
+        }
+        assert cold_delays[100.0] > cold_delays[0.0]
+        assert rises[100.0] < rises[0.0]
+
+    def test_crossover_temperature_ordered(self, ladder):
+        """The D0/D100 crossover sits strictly inside the range and above
+        the D0/D70 crossover."""
+        grid = np.arange(0.0, 101.0, 1.0)
+
+        def crossover(a, b):
+            da = np.asarray(ladder[a].cp_delay_s(grid))
+            db = np.asarray(ladder[b].cp_delay_s(grid))
+            sign = da - db
+            idx = np.argmax(sign < 0.0) if sign[0] > 0 else np.argmax(sign > 0.0)
+            return float(grid[idx])
+
+        x_0_70 = crossover(70.0, 0.0)
+        x_0_100 = crossover(100.0, 0.0)
+        assert 0.0 < x_0_70 <= x_0_100 < 100.0
+
+    def test_leakage_anchor_shared(self, ladder):
+        """All grades share the same calibration, so the 25 C-corner fabric
+        (and only it) matches Table II at 25 C exactly; others are close
+        but not identical (different sizing)."""
+        from repro.coffe.characterize import TABLE2
+
+        base = float(ladder[25.0].delay_s("lut", 25.0)) * 1e12
+        assert base == pytest.approx(TABLE2["lut"].delay_ps(25.0), rel=1e-3)
+        hot = float(ladder[100.0].delay_s("lut", 25.0)) * 1e12
+        assert hot != pytest.approx(base, rel=1e-6)
+
+    def test_areas_within_family_budget(self, ladder):
+        """Every grade respects the family floorplan: its resources stay
+        within the headroom of the reference sizing."""
+        from repro.coffe.characterize import AREA_BUDGET_HEADROOM, TABLE2
+
+        base_area = {r: ladder[25.0].area_um2(r) for r in TABLE2}
+        for corner, fabric in ladder.items():
+            for resource in TABLE2:
+                ratio = fabric.area_um2(resource) / base_area[resource]
+                assert ratio <= AREA_BUDGET_HEADROOM * 1.05 + 0.35, (
+                    corner, resource, ratio,
+                )

@@ -1,0 +1,64 @@
+"""Tests for the on-disk place-and-route cache."""
+
+import pickle
+
+import pytest
+
+from repro.cad.flow import _disk_cache_path, run_flow
+from repro.netlists.generator import NetlistSpec, generate_netlist
+
+
+@pytest.fixture()
+def cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    return tmp_path
+
+
+@pytest.fixture()
+def small_netlist():
+    return generate_netlist(NetlistSpec("cache_probe", n_luts=10, depth=3, seed=77))
+
+
+class TestDiskCache:
+    def test_writes_and_reloads(self, cache_dir, small_netlist, arch):
+        first = run_flow(small_netlist, arch, seed=3)
+        files = list(cache_dir.glob("*.pkl"))
+        assert len(files) == 1
+        # Purge the in-memory cache, reload from disk.
+        from repro.cad import flow as flow_module
+
+        flow_module._FLOW_CACHE.clear()
+        second = run_flow(small_netlist, arch, seed=3)
+        assert second.placement.location == first.placement.location
+
+    def test_corrupt_cache_recovered(self, cache_dir, small_netlist, arch):
+        path = _disk_cache_path(small_netlist, arch, 3)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"not a pickle")
+        from repro.cad import flow as flow_module
+
+        flow_module._FLOW_CACHE.clear()
+        result = run_flow(small_netlist, arch, seed=3)  # must not raise
+        assert result.netlist is small_netlist
+        # The corrupt entry was replaced by a valid one.
+        with open(path, "rb") as handle:
+            pickle.load(handle)
+
+    def test_cache_off(self, monkeypatch, small_netlist, arch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", "off")
+        assert _disk_cache_path(small_netlist, arch, 3) is None
+
+    def test_use_cache_false_bypasses(self, cache_dir, small_netlist, arch):
+        run_flow(small_netlist, arch, seed=9, use_cache=False)
+        assert not list(cache_dir.glob("*.pkl"))
+
+    def test_key_distinguishes_seeds(self, cache_dir, small_netlist, arch):
+        a = _disk_cache_path(small_netlist, arch, 1)
+        b = _disk_cache_path(small_netlist, arch, 2)
+        assert a != b
+
+    def test_key_distinguishes_arch(self, cache_dir, small_netlist, arch):
+        other = arch.with_changes(cluster_size=8)
+        assert _disk_cache_path(small_netlist, arch, 1) != _disk_cache_path(
+            small_netlist, other, 1
+        )

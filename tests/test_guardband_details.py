@@ -1,0 +1,88 @@
+"""Deeper Algorithm 1 behaviour: fixed-point structure and telemetry."""
+
+import numpy as np
+import pytest
+
+from repro.activity.ace import estimate_activity
+from repro.core.guardband import thermal_aware_guardband
+from repro.power.model import PowerModel
+from repro.thermal.hotspot import ThermalSolver
+
+
+class TestFixedPoint:
+    def test_converged_profile_is_self_consistent(self, tiny_flow, fabric25):
+        """At convergence, re-running one more iteration moves every tile by
+        at most delta_t — the fixed-point contract of Algorithm 1."""
+        result = thermal_aware_guardband(tiny_flow, fabric25, 25.0)
+        activity = estimate_activity(tiny_flow.netlist, 0.15)
+        model = PowerModel(tiny_flow, fabric25, activity)
+        solver = ThermalSolver(tiny_flow.layout)
+        report = tiny_flow.timing.critical_path(
+            fabric25, result.tile_temperatures
+        )
+        power = model.evaluate(report.frequency_hz, result.tile_temperatures)
+        t_next = solver.solve(power.total_w, 25.0)
+        assert float(np.max(np.abs(t_next - result.tile_temperatures))) <= (
+            result.delta_t + 1e-9
+        )
+
+    def test_frequency_accounts_for_margin(self, tiny_flow, fabric25):
+        result = thermal_aware_guardband(tiny_flow, fabric25, 25.0)
+        retimed = tiny_flow.timing.critical_path(
+            fabric25, result.tile_temperatures + result.delta_t
+        )
+        assert result.frequency_hz == pytest.approx(retimed.frequency_hz)
+
+    def test_power_monotone_along_iterations(self, tiny_flow, fabric25):
+        """Leakage grows with temperature, so total power must not drop as
+        the temperature estimate rises across iterations."""
+        result = thermal_aware_guardband(tiny_flow, fabric25, 25.0)
+        powers = [step.total_power_w for step in result.history]
+        temps = [step.mean_tile_celsius for step in result.history]
+        for (p1, t1), (p2, t2) in zip(
+            zip(powers, temps), zip(powers[1:], temps[1:])
+        ):
+            if t2 >= t1:
+                # Frequency also changes, but at these operating points the
+                # leakage increase dominates any frequency reduction.
+                assert p2 >= p1 * 0.97
+
+    def test_deltas_shrink(self, tiny_flow, fabric25):
+        result = thermal_aware_guardband(tiny_flow, fabric25, 25.0)
+        deltas = [step.max_delta_celsius for step in result.history]
+        assert deltas == sorted(deltas, reverse=True)
+
+    def test_explicit_activity_object_honoured(self, tiny_flow, fabric25):
+        lazy = estimate_activity(tiny_flow.netlist, 0.05)
+        busy = estimate_activity(tiny_flow.netlist, 0.50)
+        r_lazy = thermal_aware_guardband(tiny_flow, fabric25, 25.0, activity=lazy)
+        r_busy = thermal_aware_guardband(tiny_flow, fabric25, 25.0, activity=busy)
+        assert r_busy.total_power_w > r_lazy.total_power_w
+
+    def test_result_metadata(self, tiny_flow, fabric25):
+        result = thermal_aware_guardband(tiny_flow, fabric25, 40.0, delta_t=3.0)
+        assert result.t_ambient == 40.0
+        assert result.delta_t == 3.0
+        assert result.critical_path_s == pytest.approx(1.0 / result.frequency_hz)
+        assert len(result.tile_temperatures) == tiny_flow.n_tiles
+
+
+class TestAmbientSweep:
+    def test_gain_monotone_in_ambient(self, tiny_flow, fabric25):
+        """Cooler ambients always leave more recoverable margin."""
+        freqs = [
+            thermal_aware_guardband(tiny_flow, fabric25, t).frequency_hz
+            for t in (10.0, 25.0, 40.0, 55.0, 70.0, 85.0)
+        ]
+        assert freqs == sorted(freqs, reverse=True)
+
+    def test_ambient_at_tworst_still_safe(self, tiny_flow, fabric25):
+        """Even at a 95 C ambient the flow produces a valid (slow) clock."""
+        from repro.core.margins import worst_case_frequency
+
+        result = thermal_aware_guardband(tiny_flow, fabric25, 95.0)
+        # Self-heating pushes past Tworst; the guardbanded clock must then
+        # be at or below the 100 C baseline (clamped characterization).
+        assert result.frequency_hz <= worst_case_frequency(
+            tiny_flow, fabric25
+        ) * 1.05

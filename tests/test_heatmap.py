@@ -1,0 +1,47 @@
+"""Tests for the ASCII heatmap rendering."""
+
+import numpy as np
+import pytest
+
+from repro.arch.layout import FabricLayout
+from repro.arch.params import ArchParams
+from repro.reporting.heatmap import SHADES, format_heatmap
+
+
+@pytest.fixture(scope="module")
+def layout():
+    return FabricLayout(ArchParams(), 6, 6)
+
+
+class TestHeatmap:
+    def test_dimensions(self, layout):
+        values = np.zeros(layout.n_tiles)
+        text = format_heatmap(layout, values, title="t")
+        lines = text.splitlines()
+        assert len(lines) == layout.height + 2  # title + rows + legend
+        assert all(len(line) == layout.width for line in lines[1:-1])
+
+    def test_peak_uses_hottest_shade(self, layout):
+        values = np.zeros(layout.n_tiles)
+        values[layout.tile_index(2, 3)] = 10.0
+        text = format_heatmap(layout, values)
+        grid_rows = text.splitlines()[:-1]
+        # Row 0 is printed at the bottom.
+        row = grid_rows[layout.height - 1 - 3]
+        assert row[2] == SHADES[-1]
+
+    def test_uniform_field_renders(self, layout):
+        values = np.full(layout.n_tiles, 25.0)
+        text = format_heatmap(layout, values)
+        assert "25.00" in text
+
+    def test_explicit_scale(self, layout):
+        values = np.full(layout.n_tiles, 50.0)
+        text = format_heatmap(layout, values, v_min=0.0, v_max=100.0)
+        body = "".join(text.splitlines()[:-1])
+        # 50 % of the scale lands mid-palette.
+        assert set(body) == {SHADES[len(SHADES) // 2]}
+
+    def test_rejects_wrong_shape(self, layout):
+        with pytest.raises(ValueError):
+            format_heatmap(layout, np.zeros(3))

@@ -1,0 +1,57 @@
+"""Tests for the plain-text table/figure formatting."""
+
+import pytest
+
+from repro.reporting.figures import format_bar_chart, format_series
+from repro.reporting.tables import format_table
+
+
+class TestTable:
+    def test_alignment_and_header(self):
+        text = format_table(
+            ["name", "value"], [("alpha", 1.5), ("b", 22.0)], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert set(lines[2]) <= {"-", "+"}
+        assert len(lines) == 5
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [(1,)])
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [(0.123456,)])
+        assert "0.1235" in text
+
+
+class TestBarChart:
+    def test_peak_bar_is_longest(self):
+        text = format_bar_chart(["a", "b"], [10.0, 50.0])
+        bars = [line.count("#") for line in text.splitlines()]
+        assert bars[1] > bars[0]
+
+    def test_values_printed(self):
+        text = format_bar_chart(["x"], [36.5])
+        assert "36.5%" in text
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            format_bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty_ok(self):
+        assert format_bar_chart([], [], title="none") == "none"
+
+
+class TestSeries:
+    def test_column_per_series(self):
+        text = format_series(
+            [0.0, 50.0],
+            [("D0", [1.0, 2.0]), ("D100", [1.5, 1.8])],
+            title="fig",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "fig"
+        assert "D0" in lines[1] and "D100" in lines[1]
+        assert len(lines) == 4

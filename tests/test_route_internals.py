@@ -1,0 +1,102 @@
+"""Tests for PathFinder internals: cost model, net ordering, route trees."""
+
+import pytest
+
+from repro.arch.layout import FabricLayout, TileType
+from repro.arch.rrgraph import RRNodeType, build_rr_graph
+from repro.cad.pack import pack_netlist
+from repro.cad.place import place
+from repro.cad.route import (
+    NetRoute,
+    _node_cost,
+    _routable_nets,
+    route,
+)
+
+
+@pytest.fixture(scope="module")
+def routed(tiny_netlist, arch):
+    packed = pack_netlist(tiny_netlist, arch)
+    counts = {t: 0 for t in TileType}
+    for c in packed.clusters:
+        counts[c.type] += 1
+    layout = FabricLayout.for_netlist(
+        arch, counts[TileType.CLB], counts[TileType.BRAM],
+        counts[TileType.DSP], counts[TileType.IO],
+    )
+    placement = place(packed, layout, seed=21)
+    graph = build_rr_graph(arch, layout)
+    return packed, placement, graph, route(packed, placement, graph)
+
+
+class TestCostModel:
+    def test_free_node_costs_base(self):
+        assert _node_cost(0, [0], [0.0], [1], pres_fac=1.0) == pytest.approx(1.0)
+
+    def test_full_node_penalized(self):
+        free = _node_cost(0, [0], [0.0], [1], pres_fac=2.0)
+        full = _node_cost(0, [1], [0.0], [1], pres_fac=2.0)
+        assert full > free
+
+    def test_history_accumulates_cost(self):
+        fresh = _node_cost(0, [0], [0.0], [1], pres_fac=1.0)
+        scarred = _node_cost(0, [0], [3.0], [1], pres_fac=1.0)
+        assert scarred == pytest.approx(4.0 * fresh)
+
+    def test_pres_fac_scales_overuse(self):
+        mild = _node_cost(0, [2], [0.0], [1], pres_fac=0.5)
+        harsh = _node_cost(0, [2], [0.0], [1], pres_fac=5.0)
+        assert harsh > mild
+
+
+class TestNetOrdering:
+    def test_high_fanout_first(self, routed):
+        packed, placement, graph, _ = routed
+        nets = _routable_nets(packed, placement, graph)
+        fanouts = [len(sinks) for _net, _src, sinks, _bb in nets]
+        assert fanouts == sorted(fanouts, reverse=True)
+
+    def test_bounding_boxes_contain_terminals(self, routed):
+        packed, placement, graph, _ = routed
+        for net_id, source, sinks, (x_lo, y_lo, x_hi, y_hi) in _routable_nets(
+            packed, placement, graph
+        ):
+            for node_id in [source] + sinks:
+                node = graph.nodes[node_id]
+                assert x_lo <= node.x <= x_hi
+                assert y_lo <= node.y <= y_hi
+
+
+class TestRouteTrees:
+    def test_all_nodes_includes_source(self, routed):
+        *_, result = routed
+        for net_route in result.routes.values():
+            assert net_route.source_node in net_route.all_nodes()
+
+    def test_tree_paths_share_prefixes_not_conflict(self, routed):
+        packed, placement, graph, result = routed
+        # A net's sink paths form a tree: the union of nodes never contains
+        # two distinct incoming tree edges for the same node.
+        for net_route in result.routes.values():
+            parent = {}
+            for path in net_route.sink_paths.values():
+                for a, b in zip(path, path[1:]):
+                    if b in parent:
+                        assert parent[b] == a, "node has two tree parents"
+                    parent[b] = a
+
+    def test_wire_accounting(self, routed):
+        *_, result = routed
+        total = result.total_wire_nodes()
+        assert total > 0
+        # Upper bound: cannot exceed the number of wires used per net summed.
+        upper = sum(
+            sum(1 for n in r.all_nodes()
+                if result.graph.nodes[n].type in (RRNodeType.CHANX, RRNodeType.CHANY))
+            for r in result.routes.values()
+        )
+        assert total == upper
+
+    def test_no_overuse_reported(self, routed):
+        *_, result = routed
+        assert result.overused_nodes == 0

@@ -1,0 +1,163 @@
+"""Tests for the alpha-power MOSFET evaluation."""
+
+import pytest
+
+from repro.spice.devices import (
+    drain_current,
+    drain_current_and_derivatives,
+    effective_resistance,
+    effective_overdrive,
+    gate_capacitance,
+    drain_capacitance,
+    leakage_current,
+    off_current,
+    pass_gate_resistance,
+)
+from repro.technology import HP_NMOS, LP_NMOS, celsius_to_kelvin
+
+T25 = celsius_to_kelvin(25.0)
+T0 = celsius_to_kelvin(0.0)
+T100 = celsius_to_kelvin(100.0)
+VDD = 0.8
+
+
+class TestDrainCurrent:
+    def test_off_device_barely_conducts(self):
+        i_on = drain_current(HP_NMOS, VDD, VDD, 1.0, T25)
+        i_off = drain_current(HP_NMOS, 0.0, VDD, 1.0, T25)
+        assert i_off < 1e-4 * i_on
+
+    def test_scales_linearly_with_width(self):
+        i1 = drain_current(HP_NMOS, VDD, VDD, 1.0, T25)
+        i4 = drain_current(HP_NMOS, VDD, VDD, 4.0, T25)
+        assert i4 == pytest.approx(4.0 * i1, rel=1e-9)
+
+    def test_monotonic_in_vgs(self):
+        currents = [
+            drain_current(HP_NMOS, v, VDD, 1.0, T25)
+            for v in (0.0, 0.2, 0.4, 0.6, 0.8)
+        ]
+        assert all(a < b for a, b in zip(currents, currents[1:]))
+
+    def test_monotonic_in_vds(self):
+        currents = [
+            drain_current(HP_NMOS, VDD, v, 1.0, T25)
+            for v in (0.01, 0.1, 0.3, 0.6, 0.8)
+        ]
+        assert all(a < b for a, b in zip(currents, currents[1:]))
+
+    def test_on_current_degrades_with_temperature(self):
+        # Strong inversion is mobility-dominated: hotter means weaker.
+        assert drain_current(HP_NMOS, VDD, VDD, 1.0, T100) < drain_current(
+            HP_NMOS, VDD, VDD, 1.0, T0
+        )
+
+    def test_off_current_grows_with_temperature(self):
+        # Subthreshold is exponential in -Vth/nvt: hotter means leakier.
+        assert off_current(HP_NMOS, VDD, 1.0, T100) > 5.0 * off_current(
+            HP_NMOS, VDD, 1.0, T0
+        )
+
+    def test_negative_vds_rejected(self):
+        with pytest.raises(ValueError, match="vds"):
+            drain_current(HP_NMOS, VDD, -0.1, 1.0, T25)
+
+
+class TestDerivatives:
+    @pytest.mark.parametrize("vgs,vds", [(0.8, 0.8), (0.5, 0.3), (0.25, 0.6)])
+    def test_match_finite_differences(self, vgs, vds):
+        i, gm, gds = drain_current_and_derivatives(HP_NMOS, vgs, vds, 2.0, T25)
+        eps = 1e-7
+        gm_fd = (
+            drain_current(HP_NMOS, vgs + eps, vds, 2.0, T25)
+            - drain_current(HP_NMOS, vgs - eps, vds, 2.0, T25)
+        ) / (2 * eps)
+        gds_fd = (
+            drain_current(HP_NMOS, vgs, vds + eps, 2.0, T25)
+            - drain_current(HP_NMOS, vgs, vds - eps, 2.0, T25)
+        ) / (2 * eps)
+        assert gm == pytest.approx(gm_fd, rel=1e-5)
+        assert gds == pytest.approx(gds_fd, rel=1e-5)
+
+    def test_derivatives_positive(self):
+        _, gm, gds = drain_current_and_derivatives(HP_NMOS, 0.6, 0.4, 1.0, T25)
+        assert gm > 0.0 and gds > 0.0
+
+
+class TestOverdrive:
+    def test_strong_inversion_limit(self):
+        vgt = effective_overdrive(HP_NMOS, 1.5, T25)
+        assert vgt == pytest.approx(1.5 - HP_NMOS.vth0, rel=1e-3)
+
+    def test_subthreshold_positive_and_small(self):
+        vgt = effective_overdrive(HP_NMOS, 0.0, T25)
+        assert 0.0 < vgt < 0.01
+
+
+class TestEffectiveResistance:
+    def test_inverse_in_width(self):
+        r1 = effective_resistance(HP_NMOS, VDD, 1.0, T25)
+        r4 = effective_resistance(HP_NMOS, VDD, 4.0, T25)
+        assert r4 == pytest.approx(r1 / 4.0, rel=1e-9)
+
+    def test_increases_with_temperature(self):
+        assert effective_resistance(HP_NMOS, VDD, 1.0, T100) > effective_resistance(
+            HP_NMOS, VDD, 1.0, T0
+        )
+
+    def test_pass_gate_slower_than_grounded_source(self):
+        assert pass_gate_resistance(HP_NMOS, VDD, 1.0, T25) > effective_resistance(
+            HP_NMOS, VDD, 1.0, T25
+        )
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError, match="width"):
+            effective_resistance(HP_NMOS, VDD, 0.0, T25)
+
+
+class TestLeakageBlend:
+    def test_total_exceeds_subthreshold(self):
+        assert leakage_current(HP_NMOS, VDD, 1.0, T25) > off_current(
+            HP_NMOS, VDD, 1.0, T25
+        )
+
+    def test_gate_fraction_at_reference(self):
+        total = leakage_current(HP_NMOS, VDD, 1.0, T25)
+        sub = off_current(HP_NMOS, VDD, 1.0, T25)
+        assert sub / total == pytest.approx(
+            1.0 - HP_NMOS.gate_leak_fraction, rel=1e-6
+        )
+
+    def test_blend_flatter_than_subthreshold(self):
+        # The paper's leakage fits (~e^{0.014T}) are far shallower than the
+        # raw subthreshold exponential; the gate/junction blend provides it.
+        sub_ratio = off_current(HP_NMOS, VDD, 1.0, T100) / off_current(
+            HP_NMOS, VDD, 1.0, T0
+        )
+        tot_ratio = leakage_current(HP_NMOS, VDD, 1.0, T100) / leakage_current(
+            HP_NMOS, VDD, 1.0, T0
+        )
+        assert tot_ratio < 0.5 * sub_ratio
+        assert 2.0 < tot_ratio < 8.0
+
+    def test_lp_flatter_than_hp(self):
+        lp_ratio = leakage_current(LP_NMOS, 0.95, 1.0, T100) / leakage_current(
+            LP_NMOS, 0.95, 1.0, T0
+        )
+        hp_ratio = leakage_current(HP_NMOS, VDD, 1.0, T100) / leakage_current(
+            HP_NMOS, VDD, 1.0, T0
+        )
+        assert lp_ratio < hp_ratio
+
+
+class TestCapacitances:
+    def test_linear_in_width(self):
+        assert gate_capacitance(HP_NMOS, 3.0) == pytest.approx(
+            3.0 * gate_capacitance(HP_NMOS, 1.0)
+        )
+        assert drain_capacitance(HP_NMOS, 3.0) == pytest.approx(
+            3.0 * drain_capacitance(HP_NMOS, 1.0)
+        )
+
+    def test_gate_exceeds_drain(self):
+        assert gate_capacitance(HP_NMOS, 1.0) > drain_capacitance(HP_NMOS, 1.0)

@@ -1,0 +1,71 @@
+"""Tests for the SRAM Vth-variation Monte Carlo."""
+
+import pytest
+
+from repro.spice.montecarlo import (
+    SramLeakageSample,
+    sram_cell_leakage,
+    sram_weakest_cell_leakage,
+)
+from repro.technology import LP_NMOS, LP_PMOS, celsius_to_kelvin
+
+T25 = celsius_to_kelvin(25.0)
+T100 = celsius_to_kelvin(100.0)
+VDD = 0.95
+
+
+class TestCellLeakage:
+    def test_positive(self):
+        assert sram_cell_leakage(LP_NMOS, LP_PMOS, VDD, T25) > 0.0
+
+    def test_lower_vth_leaks_more(self):
+        nominal = sram_cell_leakage(LP_NMOS, LP_PMOS, VDD, T25)
+        weak = sram_cell_leakage(LP_NMOS, LP_PMOS, VDD, T25, vth_shift_n=-0.05)
+        assert weak > 2.0 * nominal
+
+    def test_grows_with_temperature(self):
+        assert sram_cell_leakage(LP_NMOS, LP_PMOS, VDD, T100) > sram_cell_leakage(
+            LP_NMOS, LP_PMOS, VDD, T25
+        )
+
+    def test_gate_component_adds(self):
+        channel = sram_cell_leakage(LP_NMOS, LP_PMOS, VDD, T25)
+        total = sram_cell_leakage(LP_NMOS, LP_PMOS, VDD, T25, include_gate=True)
+        assert total > 10.0 * channel  # LP devices are gate-leak dominated
+
+
+class TestMonteCarlo:
+    def test_weakest_exceeds_mean(self):
+        sample = sram_weakest_cell_leakage(LP_NMOS, LP_PMOS, VDD, T25, n_cells=500)
+        assert sample.weakest_amps > sample.mean_amps
+
+    def test_deterministic_for_seed(self):
+        a = sram_weakest_cell_leakage(LP_NMOS, LP_PMOS, VDD, T25, n_cells=300, seed=5)
+        b = sram_weakest_cell_leakage(LP_NMOS, LP_PMOS, VDD, T25, n_cells=300, seed=5)
+        assert a.weakest_amps == b.weakest_amps
+
+    def test_different_seeds_differ(self):
+        a = sram_weakest_cell_leakage(LP_NMOS, LP_PMOS, VDD, T25, n_cells=300, seed=5)
+        b = sram_weakest_cell_leakage(LP_NMOS, LP_PMOS, VDD, T25, n_cells=300, seed=6)
+        assert a.weakest_amps != b.weakest_amps
+
+    def test_larger_population_leakier_tail(self):
+        small = sram_weakest_cell_leakage(LP_NMOS, LP_PMOS, VDD, T25, n_cells=50)
+        large = sram_weakest_cell_leakage(LP_NMOS, LP_PMOS, VDD, T25, n_cells=5000)
+        assert large.weakest_amps >= small.weakest_amps
+
+    def test_zero_sigma_degenerates_to_mean(self):
+        sample = sram_weakest_cell_leakage(
+            LP_NMOS, LP_PMOS, VDD, T25, n_cells=10, vth_sigma=0.0
+        )
+        assert sample.weakest_amps == pytest.approx(sample.mean_amps)
+
+    def test_rejects_empty_population(self):
+        with pytest.raises(ValueError):
+            sram_weakest_cell_leakage(LP_NMOS, LP_PMOS, VDD, T25, n_cells=0)
+
+    def test_result_reports_conditions(self):
+        sample = sram_weakest_cell_leakage(LP_NMOS, LP_PMOS, VDD, T100, n_cells=10)
+        assert isinstance(sample, SramLeakageSample)
+        assert sample.t_kelvin == pytest.approx(T100)
+        assert sample.n_cells == 10

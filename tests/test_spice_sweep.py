@@ -1,0 +1,99 @@
+"""Tests for the DC/temperature sweep drivers — including the key
+cross-validation: the Elmore abstractions used by the sizing flow must
+track the full transient simulation across temperature."""
+
+import numpy as np
+import pytest
+
+from repro.spice.devices import effective_resistance
+from repro.spice.netlist import Circuit, step_waveform
+from repro.spice.sweep import dc_sweep, delay_vs_temperature, temperature_sweep
+from repro.spice.measure import static_supply_current
+from repro.technology import HP_NMOS, HP_PMOS, VDD_NOMINAL, celsius_to_kelvin
+
+
+def make_inverter(t_kelvin: float, dynamic: bool = False) -> Circuit:
+    c = Circuit("inv")
+    c.voltage_source("vdd", "0", VDD_NOMINAL)
+    if dynamic:
+        c.voltage_source(
+            "in", "0", step_waveform(20e-12, 0.0, VDD_NOMINAL, 5e-12)
+        )
+    else:
+        c.voltage_source("in", "0", 0.0)
+    c.mosfet(HP_PMOS, "out", "in", "vdd", 2.0, t_kelvin)
+    c.mosfet(HP_NMOS, "out", "in", "0", 1.0, t_kelvin)
+    c.capacitor("out", "0", 2e-15)
+    return c
+
+
+class TestDcSweep:
+    def test_transfer_curve_monotone(self):
+        t25 = celsius_to_kelvin(25.0)
+        circuit = make_inverter(t25)
+        source = circuit.vsources[1]  # the input source
+        sweep = dc_sweep(
+            circuit, source, np.linspace(0.0, 0.8, 17), ["out"],
+            initial_guess={"out": VDD_NOMINAL, "vdd": VDD_NOMINAL},
+        )
+        vout = sweep.of("out")
+        assert vout[0] == pytest.approx(VDD_NOMINAL, abs=1e-3)
+        assert vout[-1] == pytest.approx(0.0, abs=1e-3)
+        assert np.all(np.diff(vout) <= 1e-9)
+
+    def test_unknown_probe_raises(self):
+        t25 = celsius_to_kelvin(25.0)
+        circuit = make_inverter(t25)
+        sweep = dc_sweep(circuit, circuit.vsources[1], [0.0], ["out"])
+        with pytest.raises(KeyError, match="unknown probe"):
+            sweep.of("ghost")
+
+    def test_empty_grid_rejected(self):
+        circuit = make_inverter(celsius_to_kelvin(25.0))
+        with pytest.raises(ValueError):
+            dc_sweep(circuit, circuit.vsources[1], [], ["out"])
+
+
+class TestTemperatureSweep:
+    def test_leakage_sweep_monotone(self):
+        temps = [celsius_to_kelvin(t) for t in (0.0, 50.0, 100.0)]
+        sweep = temperature_sweep(
+            lambda t: make_inverter(t),
+            temps,
+            static_supply_current,
+            probe="leak",
+        )
+        leak = sweep.of("leak")
+        assert np.all(np.diff(leak) > 0.0)
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            temperature_sweep(make_inverter, [], static_supply_current)
+
+
+class TestElmoreCrossValidation:
+    def test_transient_delay_tracks_effective_resistance(self):
+        """The Elmore abstraction and the full simulation must agree on the
+        *temperature trend* — this is what licenses using Elmore models in
+        the sizing flow."""
+        temps = [celsius_to_kelvin(t) for t in (0.0, 50.0, 100.0)]
+        sweep = delay_vs_temperature(
+            lambda t: make_inverter(t, dynamic=True),
+            temps,
+            "in",
+            "out",
+            VDD_NOMINAL,
+            t_stop=200e-12,
+            timestep=0.25e-12,
+        )
+        measured = sweep.of("delay_s")
+        predicted = np.array(
+            [
+                effective_resistance(HP_NMOS, VDD_NOMINAL, 1.0, t) * 2e-15
+                for t in temps
+            ]
+        )
+        measured_ratio = measured[-1] / measured[0]
+        predicted_ratio = predicted[-1] / predicted[0]
+        assert measured_ratio == pytest.approx(predicted_ratio, rel=0.25)
+        assert np.all(np.diff(measured) > 0.0)

@@ -1,0 +1,76 @@
+"""Tests for the transient thermal solver."""
+
+import numpy as np
+import pytest
+
+from repro.arch.layout import FabricLayout
+from repro.arch.params import ArchParams
+from repro.thermal.hotspot import ThermalSolver
+from repro.thermal.transient import TransientThermalSolver
+
+
+@pytest.fixture(scope="module")
+def layout():
+    return FabricLayout(ArchParams(), 6, 6)
+
+
+@pytest.fixture(scope="module")
+def solver(layout):
+    return TransientThermalSolver(layout)
+
+
+class TestTransient:
+    def test_converges_to_steady_state(self, solver, layout):
+        rng = np.random.default_rng(1)
+        power = rng.uniform(0.0, 5e-4, layout.n_tiles)
+        steady = ThermalSolver(layout, solver.package).solve(power, 25.0)
+        run = solver.simulate(power, 25.0, duration_s=12 * solver.time_constant_s)
+        np.testing.assert_allclose(run.final(), steady, atol=0.05)
+
+    def test_monotone_rise_from_ambient(self, solver, layout):
+        power = np.full(layout.n_tiles, 1e-4)
+        run = solver.simulate(power, 25.0, duration_s=4 * solver.time_constant_s)
+        trace = run.tile_trace(layout.tile_index(3, 3))
+        assert np.all(np.diff(trace) >= -1e-9)
+
+    def test_time_constant_scale(self, solver, layout):
+        # At one time constant a first-order system reaches ~63 % of the
+        # step; the grid is close to first-order for uniform power.
+        power = np.full(layout.n_tiles, 1e-4)
+        steady = ThermalSolver(layout, solver.package).solve(power, 25.0)
+        run = solver.simulate(power, 25.0, duration_s=solver.time_constant_s)
+        frac = (run.final().mean() - 25.0) / (steady.mean() - 25.0)
+        assert 0.5 < frac < 0.8
+
+    def test_settling_time_reported(self, solver, layout):
+        power = np.full(layout.n_tiles, 1e-4)
+        steady = ThermalSolver(layout, solver.package).solve(power, 25.0)
+        run = solver.simulate(power, 25.0, duration_s=15 * solver.time_constant_s)
+        settle = run.settling_time_s(steady, tolerance_celsius=0.1)
+        assert 0.0 < settle < 15 * solver.time_constant_s
+
+    def test_warm_start(self, solver, layout):
+        power = np.zeros(layout.n_tiles)
+        hot_start = np.full(layout.n_tiles, 60.0)
+        run = solver.simulate(
+            power, 25.0, duration_s=10 * solver.time_constant_s,
+            t_initial=hot_start,
+        )
+        # Cools towards ambient.
+        assert run.final().mean() < 30.0
+        assert run.temperatures[0].mean() == pytest.approx(60.0)
+
+    def test_rejects_bad_inputs(self, solver, layout):
+        power = np.zeros(layout.n_tiles)
+        with pytest.raises(ValueError):
+            solver.simulate(power, 25.0, duration_s=0.0)
+        with pytest.raises(ValueError):
+            solver.simulate(np.zeros(3), 25.0, duration_s=1.0)
+        with pytest.raises(ValueError):
+            solver.simulate(power, 25.0, duration_s=1.0, timestep_s=2.0)
+        with pytest.raises(ValueError):
+            TransientThermalSolver(layout, tile_heat_capacity_j_per_k=0.0)
+
+    def test_thermal_much_slower_than_clock(self, solver):
+        # Justifies the paper's offline (once-per-application) analysis.
+        assert solver.time_constant_s > 1e-3  # milliseconds vs ns clocks
