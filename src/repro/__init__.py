@@ -32,6 +32,7 @@ Typical use::
     print(result.frequency_hz, result.iterations)
 """
 
+from repro import profiling
 from repro.arch.params import ArchParams
 from repro.cad.flow import FlowResult, run_flow
 from repro.coffe.characterize import characterize_fabric
@@ -56,6 +57,7 @@ __all__ = [
     "corner_delay_curves",
     "expected_delay",
     "generate_netlist",
+    "profiling",
     "run_flow",
     "select_design_corner",
     "thermal_aware_guardband",

@@ -46,8 +46,12 @@ class FlowResult:
 
 _FLOW_CACHE: Dict[Tuple[str, ArchParams, int], FlowResult] = {}
 
-FLOW_CACHE_VERSION = 2
-"""Bump to invalidate on-disk flow caches after algorithmic changes."""
+FLOW_CACHE_VERSION = 3
+"""Bump to invalidate on-disk flow caches after algorithmic changes.
+
+Version 3: TimingAnalyzer grew the flattened hot-loop element arrays
+(``_build_flat_arrays``); older pickles lack them.
+"""
 
 
 def _disk_cache_path(netlist: Netlist, arch: ArchParams, seed: int) -> Optional[Path]:

@@ -7,6 +7,14 @@ tile's temperature.  Re-running the analysis under a new per-tile
 temperature vector — the inner step of Algorithm 1 (line 4) — is therefore a
 single vectorized pass; the entire netlist is re-probed every time because
 the critical path itself moves with temperature (paper Sec. III-A).
+
+Hot-loop data layout: at construction every per-sink ``(resource, tile)``
+element list is flattened into three parallel arrays — ``_elem_resource``,
+``_elem_tile`` and per-sink segment offsets — so one arrival pass evaluates
+every net-segment delay with a single fancy-index gather into the
+``(n_resources, n_tiles)`` delay matrix plus one ``np.add.reduceat``.  Only
+the levelized block sweep (constant work per fanout edge) stays in Python.
+See DESIGN.md, "Hot-loop data layout".
 """
 
 from __future__ import annotations
@@ -21,12 +29,38 @@ from repro.arch.rrgraph import RRGraph, RRNodeType
 from repro.cad.pack import PackedNetlist
 from repro.cad.place import Placement
 from repro.cad.route import RoutingResult
-from repro.coffe.fabric import Fabric
+from repro.coffe.characterize import RESOURCE_NAMES, T_GRID_CELSIUS
+from repro.coffe.fabric import Fabric, T_MAX_CELSIUS, T_MIN_CELSIUS
 from repro.netlists.netlist import BlockType
 
 FF_CLK_TO_Q_S = 35e-12
 FF_SETUP_S = 25e-12
 """Flip-flop constants (temperature dependence negligible vs. the fabric)."""
+
+_RES_INDEX = {name: i for i, name in enumerate(RESOURCE_NAMES)}
+_LUT_ROW = _RES_INDEX["lut"]
+_BRAM_ROW = _RES_INDEX["bram"]
+_DSP_ROW = _RES_INDEX["dsp"]
+
+# Integer block-kind codes for the arrival sweep (avoids per-block Enum
+# attribute lookups in the hot loop).
+_K_INPUT, _K_FF, _K_BRAM, _K_LUT, _K_DSP, _K_OUTPUT = range(6)
+_BLOCK_KIND = {
+    BlockType.INPUT: _K_INPUT,
+    BlockType.FF: _K_FF,
+    BlockType.BRAM: _K_BRAM,
+    BlockType.LUT: _K_LUT,
+    BlockType.DSP: _K_DSP,
+    BlockType.OUTPUT: _K_OUTPUT,
+}
+
+
+def _uniform_unit_grid(grid: np.ndarray) -> bool:
+    """True when ``grid`` is the canonical 0..100 C, 1-degree sweep."""
+    return (
+        grid.shape == T_GRID_CELSIUS.shape
+        and bool(np.array_equal(grid, T_GRID_CELSIUS))
+    )
 
 
 @dataclass
@@ -67,6 +101,27 @@ class TimingAnalyzer:
         # net id -> deduplicated elements for dynamic-power accounting
         self.net_power_elements: Dict[int, List[Tuple[str, int]]] = {}
         self._build_net_elements(routing)
+        self._build_flat_arrays()
+
+    # Everything _build_flat_arrays derives from sink_elements is dropped
+    # when pickling (the on-disk flow cache) and rebuilt on load, so cached
+    # flows stay valid across changes to the hot-loop data layout.
+    _DERIVED_SLOTS = (
+        "_sink_segment", "_elem_resource", "_elem_tile", "_elem_flat",
+        "_seg_starts", "_reduceat_ok", "_fanout", "_sweep",
+        "_delay_cache_fabric", "_delay_cache_key", "_delay_cache_matrix",
+        "_table_cache_fabric", "_table_cache",
+    )
+
+    def __getstate__(self) -> Dict[str, object]:
+        state = self.__dict__.copy()
+        for name in self._DERIVED_SLOTS:
+            state.pop(name, None)
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._build_flat_arrays()
 
     # -- construction -----------------------------------------------------------
 
@@ -76,12 +131,19 @@ class TimingAnalyzer:
         graph = routing.graph
         edge_resource: Dict[Tuple[int, int], str] = {}
 
-        def resource_of(u: int, v: int) -> str:
+        def resource_of(net_id: int, u: int, v: int) -> str:
             key = (u, v)
             if key not in edge_resource:
                 for edge in graph.out_edges[u]:
                     edge_resource[(u, edge.dst)] = edge.resource
-            return edge_resource[key]
+            try:
+                return edge_resource[key]
+            except KeyError:
+                net = netlist.nets[net_id]
+                raise ValueError(
+                    f"net {net_id} ({net.name!r}) is routed through edge "
+                    f"{u}->{v} which does not exist in the RR graph"
+                ) from None
 
         for net in netlist.nets:
             driver_cluster = packed.cluster_of_block[net.driver]
@@ -111,31 +173,156 @@ class TimingAnalyzer:
                 sink_node = routing.graph.sink_of[sink_xy]
                 chain: List[int] = [sink_node]
                 while chain[-1] != route.source_node:
-                    chain.append(parent[chain[-1]])
+                    try:
+                        chain.append(parent[chain[-1]])
+                    except KeyError:
+                        raise ValueError(
+                            f"net {net.id} ({net.name!r}) route tree is "
+                            f"disconnected at node {chain[-1]}: no path back "
+                            f"to source node {route.source_node}"
+                        ) from None
                 chain.reverse()
                 elements: List[Tuple[str, int]] = []
                 for u, v in zip(chain, chain[1:]):
                     node = graph.nodes[v]
                     tile = self.layout.tile_index(node.x, node.y)
-                    elements.append((resource_of(u, v), tile))
+                    elements.append((resource_of(net.id, u, v), tile))
                     if v not in power_nodes:
                         power_nodes.add(v)
-                        power_elements.append((resource_of(u, v), tile))
+                        power_elements.append((resource_of(net.id, u, v), tile))
                 self.sink_elements[(net.id, sink)] = elements
 
             if power_elements:
                 self.net_power_elements[net.id] = power_elements
 
+    def _build_flat_arrays(self) -> None:
+        """Flatten per-sink element lists into gather-ready index arrays.
+
+        Each ``(net, sink)`` key becomes one *segment* of the flattened
+        ``(_elem_resource, _elem_tile)`` arrays; ``_seg_starts`` marks
+        segment boundaries for ``np.add.reduceat``.  ``_fanout`` stores, per
+        driver block, the ``(sink block, segment)`` pairs its output nets
+        feed, so the arrival sweep does constant work per fanout edge.
+        """
+        elem_resource: List[int] = []
+        elem_tile: List[int] = []
+        seg_starts: List[int] = []
+        self._sink_segment: Dict[Tuple[int, int], int] = {}
+        for key, elements in self.sink_elements.items():
+            self._sink_segment[key] = len(seg_starts)
+            seg_starts.append(len(elem_resource))
+            for resource, tile in elements:
+                elem_resource.append(_RES_INDEX[resource])
+                elem_tile.append(tile)
+        self._elem_resource = np.asarray(elem_resource, dtype=np.intp)
+        self._elem_tile = np.asarray(elem_tile, dtype=np.intp)
+        # Flat index into the raveled (n_resources, n_tiles) delay matrix.
+        self._elem_flat = self._elem_resource * self.layout.n_tiles + self._elem_tile
+        self._seg_starts = np.asarray(seg_starts, dtype=np.intp)
+        seg_ends = np.append(self._seg_starts[1:], self._elem_resource.size)
+        # reduceat needs every segment non-empty; routed paths always have
+        # >= 1 element and intra-tile sinks exactly 2, but keep a safe path.
+        self._reduceat_ok = bool(np.all(seg_ends > self._seg_starts))
+
+        netlist = self.packed.netlist
+        self._fanout: List[List[Tuple[int, int]]] = []
+        for block in netlist.blocks:
+            fanout: List[Tuple[int, int]] = []
+            for net_id in block.output_nets:
+                for sink in netlist.nets[net_id].sinks:
+                    fanout.append((sink, self._sink_segment[(net_id, sink)]))
+            self._fanout.append(fanout)
+
+        # Sweep schedule: (block id, kind code, tile, fanout) in levelized
+        # order, so the arrival pass touches no Block/Enum objects at all.
+        self._sweep: List[Tuple[int, int, int, List[Tuple[int, int]]]] = [
+            (
+                block_id,
+                _BLOCK_KIND[netlist.blocks[block_id].type],
+                self.block_tile[block_id],
+                self._fanout[block_id],
+            )
+            for block_id in self._comb_order
+        ]
+
+        self._delay_cache_fabric: Optional[Fabric] = None
+        self._delay_cache_key: Optional[bytes] = None
+        self._delay_cache_matrix: Optional[np.ndarray] = None
+        self._table_cache_fabric: Optional[Fabric] = None
+        self._table_cache: Optional[np.ndarray] = None
+
     # -- evaluation ----------------------------------------------------------------
+
+    def _fabric_delay_table(self, fabric: Fabric) -> Optional[np.ndarray]:
+        """Stacked ``(n_resources, n_grid)`` characterized delay rows.
+
+        Only usable when every resource was characterized on the canonical
+        0..100 C unit grid (always true for the COFFE flow); returns
+        ``None`` otherwise and callers fall back to per-resource
+        ``fabric.delay_s``.
+        """
+        if self._table_cache_fabric is fabric:
+            return self._table_cache
+        table: Optional[np.ndarray] = None
+        if all(
+            _uniform_unit_grid(np.asarray(fabric.resources[r].t_grid_celsius))
+            for r in RESOURCE_NAMES
+        ):
+            table = np.vstack(
+                [np.asarray(fabric.resources[r].delay_s) for r in RESOURCE_NAMES]
+            )
+        self._table_cache_fabric = fabric
+        self._table_cache = table
+        return table
+
+    def _delay_matrix(self, fabric: Fabric, t_tiles: np.ndarray) -> np.ndarray:
+        """The ``(n_resources, n_tiles)`` delay table at one thermal profile.
+
+        Cached for the last (fabric, temperature-vector) pair: within one
+        Algorithm 1 step several queries (critical path, resource mix,
+        slacks) hit the same profile.  When the fabric was characterized on
+        the canonical unit grid, all resources are interpolated in one
+        batched lerp instead of eight ``np.interp`` calls.
+        """
+        key = t_tiles.tobytes()
+        if (
+            self._delay_cache_matrix is not None
+            and self._delay_cache_fabric is fabric
+            and self._delay_cache_key == key
+        ):
+            return self._delay_cache_matrix
+        table = self._fabric_delay_table(fabric)
+        if table is None:
+            matrix = np.vstack(
+                [np.asarray(fabric.delay_s(r, t_tiles)) for r in RESOURCE_NAMES]
+            )
+        else:
+            t = np.clip(t_tiles, T_MIN_CELSIUS, T_MAX_CELSIUS)
+            i0 = t.astype(np.intp)
+            frac = t - i0
+            i1 = np.minimum(i0 + 1, table.shape[1] - 1)
+            matrix = table[:, i0] * (1.0 - frac) + table[:, i1] * frac
+        self._delay_cache_fabric = fabric
+        self._delay_cache_key = key
+        self._delay_cache_matrix = matrix
+        return matrix
+
+    def _segment_delays(self, delay_matrix: np.ndarray) -> np.ndarray:
+        """Total delay of every (net, sink) segment: one gather + reduceat."""
+        if self._elem_resource.size == 0:
+            return np.zeros(self._seg_starts.size)
+        elem_delays = np.take(delay_matrix.ravel(), self._elem_flat)
+        if self._reduceat_ok:
+            return np.add.reduceat(elem_delays, self._seg_starts)
+        cum = np.concatenate(([0.0], np.cumsum(elem_delays)))
+        seg_ends = np.append(self._seg_starts[1:], elem_delays.size)
+        return cum[seg_ends] - cum[self._seg_starts]
 
     def _resource_delays(
         self, fabric: Fabric, t_tiles: np.ndarray
     ) -> Dict[str, np.ndarray]:
-        resources = (
-            "sb_mux", "cb_mux", "local_mux", "feedback_mux", "output_mux",
-            "lut", "bram", "dsp",
-        )
-        return {r: np.asarray(fabric.delay_s(r, t_tiles)) for r in resources}
+        matrix = self._delay_matrix(fabric, t_tiles)
+        return {r: matrix[i] for i, r in enumerate(RESOURCE_NAMES)}
 
     def _normalize_temps(self, t_tiles) -> np.ndarray:
         t_tiles = np.asarray(t_tiles, dtype=float)
@@ -156,8 +343,62 @@ class TimingAnalyzer:
         Returns per-block input arrivals, worst-predecessor indices and a
         map endpoint block -> required-path delay (arrival + setup where
         applicable).
+
+        All net-segment delays are evaluated up front by
+        :meth:`_segment_delays`; the levelized sweep then does constant
+        work per fanout edge on plain Python floats.
         """
-        delays = self._resource_delays(fabric, t_tiles)
+        delay_matrix = self._delay_matrix(fabric, t_tiles)
+        seg_delay = self._segment_delays(delay_matrix).tolist()
+        lut_d = delay_matrix[_LUT_ROW].tolist()
+        bram_d = delay_matrix[_BRAM_ROW].tolist()
+        dsp_d = delay_matrix[_DSP_ROW].tolist()
+
+        n = self.packed.netlist.n_blocks
+        in_arrival = [0.0] * n
+        in_pred = [-1] * n
+        endpoints: Dict[int, float] = {}
+
+        for block_id, kind, tile, fanout in self._sweep:
+            if kind == _K_LUT:
+                t_out = in_arrival[block_id] + lut_d[tile]
+            elif kind == _K_FF:
+                endpoints[block_id] = in_arrival[block_id] + FF_SETUP_S
+                t_out = FF_CLK_TO_Q_S
+            elif kind == _K_INPUT:
+                t_out = 0.0
+            elif kind == _K_BRAM:
+                endpoints[block_id] = in_arrival[block_id] + FF_SETUP_S
+                t_out = bram_d[tile]
+            elif kind == _K_DSP:
+                t_out = in_arrival[block_id] + dsp_d[tile]
+            else:  # OUTPUT pad: endpoint only
+                t_out = in_arrival[block_id]
+                endpoints[block_id] = t_out
+
+            for sink, segment in fanout:
+                arr = t_out + seg_delay[segment]
+                if arr > in_arrival[sink]:
+                    in_arrival[sink] = arr
+                    in_pred[sink] = block_id
+        return (
+            np.asarray(in_arrival),
+            np.asarray(in_pred, dtype=int),
+            endpoints,
+        )
+
+    def _arrival_pass_reference(
+        self, fabric: Fabric, t_tiles: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, Dict[int, float]]:
+        """Seed (pre-vectorization) arrival pass, kept verbatim.
+
+        Walks the per-sink ``(resource, tile)`` element lists in Python.
+        Used by the equivalence tests and as the hot-loop benchmark's
+        baseline (see :mod:`repro.core.reference`).
+        """
+        delays = {
+            r: np.asarray(fabric.delay_s(r, t_tiles)) for r in RESOURCE_NAMES
+        }
         netlist = self.packed.netlist
         n = netlist.n_blocks
         in_arrival = np.zeros(n)
@@ -221,7 +462,10 @@ class TimingAnalyzer:
         best_endpoint = max(endpoints, key=lambda e: endpoints[e])
         best_cp = endpoints[best_endpoint]
         if best_cp <= 0.0:
-            raise ValueError("design has no timing endpoints")
+            raise ValueError(
+                f"non-positive critical-path delay ({best_cp:g} s) at "
+                f"endpoint block {best_endpoint}"
+            )
         return TimingReport(
             critical_path_s=best_cp,
             frequency_hz=1.0 / best_cp,
@@ -276,9 +520,7 @@ class TimingAnalyzer:
         Explains the per-benchmark spread of guardbanding gains (DSP-heavy
         paths gain most — paper Figs. 6-8).
         """
-        t_tiles = np.asarray(t_tiles, dtype=float)
-        if t_tiles.ndim == 0:
-            t_tiles = np.full(self.layout.n_tiles, float(t_tiles))
+        t_tiles = self._normalize_temps(t_tiles)
         report = self.critical_path(fabric, t_tiles)
         delays = self._resource_delays(fabric, t_tiles)
         netlist = self.packed.netlist

@@ -17,10 +17,11 @@ frequency replaces the conventional worst-case (Tworst) clock.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro import profiling
 from repro.activity.ace import ActivityEstimate, estimate_activity
 from repro.cad.flow import FlowResult
 from repro.coffe.fabric import Fabric
@@ -48,6 +49,9 @@ class GuardbandIteration:
     max_tile_celsius: float
     mean_tile_celsius: float
     max_delta_celsius: float
+    phase_seconds: Optional[Dict[str, float]] = None
+    """Wall-clock seconds per phase ("sta", "power", "thermal"), collected
+    only under :func:`repro.profiling.enabled`; ``None`` otherwise."""
 
 
 @dataclass
@@ -93,6 +97,10 @@ def thermal_aware_guardband(
     """
     if delta_t <= 0.0:
         raise ValueError(f"delta_t must be positive, got {delta_t}")
+    if max_iterations < 1:
+        raise ValueError(
+            f"max_iterations must be at least 1, got {max_iterations}"
+        )
     if activity is None:
         activity = estimate_activity(flow.netlist, base_activity)
 
@@ -107,13 +115,17 @@ def thermal_aware_guardband(
 
     for _ in range(max_iterations):
         iterations += 1
+        timer = profiling.iteration_timings()
         # Line 4: full-netlist STA at the current temperature profile.
-        report = flow.timing.critical_path(fabric, t_tiles)
+        with timer.phase("sta"):
+            report = flow.timing.critical_path(fabric, t_tiles)
         frequency = report.frequency_hz
         # Line 5: per-tile dynamic + leakage power.
-        power = power_model.evaluate(frequency, t_tiles)
+        with timer.phase("power"):
+            power = power_model.evaluate(frequency, t_tiles)
         # Line 7: thermal solve; line 8: convergence check.
-        t_new = solver.solve(power.total_w, t_ambient)
+        with timer.phase("thermal"):
+            t_new = solver.solve(power.total_w, t_ambient)
         max_delta = float(np.max(np.abs(t_new - t_tiles)))
         t_tiles = t_new
         history.append(
@@ -123,6 +135,7 @@ def thermal_aware_guardband(
                 max_tile_celsius=float(t_tiles.max()),
                 mean_tile_celsius=float(t_tiles.mean()),
                 max_delta_celsius=max_delta,
+                phase_seconds=timer.as_dict(),
             )
         )
         if max_delta <= delta_t:
@@ -130,10 +143,14 @@ def thermal_aware_guardband(
             break
 
     if not converged:
+        last = (
+            f" (last |dT| = {history[-1].max_delta_celsius:.2f} C)"
+            if history
+            else ""
+        )
         raise GuardbandError(
             f"{flow.netlist.name}: temperature did not converge within "
-            f"{max_iterations} iterations (last |dT| = "
-            f"{history[-1].max_delta_celsius:.2f} C)"
+            f"{max_iterations} iterations{last}"
         )
 
     # Line 9: final timing with the delta_t compensation margin.

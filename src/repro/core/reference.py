@@ -1,0 +1,38 @@
+"""Seed (pre-vectorization) reference implementations of Algorithm 1's hot loop.
+
+The PR that vectorized the guardband hot loop (flattened STA element
+arrays, pre-factorized thermal solve, matrix-product power model) kept the
+original pure-Python code paths alive as ``*_reference`` /
+``*_unfactored`` methods.  :func:`seed_implementation` swaps them in
+globally so the equivalence tests and the hot-loop benchmark can run the
+*exact* seed algorithm against the same flow objects and compare both
+results and wall time.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+
+@contextmanager
+def seed_implementation() -> Iterator[None]:
+    """Run everything inside the block on the seed (slow) code paths."""
+    from repro.cad.timing import TimingAnalyzer
+    from repro.power.model import PowerModel
+    from repro.thermal.hotspot import ThermalSolver
+
+    patches = (
+        (TimingAnalyzer, "_arrival_pass", TimingAnalyzer._arrival_pass_reference),
+        (ThermalSolver, "solve", ThermalSolver.solve_unfactored),
+        (PowerModel, "dynamic_power", PowerModel.dynamic_power_reference),
+        (PowerModel, "leakage_power", PowerModel.leakage_power_reference),
+    )
+    saved = [(cls, name, getattr(cls, name)) for cls, name, _ in patches]
+    for cls, name, replacement in patches:
+        setattr(cls, name, replacement)
+    try:
+        yield
+    finally:
+        for cls, name, original in saved:
+            setattr(cls, name, original)

@@ -23,7 +23,8 @@ from repro.activity.ace import ActivityEstimate
 from repro.arch.layout import TileType
 from repro.arch.params import ArchParams
 from repro.cad.flow import FlowResult
-from repro.coffe.fabric import Fabric
+from repro.coffe.characterize import T_GRID_CELSIUS
+from repro.coffe.fabric import Fabric, T_MAX_CELSIUS, T_MIN_CELSIUS
 from repro.netlists.netlist import BlockType
 
 RESOURCES = (
@@ -143,10 +144,48 @@ class PowerModel:
             self._dyn_tiles[name] = np.asarray(tiles, dtype=int)
             self._dyn_alphas[name] = np.asarray(alphas)
 
+        # Activity matrix: alpha_sum[resource, tile] = total switching
+        # activity of that resource's users on that tile.  Dynamic power at
+        # any frequency is then one matrix product (hot-loop fast path).
+        self._alpha_matrix = np.zeros((len(RESOURCES), self.n_tiles))
+        for i, name in enumerate(RESOURCES):
+            tiles = self._dyn_tiles[name]
+            if len(tiles):
+                np.add.at(self._alpha_matrix[i], tiles, self._dyn_alphas[name])
+        # Per-instance dynamic power at the characterized base point.
+        self._pdyn_base = np.array(
+            [self.fabric.dynamic_power_w(name, 1.0, 1.0) for name in RESOURCES]
+        )
+        # Resources with a non-zero leakage inventory anywhere on the die.
+        self._leaky_rows = [
+            i for i in range(len(RESOURCES)) if self._counts[i].any()
+        ]
+        # Per-tile leakage table: _leak_table[tile, k] = total leakage of
+        # the tile's inventory at characterization-grid temperature k, so
+        # leakage at arbitrary per-tile temperatures is one gathered linear
+        # interpolation.  Only valid on the canonical 1 degC uniform grid.
+        chars = [fabric.resources[name] for name in RESOURCES]
+        if all(
+            c.t_grid_celsius.shape == T_GRID_CELSIUS.shape
+            and np.array_equal(c.t_grid_celsius, T_GRID_CELSIUS)
+            for c in chars
+        ):
+            self._leak_table = self._counts.T @ np.vstack(
+                [c.leakage_w for c in chars]
+            )
+        else:
+            self._leak_table = None
+
     # -- evaluation ----------------------------------------------------------
 
     def dynamic_power(self, frequency_hz: float) -> np.ndarray:
         """Per-tile dynamic power at the given clock frequency, watts."""
+        if frequency_hz < 0.0:
+            raise ValueError(f"negative frequency: {frequency_hz}")
+        return (self._pdyn_base * frequency_hz) @ self._alpha_matrix
+
+    def dynamic_power_reference(self, frequency_hz: float) -> np.ndarray:
+        """Seed per-resource-loop dynamic power (see repro.core.reference)."""
         if frequency_hz < 0.0:
             raise ValueError(f"negative frequency: {frequency_hz}")
         out = np.zeros(self.n_tiles)
@@ -158,8 +197,7 @@ class PowerModel:
             np.add.at(out, tiles, base * self._dyn_alphas[name])
         return out
 
-    def leakage_power(self, t_tiles: np.ndarray) -> np.ndarray:
-        """Per-tile leakage power for a per-tile temperature vector, watts."""
+    def _check_temps(self, t_tiles) -> np.ndarray:
         t_tiles = np.asarray(t_tiles, dtype=float)
         if t_tiles.ndim == 0:
             t_tiles = np.full(self.n_tiles, float(t_tiles))
@@ -168,6 +206,32 @@ class PowerModel:
                 f"temperature vector has {len(t_tiles)} entries, need "
                 f"{self.n_tiles}"
             )
+        return t_tiles
+
+    def leakage_power(self, t_tiles: np.ndarray) -> np.ndarray:
+        """Per-tile leakage power for a per-tile temperature vector, watts."""
+        t_tiles = self._check_temps(t_tiles)
+        if self._leak_table is not None:
+            table = self._leak_table
+            t = np.clip(t_tiles, T_MIN_CELSIUS, T_MAX_CELSIUS)
+            i0 = t.astype(np.intp)
+            frac = t - i0
+            i1 = np.minimum(i0 + 1, table.shape[1] - 1)
+            rows = np.arange(self.n_tiles)
+            return table[rows, i0] * (1.0 - frac) + table[rows, i1] * frac
+        if not self._leaky_rows:
+            return np.zeros(self.n_tiles)
+        leaks = np.stack(
+            [
+                np.asarray(self.fabric.leakage_w(RESOURCES[i], t_tiles))
+                for i in self._leaky_rows
+            ]
+        )
+        return np.einsum("rt,rt->t", self._counts[self._leaky_rows], leaks)
+
+    def leakage_power_reference(self, t_tiles: np.ndarray) -> np.ndarray:
+        """Seed per-resource-loop leakage power (see repro.core.reference)."""
+        t_tiles = self._check_temps(t_tiles)
         out = np.zeros(self.n_tiles)
         for i, name in enumerate(RESOURCES):
             counts = self._counts[i]

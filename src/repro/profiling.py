@@ -1,0 +1,82 @@
+"""Opt-in phase timers for the Algorithm 1 hot loop.
+
+Profiling is **off by default** so the guardband loop pays only a cheap
+no-op context per phase.  Enable it around any code that runs Algorithm 1
+and each :class:`~repro.core.guardband.GuardbandIteration` in the result
+history carries a ``phase_seconds`` dict::
+
+    from repro import profiling, thermal_aware_guardband
+
+    with profiling.enabled():
+        result = thermal_aware_guardband(flow, fabric, t_ambient=25.0)
+    for it in result.history:
+        print(it.phase_seconds)   # {"sta": ..., "power": ..., "thermal": ...}
+
+Future PRs can use this to see where iteration time goes without paying
+for instrumentation in production runs.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+_depth = 0
+
+
+@contextmanager
+def enabled() -> Iterator[None]:
+    """Turn on phase-timing collection for the duration of the block."""
+    global _depth
+    _depth += 1
+    try:
+        yield
+    finally:
+        _depth -= 1
+
+
+def is_enabled() -> bool:
+    return _depth > 0
+
+
+class PhaseTimings:
+    """Accumulates wall-clock seconds per named phase."""
+
+    __slots__ = ("seconds",)
+
+    def __init__(self) -> None:
+        self.seconds: Dict[str, float] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+
+    def as_dict(self) -> Optional[Dict[str, float]]:
+        return dict(self.seconds)
+
+
+class _NullTimings:
+    """No-op stand-in used when profiling is disabled."""
+
+    __slots__ = ()
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        yield
+
+    def as_dict(self) -> Optional[Dict[str, float]]:
+        return None
+
+
+_NULL = _NullTimings()
+
+
+def iteration_timings():
+    """A fresh collector when profiling is enabled, else a shared no-op."""
+    return PhaseTimings() if is_enabled() else _NULL

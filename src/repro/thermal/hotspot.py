@@ -6,9 +6,12 @@ resources").  Energy balance per tile::
 
     sum_j g_lat (T_j - T_i) + g_vert (T_amb - T_i) + P_i = 0
 
-assembled as a sparse SPD system and solved directly.  Algorithm 1 (line 7)
-calls :meth:`ThermalSolver.solve` once per iteration with the updated
-per-tile power vector.
+assembled as a sparse SPD system, LU-factorized **once** at construction
+and back-substituted on every call.  Algorithm 1 (line 7) calls
+:meth:`ThermalSolver.solve` once per iteration with the updated per-tile
+power vector, so the factorization is the difference between an
+``O(n^1.5)`` sparse solve per iteration and two triangular solves — the
+same trick HotSpot uses for its steady-state grid model.
 """
 
 from __future__ import annotations
@@ -18,7 +21,7 @@ from typing import Optional
 
 import numpy as np
 from scipy.sparse import csr_matrix, lil_matrix
-from scipy.sparse.linalg import spsolve
+from scipy.sparse.linalg import splu, spsolve
 
 from repro.arch.layout import FabricLayout
 from repro.thermal.package import ThermalPackage
@@ -48,9 +51,10 @@ class ThermalSolver:
                 diag += g_lat
             matrix[i, i] = diag
         self._conductance = csr_matrix(matrix)
+        # One-time LU factorization; solve() is two triangular solves.
+        self._factor = splu(self._conductance.tocsc())
 
-    def solve(self, power_w: np.ndarray, t_ambient: float) -> np.ndarray:
-        """Steady-state tile temperatures (Celsius) for a power vector (W)."""
+    def _check_power(self, power_w) -> np.ndarray:
         power_w = np.asarray(power_w, dtype=float)
         if power_w.shape != (self.layout.n_tiles,):
             raise ValueError(
@@ -58,6 +62,21 @@ class ThermalSolver:
             )
         if np.any(power_w < 0.0):
             raise ValueError("negative tile power")
+        return power_w
+
+    def solve(self, power_w: np.ndarray, t_ambient: float) -> np.ndarray:
+        """Steady-state tile temperatures (Celsius) for a power vector (W)."""
+        power_w = self._check_power(power_w)
+        rhs = power_w + self.package.g_vertical_w_per_k * t_ambient
+        return np.asarray(self._factor.solve(rhs))
+
+    def solve_unfactored(self, power_w: np.ndarray, t_ambient: float) -> np.ndarray:
+        """Seed reference path: full ``spsolve`` from scratch every call.
+
+        Kept for the equivalence tests and the hot-loop benchmark's
+        baseline (see :mod:`repro.core.reference`).
+        """
+        power_w = self._check_power(power_w)
         rhs = power_w + self.package.g_vertical_w_per_k * t_ambient
         return np.asarray(spsolve(self._conductance, rhs))
 
