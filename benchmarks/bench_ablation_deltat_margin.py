@@ -9,7 +9,7 @@ margin risks optimism against the fixed-point residual.
 
 import numpy as np
 
-from repro.core.guardband import thermal_aware_guardband
+from repro.core.guardband import GuardbandConfig, thermal_aware_guardband
 from repro.core.margins import guardband_gain, worst_case_frequency
 from repro.reporting.tables import format_table
 
@@ -25,7 +25,7 @@ def test_ablation_delta_t(benchmark, suite_flows, fabric25):
         rows = []
         for delta_t in DELTA_TS:
             result = thermal_aware_guardband(
-                flow, fabric25, 25.0, delta_t=delta_t
+                flow, fabric25, 25.0, config=GuardbandConfig(delta_t=delta_t)
             )
             rows.append(
                 (

@@ -14,7 +14,7 @@ assumption forfeits.
 
 import numpy as np
 
-from repro.core.guardband import thermal_aware_guardband
+from repro.core.guardband import GuardbandConfig, thermal_aware_guardband
 from repro.netlists.vtr_suite import VTR_BENCHMARKS
 from repro.reporting.tables import format_table
 
@@ -29,7 +29,8 @@ def test_ablation_uniform_assumption(benchmark, suite_flows, fabric25):
             spec = next(s for s in VTR_BENCHMARKS if s.name == name)
             flow = suite_flows[name]
             result = thermal_aware_guardband(
-                flow, fabric25, T_AMBIENT, base_activity=spec.base_activity
+                flow, fabric25, T_AMBIENT,
+                config=GuardbandConfig(base_activity=spec.base_activity),
             )
             per_tile = result.frequency_hz
             # Uniform-die flow: everything at the hottest tile + margin.

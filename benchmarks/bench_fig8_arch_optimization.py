@@ -11,7 +11,7 @@ resources are most sensitive to the sizing corner).
 
 import numpy as np
 
-from repro.core.guardband import thermal_aware_guardband
+from repro.core.guardband import GuardbandConfig, thermal_aware_guardband
 from repro.netlists.vtr_suite import VTR_BENCHMARKS, benchmark_names
 from repro.reporting.figures import format_bar_chart
 
@@ -23,12 +23,9 @@ def fig8_gains(suite_flows, fabric25, fabric70):
     gains = {}
     for spec in VTR_BENCHMARKS:
         flow = suite_flows[spec.name]
-        typical = thermal_aware_guardband(
-            flow, fabric25, T_AMBIENT, base_activity=spec.base_activity
-        )
-        graded = thermal_aware_guardband(
-            flow, fabric70, T_AMBIENT, base_activity=spec.base_activity
-        )
+        config = GuardbandConfig(base_activity=spec.base_activity)
+        typical = thermal_aware_guardband(flow, fabric25, T_AMBIENT, config=config)
+        graded = thermal_aware_guardband(flow, fabric70, T_AMBIENT, config=config)
         gains[spec.name] = graded.frequency_hz / typical.frequency_hz - 1.0
     return gains
 

@@ -21,7 +21,7 @@ import numpy as np
 
 from repro import profiling
 from repro.cad.flow import run_flow
-from repro.core.guardband import thermal_aware_guardband
+from repro.core.guardband import GuardbandConfig, thermal_aware_guardband
 from repro.core.reference import seed_implementation
 from repro.netlists.vtr_suite import VTR_BENCHMARKS, vtr_benchmark
 from repro.reporting.tables import format_table
@@ -40,7 +40,8 @@ def _hotloop_seconds(flow, fabric, base_activity, repeats=3):
     for _ in range(repeats):
         with profiling.enabled():
             result = thermal_aware_guardband(
-                flow, fabric, T_AMBIENT, base_activity=base_activity
+                flow, fabric, T_AMBIENT,
+                config=GuardbandConfig(base_activity=base_activity),
             )
         total = sum(
             sum(it.phase_seconds.values()) for it in result.history

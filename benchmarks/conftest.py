@@ -18,7 +18,7 @@ import pytest
 from repro.arch.params import ArchParams
 from repro.cad.flow import FlowResult, run_flow
 from repro.coffe.fabric import Fabric, build_fabric
-from repro.core.guardband import thermal_aware_guardband
+from repro.core.guardband import GuardbandConfig, thermal_aware_guardband
 from repro.core.margins import guardband_gain, worst_case_frequency
 from repro.netlists.vtr_suite import VTR_BENCHMARKS, vtr_benchmark
 
@@ -64,7 +64,8 @@ def suite_gains(flows, fabric, t_ambient, baseline_fabric=None):
     for spec in VTR_BENCHMARKS:
         flow = flows[spec.name]
         result = thermal_aware_guardband(
-            flow, fabric, t_ambient, base_activity=spec.base_activity
+            flow, fabric, t_ambient,
+            config=GuardbandConfig(base_activity=spec.base_activity),
         )
         f_wc = worst_case_frequency(flow, baseline_fabric)
         gains[spec.name] = guardband_gain(result.frequency_hz, f_wc)

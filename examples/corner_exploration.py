@@ -4,7 +4,10 @@
 Builds fabrics sized at 0 C, 25 C and 100 C, prints their representative
 critical-path delay curves across the junction range (Fig. 3), the
 normalized per-component comparison (Fig. 2), and the corner that wins each
-operating band.
+operating band — then cross-checks the analytic crossover with the full
+flow: a ``repro.runner`` sweep guardbands a benchmark on every corner
+grade across the ambient range (Algorithm 1 per cell) and reports which
+grade actually clocks fastest at each ambient.
 
 Run:  python examples/corner_exploration.py
 """
@@ -15,8 +18,11 @@ from repro import ArchParams, corner_delay_curves
 from repro.core.design import fig2_normalized_delays
 from repro.reporting.figures import format_series
 from repro.reporting.tables import format_table
+from repro.runner import ExperimentSpec, run_sweep
 
 CORNERS = (0.0, 25.0, 100.0)
+SWEEP_BENCH = "sha"
+SWEEP_AMBIENTS = (0.0, 25.0, 50.0, 75.0)
 
 
 def main() -> None:
@@ -63,6 +69,50 @@ def main() -> None:
     print(
         "\nPaper reference points: BRAM D100 is 1.35x D0 at 0 C; CP spread "
         "is 6.3% at 0 C and 9.0% at 100 C."
+    )
+
+    # Full-flow cross-check: guardband one benchmark on every corner grade
+    # over the ambient range (|corners| x |ambients| Algorithm 1 runs, fanned
+    # out by the sweep engine) and compare the winner per ambient with the
+    # analytic Fig. 3 crossover above.
+    print(
+        f"\nGuardbanding {SWEEP_BENCH} on every grade "
+        f"({len(CORNERS)} corners x {len(SWEEP_AMBIENTS)} ambients)..."
+    )
+    sweep = run_sweep(
+        ExperimentSpec(
+            benchmarks=(SWEEP_BENCH,),
+            ambients=SWEEP_AMBIENTS,
+            corners=CORNERS,
+            arch=arch,
+        ),
+        workers=2,
+    )
+    for failure in sweep.failures:
+        print(f"  {failure.job_id}: {failure.error_type}: {failure.message}")
+    freqs = sweep.frequencies()
+    rows = []
+    for t_ambient in SWEEP_AMBIENTS:
+        by_corner = {
+            corner: freqs.get((SWEEP_BENCH, t_ambient, corner))
+            for corner in CORNERS
+        }
+        done = {c: f for c, f in by_corner.items() if f is not None}
+        winner = max(done, key=done.get)
+        rows.append(
+            (f"{t_ambient:g} C",)
+            + tuple(
+                f"{by_corner[c] / 1e6:.1f}" if by_corner[c] else "failed"
+                for c in CORNERS
+            )
+            + (f"D{winner:g}",)
+        )
+    print(
+        format_table(
+            ["Tamb", *[f"D{c:g} MHz" for c in CORNERS], "fastest grade"],
+            rows,
+            title="Guardbanded clock per device grade (full Algorithm 1)",
+        )
     )
 
 

@@ -11,25 +11,22 @@ This example:
 1. selects the best design corner for a 60..100 C field range via the
    paper's Eq. 1 expected delay;
 2. maps a DSP-heavy workload (stereovision1-like) onto the typical (D25)
-   and the selected hot-grade device;
-3. guardbands both with Algorithm 1 at Tamb = 70 C and reports the
-   additional gain of the thermal-aware architecture (paper Fig. 8).
+   and the selected hot-grade device as one ``repro.runner`` experiment
+   grid (1 benchmark x 1 ambient x 2 corners), executed in parallel;
+3. reports the additional gain of the thermal-aware architecture with
+   both devices guardbanded by Algorithm 1 (paper Fig. 8).
 
 Run:  python examples/datacenter_accelerator.py
 """
 
-from repro import (
-    ArchParams,
-    build_fabric,
-    run_flow,
-    select_design_corner,
-    thermal_aware_guardband,
-    vtr_benchmark,
-)
+from repro import ArchParams, select_design_corner
+from repro.reporting.sweep import format_sweep_table
 from repro.reporting.tables import format_table
+from repro.runner import ExperimentSpec, run_sweep
 
 FIELD_RANGE = (60.0, 100.0)
 T_AMBIENT = 70.0
+WORKLOAD = "stereovision1"
 
 
 def main() -> None:
@@ -53,28 +50,28 @@ def main() -> None:
     )
     print(f"-> thermal-aware grade: D{choice.corner_celsius:g}\n")
 
-    print("Mapping the accelerator workload (stereovision1)...")
-    flow = run_flow(vtr_benchmark("stereovision1"), arch)
-
-    typical = build_fabric(25.0, arch)
-    graded = build_fabric(choice.corner_celsius, arch)
-    f_typical = thermal_aware_guardband(flow, typical, T_AMBIENT)
-    f_graded = thermal_aware_guardband(flow, graded, T_AMBIENT)
-    boost = f_graded.frequency_hz / f_typical.frequency_hz - 1.0
+    print(f"Guardbanding {WORKLOAD} on both device grades (sweep engine)...")
+    spec = ExperimentSpec(
+        benchmarks=(WORKLOAD,),
+        ambients=(T_AMBIENT,),
+        corners=(25.0, choice.corner_celsius),
+        arch=arch,
+    )
+    sweep = run_sweep(spec, workers=2)
+    if not sweep.ok:
+        for failure in sweep.failures:
+            print(f"  {failure.job_id}: {failure.error_type}: {failure.message}")
+        raise SystemExit(1)
 
     print(
-        format_table(
-            ["device", "guardbanded clock", "die max temp"],
-            [
-                ("typical D25", f"{f_typical.frequency_hz / 1e6:.1f} MHz",
-                 f"{f_typical.tile_temperatures.max():.1f} C"),
-                (f"grade D{choice.corner_celsius:g}",
-                 f"{f_graded.frequency_hz / 1e6:.1f} MHz",
-                 f"{f_graded.tile_temperatures.max():.1f} C"),
-            ],
+        format_sweep_table(
+            sweep,
             title=f"Both devices thermally guardbanded at Tamb = {T_AMBIENT:.0f} C",
         )
     )
+    f_typical = sweep.result_for(WORKLOAD, T_AMBIENT, 25.0)
+    f_graded = sweep.result_for(WORKLOAD, T_AMBIENT, choice.corner_celsius)
+    boost = f_graded.frequency_hz / f_typical.frequency_hz - 1.0
     print(
         f"\nThermal-aware architecture boost: {boost * 100:.1f}% "
         f"(paper Fig. 8 average: 6.7%)"

@@ -16,20 +16,35 @@ The package is organised as a stack:
 - :mod:`repro.core` — the paper's contribution: thermal-aware guardbanding
   (Algorithm 1), thermal-aware design and thermal-aware architecture
   selection.
+- :mod:`repro.runner` — the parallel experiment engine that fans the
+  paper's evaluation grids (benchmarks x ambients x corners) across
+  worker processes with retry, per-job records and JSONL streaming.
 
-Typical use::
+Typical single-design use::
 
     from repro import (
-        ArchParams, build_fabric, vtr_benchmark, run_flow,
-        thermal_aware_guardband, worst_case_frequency,
+        ArchParams, GuardbandConfig, build_fabric, vtr_benchmark,
+        run_flow, thermal_aware_guardband, worst_case_frequency,
     )
 
     arch = ArchParams()
     fabric = build_fabric(corner_celsius=25.0)
-    netlist = vtr_benchmark("sha")
-    routed = run_flow(netlist, arch)
-    result = thermal_aware_guardband(routed, fabric, t_ambient=25.0)
+    routed = run_flow(vtr_benchmark("sha"), arch)
+    result = thermal_aware_guardband(
+        routed, fabric, t_ambient=25.0,
+        config=GuardbandConfig(delta_t=2.0, base_activity=0.19),
+    )
     print(result.frequency_hz, result.iterations)
+
+Whole-evaluation sweeps go through the engine instead::
+
+    from repro.runner import ExperimentSpec, run_sweep
+
+    sweep = run_sweep(
+        ExperimentSpec(benchmarks=("sha", "bgm"), ambients=(25.0, 70.0)),
+        workers=4,
+    )
+    print(sweep.mean_gain(t_ambient=25.0))
 """
 
 from repro import profiling
@@ -39,17 +54,22 @@ from repro.coffe.characterize import characterize_fabric
 from repro.coffe.fabric import Fabric, build_fabric
 from repro.core.architecture import expected_delay, select_design_corner
 from repro.core.design import corner_delay_curves
-from repro.core.guardband import GuardbandResult, thermal_aware_guardband
+from repro.core.guardband import (
+    GuardbandConfig,
+    GuardbandResult,
+    thermal_aware_guardband,
+)
 from repro.core.margins import worst_case_frequency
 from repro.netlists.generator import generate_netlist
 from repro.netlists.vtr_suite import VTR_BENCHMARKS, vtr_benchmark
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ArchParams",
     "Fabric",
     "FlowResult",
+    "GuardbandConfig",
     "GuardbandResult",
     "VTR_BENCHMARKS",
     "build_fabric",

@@ -9,14 +9,24 @@ Commands:
 - ``corners`` — print the Fig. 3-style corner-crossing summary;
 - ``grades [--count K]`` — plan a temperature-grade portfolio (Sec. III-C
   extension);
-- ``suite [--ambient T]`` — Fig. 6/7-style per-benchmark gains over the
-  whole VTR-19 suite (first run pays the place-and-route cost).
+- ``suite [--ambient T] [--workers N]`` — Fig. 6/7-style per-benchmark
+  gains over the whole VTR-19 suite on the parallel sweep engine;
+- ``sweep --benchmarks A,B --ambients T1,T2 [--corners C1,C2]`` — an
+  arbitrary benchmarks x ambients x corners grid on the engine.
+
+CLI contract: every subcommand accepts ``--json`` (machine-readable
+result on stdout) and exits non-zero on failure — errors are reported as
+one diagnostic line (or a JSON error object), never a raw traceback.
+Partially failed sweeps exit with code 1 and still report every
+completed cell.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
@@ -30,15 +40,35 @@ from repro import (
 )
 from repro.core.design import corner_delay_curves
 from repro.core.grades import plan_temperature_grades
+from repro.core.guardband import GuardbandConfig
 from repro.core.margins import guardband_gain
-from repro.netlists.vtr_suite import VTR_BENCHMARKS, benchmark_names
+from repro.netlists.vtr_suite import benchmark_names
 from repro.reporting.figures import format_bar_chart
+from repro.reporting.sweep import format_sweep_gains_chart, format_sweep_table
 from repro.reporting.tables import format_table
+from repro.runner import ExperimentSpec, JobResult, run_sweep
+
+
+def _emit(args: argparse.Namespace, payload: Dict[str, object], text: str) -> None:
+    """Write the command result: JSON when ``--json``, prose otherwise."""
+    if getattr(args, "json", False):
+        print(json.dumps(payload, sort_keys=False))
+    else:
+        print(text)
+
+
+def _parse_floats(raw: str, flag: str) -> tuple:
+    try:
+        return tuple(float(part) for part in raw.split(",") if part.strip())
+    except ValueError as error:
+        raise SystemExit(f"error: {flag} expects comma-separated numbers, "
+                         f"got {raw!r} ({error})")
 
 
 def _cmd_characterize(args: argparse.Namespace) -> int:
     fabric = build_fabric(args.corner, ArchParams())
     rows = []
+    records = []
     for name, char in fabric.resources.items():
         intercept, slope = char.delay_fit()
         leak_c, leak_k = char.leakage_fit()
@@ -48,10 +78,25 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
              f"{char.pdyn_w_base * 1e6:.2f}",
              f"{leak_c * 1e6:.2f}e^{leak_k:.3f}T")
         )
-    print(format_table(
-        ["resource", "area um2", "delay ps", "Pdyn uW", "Plkg uW"],
-        rows, title=f"D{args.corner:g} characterization",
-    ))
+        records.append(
+            {
+                "resource": name,
+                "area_um2": char.area_um2,
+                "delay_intercept_s": intercept,
+                "delay_slope_s_per_c": slope,
+                "pdyn_w": char.pdyn_w_base,
+                "plkg_coeff_w": leak_c,
+                "plkg_exponent_per_c": leak_k,
+            }
+        )
+    _emit(
+        args,
+        {"corner_celsius": args.corner, "resources": records},
+        format_table(
+            ["resource", "area um2", "delay ps", "Pdyn uW", "Plkg uW"],
+            rows, title=f"D{args.corner:g} characterization",
+        ),
+    )
     return 0
 
 
@@ -59,15 +104,29 @@ def _cmd_guardband(args: argparse.Namespace) -> int:
     arch = ArchParams()
     fabric = build_fabric(25.0, arch)
     flow = run_flow(vtr_benchmark(args.benchmark), arch)
-    result = thermal_aware_guardband(flow, fabric, args.ambient)
+    result = thermal_aware_guardband(
+        flow, fabric, args.ambient, config=GuardbandConfig()
+    )
     f_wc = worst_case_frequency(flow, fabric)
-    print(
+    gain = guardband_gain(result.frequency_hz, f_wc)
+    _emit(
+        args,
+        {
+            "benchmark": args.benchmark,
+            "t_ambient": args.ambient,
+            "frequency_hz": result.frequency_hz,
+            "worst_case_hz": f_wc,
+            "gain": gain,
+            "iterations": result.iterations,
+            "mean_tile_celsius": float(result.tile_temperatures.mean()),
+            "max_tile_celsius": float(result.tile_temperatures.max()),
+        },
         f"{args.benchmark}: thermal-aware {result.frequency_hz / 1e6:.1f} MHz "
         f"vs worst-case {f_wc / 1e6:.1f} MHz "
-        f"(+{guardband_gain(result.frequency_hz, f_wc) * 100:.1f}%), "
+        f"(+{gain * 100:.1f}%), "
         f"{result.iterations} iterations, "
         f"die {result.tile_temperatures.mean():.1f} C mean / "
-        f"{result.tile_temperatures.max():.1f} C max"
+        f"{result.tile_temperatures.max():.1f} C max",
     )
     return 0
 
@@ -75,11 +134,17 @@ def _cmd_guardband(args: argparse.Namespace) -> int:
 def _cmd_corners(args: argparse.Namespace) -> int:
     curves = corner_delay_curves((0.0, 25.0, 100.0), "cp", ArchParams())
     rows = []
+    records = []
     for t in np.arange(0.0, 101.0, 10.0):
         winner = curves.best_corner_at(float(t))
         rows.append((f"{t:.0f} C", f"D{winner:g}"))
-    print(format_table(["operating T", "fastest device"], rows,
-                       title="Fig. 3 corner winners"))
+        records.append({"operating_celsius": float(t), "corner": winner})
+    _emit(
+        args,
+        {"winners": records},
+        format_table(["operating T", "fastest device"], rows,
+                     title="Fig. 3 corner winners"),
+    )
     return 0
 
 
@@ -91,36 +156,106 @@ def _cmd_grades(args: argparse.Namespace) -> int:
          f"{band.expected_delay_s * 1e12:.2f} ps")
         for band in plan.bands
     ]
-    print(format_table(
-        ["band", "grade corner", "E[d]"],
-        rows,
-        title=f"{len(plan.bands)}-grade portfolio "
-              f"(range-average {plan.average_delay_s * 1e12:.2f} ps)",
-    ))
+    _emit(
+        args,
+        {
+            "average_delay_s": plan.average_delay_s,
+            "bands": [
+                {
+                    "t_low": band.t_low,
+                    "t_high": band.t_high,
+                    "corner_celsius": band.corner_celsius,
+                    "expected_delay_s": band.expected_delay_s,
+                }
+                for band in plan.bands
+            ],
+        },
+        format_table(
+            ["band", "grade corner", "E[d]"],
+            rows,
+            title=f"{len(plan.bands)}-grade portfolio "
+                  f"(range-average {plan.average_delay_s * 1e12:.2f} ps)",
+        ),
+    )
     return 0
+
+
+def _run_engine(
+    args: argparse.Namespace,
+    spec: ExperimentSpec,
+    chart_ambient: Optional[float],
+) -> int:
+    """Shared suite/sweep driver: engine run + report + exit code."""
+    quiet = getattr(args, "json", False)
+
+    def progress(outcome, done, total):
+        if quiet:
+            return
+        if isinstance(outcome, JobResult):
+            print(
+                f"  [{done}/{total}] {outcome.job_id:28s} "
+                f"{outcome.gain * 100:5.1f}%",
+                flush=True,
+            )
+        else:
+            print(
+                f"  [{done}/{total}] {outcome.job_id:28s} "
+                f"FAILED: {outcome.error_type}: {outcome.message}",
+                flush=True,
+            )
+
+    sweep = run_sweep(
+        spec,
+        workers=args.workers,
+        jsonl_path=getattr(args, "jsonl", None),
+        job_timeout=getattr(args, "timeout", None),
+        progress=progress,
+    )
+    if quiet:
+        print(sweep.to_json())
+    else:
+        print()
+        print(format_sweep_table(sweep))
+        if chart_ambient is not None and sweep.results:
+            print()
+            print(
+                format_sweep_gains_chart(
+                    sweep,
+                    t_ambient=chart_ambient,
+                    title=f"guardbanding gain at Tamb={chart_ambient:g}C",
+                )
+            )
+        if sweep.failures:
+            print(
+                f"\n{len(sweep.failures)} of {sweep.n_jobs} cells failed",
+                file=sys.stderr,
+            )
+    return 0 if not sweep.failures else 1
 
 
 def _cmd_suite(args: argparse.Namespace) -> int:
-    arch = ArchParams()
-    fabric = build_fabric(25.0, arch)
-    names, values = [], []
-    for spec in VTR_BENCHMARKS:
-        flow = run_flow(vtr_benchmark(spec.name), arch)
-        result = thermal_aware_guardband(
-            flow, fabric, args.ambient, base_activity=spec.base_activity
+    spec = ExperimentSpec(
+        benchmarks=tuple(benchmark_names()),
+        ambients=(args.ambient,),
+        corners=(25.0,),
+    )
+    return _run_engine(args, spec, chart_ambient=args.ambient)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.benchmarks.strip().lower() == "all":
+        benches: Sequence[str] = benchmark_names()
+    else:
+        benches = tuple(
+            part.strip() for part in args.benchmarks.split(",") if part.strip()
         )
-        gain = guardband_gain(
-            result.frequency_hz, worst_case_frequency(flow, fabric)
-        )
-        names.append(spec.name)
-        values.append(gain * 100)
-        print(f"  {spec.name:16s} {gain * 100:5.1f}%", flush=True)
-    print()
-    print(format_bar_chart(
-        names + ["average"], values + [float(np.mean(values))],
-        title=f"guardbanding gain at Tamb={args.ambient:g}C",
-    ))
-    return 0
+    spec = ExperimentSpec(
+        benchmarks=tuple(benches),
+        ambients=_parse_floats(args.ambients, "--ambients"),
+        corners=_parse_floats(args.corners, "--corners"),
+    )
+    chart = spec.ambients[0] if len(spec.ambients) == 1 else None
+    return _run_engine(args, spec, chart_ambient=chart)
 
 
 def main(argv=None) -> int:
@@ -128,30 +263,84 @@ def main(argv=None) -> int:
         prog="repro",
         description="Thermal-aware FPGA design and flow (DATE'19 reproduction)",
     )
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--json", action="store_true",
+        help="emit a machine-readable JSON result on stdout",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("characterize", help="Table II-style characterization")
+    p = sub.add_parser("characterize", parents=[common],
+                       help="Table II-style characterization")
     p.add_argument("--corner", type=float, default=25.0)
     p.set_defaults(func=_cmd_characterize)
 
-    p = sub.add_parser("guardband", help="Algorithm 1 on one benchmark")
+    p = sub.add_parser("guardband", parents=[common],
+                       help="Algorithm 1 on one benchmark")
     p.add_argument("benchmark", choices=benchmark_names())
     p.add_argument("--ambient", type=float, default=25.0)
     p.set_defaults(func=_cmd_guardband)
 
-    p = sub.add_parser("corners", help="corner-crossing summary (Fig. 3)")
+    p = sub.add_parser("corners", parents=[common],
+                       help="corner-crossing summary (Fig. 3)")
     p.set_defaults(func=_cmd_corners)
 
-    p = sub.add_parser("grades", help="temperature-grade portfolio")
+    p = sub.add_parser("grades", parents=[common],
+                       help="temperature-grade portfolio")
     p.add_argument("--count", type=int, default=3)
     p.set_defaults(func=_cmd_grades)
 
-    p = sub.add_parser("suite", help="Fig. 6/7-style suite gains")
+    engine = argparse.ArgumentParser(add_help=False)
+    engine.add_argument(
+        "--workers", type=int, default=1,
+        help="parallel worker processes (default 1 = serial)",
+    )
+    engine.add_argument(
+        "--jsonl", type=str, default=None,
+        help="stream one JSON record per finished cell to this file",
+    )
+    engine.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-job timeout in seconds (parallel mode)",
+    )
+
+    p = sub.add_parser("suite", parents=[common, engine],
+                       help="Fig. 6/7-style suite gains on the sweep engine")
     p.add_argument("--ambient", type=float, default=25.0)
     p.set_defaults(func=_cmd_suite)
 
+    p = sub.add_parser("sweep", parents=[common, engine],
+                       help="benchmarks x ambients x corners grid")
+    p.add_argument(
+        "--benchmarks", type=str, required=True,
+        help='comma-separated VTR benchmark names, or "all"',
+    )
+    p.add_argument("--ambients", type=str, default="25")
+    p.add_argument("--corners", type=str, default="25")
+    p.set_defaults(func=_cmd_sweep)
+
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not a failure of ours.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+    except Exception as error:  # CLI contract: diagnostics, not tracebacks
+        if getattr(args, "json", False):
+            print(
+                json.dumps(
+                    {"error": type(error).__name__, "message": str(error)}
+                )
+            )
+        print(f"error: {type(error).__name__}: {error}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -10,11 +10,18 @@ the paper evaluates one P&R per benchmark under different timing regimes.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
-from dataclasses import dataclass
+from contextlib import contextmanager
+from dataclasses import dataclass, fields
 from pathlib import Path
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterator, Optional, Tuple
+
+try:  # POSIX advisory locks; absent on some platforms.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 
 from repro.arch.layout import FabricLayout, TileType
 from repro.arch.params import ArchParams
@@ -38,6 +45,9 @@ class FlowResult:
     placement: Placement
     routing: RoutingResult
     timing: TimingAnalyzer
+    cache_key: Optional[str] = None
+    """Deterministic disk-cache key this result is stored under, or ``None``
+    when caching was disabled for the run."""
 
     @property
     def n_tiles(self) -> int:
@@ -46,12 +56,35 @@ class FlowResult:
 
 _FLOW_CACHE: Dict[Tuple[str, ArchParams, int], FlowResult] = {}
 
-FLOW_CACHE_VERSION = 3
+FLOW_CACHE_VERSION = 4
 """Bump to invalidate on-disk flow caches after algorithmic changes.
 
-Version 3: TimingAnalyzer grew the flattened hot-loop element arrays
-(``_build_flat_arrays``); older pickles lack them.
+Version 4: the architecture component of the key became a deterministic
+SHA-256 digest (:func:`arch_digest`) so keys are identical across worker
+processes and Python versions — ``hash()`` of a dataclass is salted per
+interpreter (``PYTHONHASHSEED``), which made sweep workers recompute
+instead of sharing P&R work.
 """
+
+
+def arch_digest(arch: ArchParams) -> str:
+    """Deterministic short digest of every :class:`ArchParams` field.
+
+    SHA-256 over the ``(name, value)`` field tuple ``repr``; stable across
+    processes, interpreter restarts and Python versions (unlike ``hash``).
+    """
+    payload = repr(
+        tuple((f.name, getattr(arch, f.name)) for f in fields(arch))
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def flow_cache_key(netlist: Netlist, arch: ArchParams, seed: int) -> str:
+    """The deterministic disk-cache key for one (netlist, arch, seed)."""
+    return (
+        f"v{FLOW_CACHE_VERSION}_{netlist.name}_b{netlist.n_blocks}"
+        f"_n{netlist.n_nets}_s{seed}_a{arch_digest(arch)}"
+    )
 
 
 def _disk_cache_path(netlist: Netlist, arch: ArchParams, seed: int) -> Optional[Path]:
@@ -65,11 +98,69 @@ def _disk_cache_path(netlist: Netlist, arch: ArchParams, seed: int) -> Optional[
     if root.lower() == "off":
         return None
     base = Path(root) if root else Path.home() / ".cache" / "repro-flows"
-    key = (
-        f"v{FLOW_CACHE_VERSION}_{netlist.name}_b{netlist.n_blocks}"
-        f"_n{netlist.n_nets}_s{seed}_a{abs(hash(arch)) % 10**12}"
-    )
-    return base / f"{key}.pkl"
+    return base / f"{flow_cache_key(netlist, arch, seed)}.pkl"
+
+
+@contextmanager
+def _cache_lock(path: Path) -> Iterator[None]:
+    """Exclusive advisory lock serialising compute-and-store per cache entry.
+
+    Concurrent sweep workers that need the same mapping queue here: the
+    first pays the P&R cost and writes the pickle, the rest wake up and
+    read it — no duplicated work, no interleaved writes.  Degrades to a
+    no-op where ``fcntl`` is unavailable (atomic rename still prevents
+    torn files; work may then be duplicated, never corrupted).
+    """
+    if fcntl is None:
+        yield
+        return
+    lock_path = path.with_name(path.name + ".lock")
+    lock_path.parent.mkdir(parents=True, exist_ok=True)
+    with open(lock_path, "w") as handle:
+        fcntl.flock(handle, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(handle, fcntl.LOCK_UN)
+
+
+def _quarantine(path: Path) -> None:
+    """Move a corrupt/stale pickle aside (kept for post-mortem, not retried)."""
+    try:
+        os.replace(path, path.with_name(path.name + ".corrupt"))
+    except OSError:
+        path.unlink(missing_ok=True)
+
+
+def _load_cached(path: Path) -> Optional[FlowResult]:
+    """Load a pickled flow result; quarantine anything unreadable."""
+    if not path.exists():
+        return None
+    try:
+        with open(path, "rb") as handle:
+            result = pickle.load(handle)
+        if not isinstance(result, FlowResult):
+            raise TypeError(f"expected FlowResult, got {type(result)!r}")
+        return result
+    except Exception:
+        _quarantine(path)
+        return None
+
+
+def _atomic_store(result: FlowResult, path: Path) -> None:
+    """Write the pickle to a tmp file, then rename into place.
+
+    ``os.replace`` is atomic on POSIX, so readers only ever observe a
+    complete pickle even if the writer is killed mid-dump.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    try:
+        with open(tmp, "wb") as handle:
+            pickle.dump(result, handle)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
 
 
 def run_flow(
@@ -89,20 +180,40 @@ def run_flow(
     """
     arch = arch or ArchParams()
     # timing_driven folds into the cache key through the seed namespace.
-    key = (netlist.name, arch, seed + (1_000_003 if timing_driven else 0))
+    cache_seed = seed + (1_000_003 if timing_driven else 0)
+    key = (netlist.name, arch, cache_seed)
     if use_cache and key in _FLOW_CACHE:
         return _FLOW_CACHE[key]
-    cache_seed = seed + (1_000_003 if timing_driven else 0)
     disk_path = _disk_cache_path(netlist, arch, cache_seed) if use_cache else None
-    if disk_path is not None and disk_path.exists():
-        try:
-            with open(disk_path, "rb") as handle:
-                result = pickle.load(handle)
-            _FLOW_CACHE[key] = result
-            return result
-        except Exception:
-            disk_path.unlink(missing_ok=True)  # stale/corrupt cache entry
+    if disk_path is None:
+        return _compute_flow(
+            netlist, arch, seed, placement_effort, timing_driven,
+            memory_key=key if use_cache else None,
+        )
+    # Serialise compute-and-store per entry so parallel sweep workers share
+    # one P&R instead of racing to duplicate (or corrupt) it.
+    with _cache_lock(disk_path):
+        result = _load_cached(disk_path)
+        if result is None:
+            result = _compute_flow(
+                netlist, arch, seed, placement_effort, timing_driven,
+                memory_key=None,
+            )
+            result.cache_key = flow_cache_key(netlist, arch, cache_seed)
+            _atomic_store(result, disk_path)
+    _FLOW_CACHE[key] = result
+    return result
 
+
+def _compute_flow(
+    netlist: Netlist,
+    arch: ArchParams,
+    seed: int,
+    placement_effort: float,
+    timing_driven: bool,
+    memory_key: Optional[Tuple[str, ArchParams, int]],
+) -> FlowResult:
+    """The uncached pack -> place -> route -> STA pipeline."""
     packed = pack_netlist(netlist, arch)
     counts = {
         TileType.CLB: 0,
@@ -145,10 +256,6 @@ def run_flow(
         ) from last_error
     timing = TimingAnalyzer(packed, placement, routing, layout)
     result = FlowResult(netlist, arch, layout, packed, placement, routing, timing)
-    if use_cache:
-        _FLOW_CACHE[key] = result
-        if disk_path is not None:
-            disk_path.parent.mkdir(parents=True, exist_ok=True)
-            with open(disk_path, "wb") as handle:
-                pickle.dump(result, handle)
+    if memory_key is not None:
+        _FLOW_CACHE[memory_key] = result
     return result

@@ -16,7 +16,8 @@ frequency replaces the conventional worst-case (Tworst) clock.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -35,9 +36,46 @@ DELTA_T_CELSIUS = 2.0
 MAX_ITERATIONS = 25
 """The paper observes convergence in fewer than ten iterations."""
 
+BASE_ACTIVITY_DEFAULT = 0.15
+"""Default mean primary-input switching activity for the ACE estimate."""
+
 
 class GuardbandError(RuntimeError):
     """Raised when the temperature-power fixed point does not converge."""
+
+
+@dataclass(frozen=True)
+class GuardbandConfig:
+    """Algorithm 1 knobs, grouped so sweeps can carry them as one value.
+
+    Frozen (hashable, picklable): an :class:`~repro.runner.ExperimentSpec`
+    embeds one per job and ships it across process boundaries unchanged.
+    """
+
+    delta_t: float = DELTA_T_CELSIUS
+    """Convergence threshold and compensation margin, Celsius."""
+    max_iterations: int = MAX_ITERATIONS
+    """Iteration budget before :class:`GuardbandError`."""
+    base_activity: float = BASE_ACTIVITY_DEFAULT
+    """Mean primary-input activity for the default ACE estimate."""
+    package: Optional[ThermalPackage] = None
+    """Thermal package override; ``None`` uses the solver default."""
+
+    def __post_init__(self) -> None:
+        if self.delta_t <= 0.0:
+            raise ValueError(f"delta_t must be positive, got {self.delta_t}")
+        if self.max_iterations < 1:
+            raise ValueError(
+                f"max_iterations must be at least 1, got {self.max_iterations}"
+            )
+        if not (0.0 < self.base_activity <= 1.0):
+            raise ValueError(
+                f"base_activity must be in (0, 1], got {self.base_activity}"
+            )
+
+    def with_changes(self, **changes) -> "GuardbandConfig":
+        """Return a copy with some knobs replaced."""
+        return replace(self, **changes)
 
 
 @dataclass
@@ -79,33 +117,64 @@ class GuardbandResult:
         return float(self.tile_temperatures.max() - self.tile_temperatures.min())
 
 
+def _coerce_config(
+    config: Optional[GuardbandConfig], legacy: Dict[str, object]
+) -> GuardbandConfig:
+    """Resolve the ``config=`` value against the deprecated loose kwargs."""
+    supplied = {k: v for k, v in legacy.items() if v is not None}
+    if not supplied:
+        return config if config is not None else GuardbandConfig()
+    if config is not None:
+        raise TypeError(
+            "pass either config=GuardbandConfig(...) or the legacy "
+            f"{sorted(supplied)} kwargs, not both"
+        )
+    warnings.warn(
+        "thermal_aware_guardband(delta_t=..., max_iterations=..., "
+        "base_activity=..., package=...) is deprecated; pass "
+        "config=GuardbandConfig(...) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return GuardbandConfig(**supplied)
+
+
 def thermal_aware_guardband(
     flow: FlowResult,
     fabric: Fabric,
     t_ambient: float,
     activity: Optional[ActivityEstimate] = None,
-    delta_t: float = DELTA_T_CELSIUS,
-    max_iterations: int = MAX_ITERATIONS,
+    config: Optional[GuardbandConfig] = None,
+    *,
+    delta_t: Optional[float] = None,
+    max_iterations: Optional[int] = None,
     package: Optional[ThermalPackage] = None,
-    base_activity: float = 0.15,
+    base_activity: Optional[float] = None,
 ) -> GuardbandResult:
     """Run Algorithm 1 on a placed-and-routed design.
 
     ``t_ambient`` is the junction base temperature ``Tamb`` every tile
     starts from (Algorithm 1 line 1).  ``activity`` defaults to the ACE
-    estimate with the given base PI activity.
+    estimate with ``config.base_activity``.  The loose ``delta_t`` /
+    ``max_iterations`` / ``package`` / ``base_activity`` kwargs are a
+    deprecated spelling of :class:`GuardbandConfig` and will be removed.
     """
-    if delta_t <= 0.0:
-        raise ValueError(f"delta_t must be positive, got {delta_t}")
-    if max_iterations < 1:
-        raise ValueError(
-            f"max_iterations must be at least 1, got {max_iterations}"
-        )
+    config = _coerce_config(
+        config,
+        {
+            "delta_t": delta_t,
+            "max_iterations": max_iterations,
+            "package": package,
+            "base_activity": base_activity,
+        },
+    )
+    delta_t = config.delta_t
+    max_iterations = config.max_iterations
     if activity is None:
-        activity = estimate_activity(flow.netlist, base_activity)
+        activity = estimate_activity(flow.netlist, config.base_activity)
 
     power_model = PowerModel(flow, fabric, activity)
-    solver = ThermalSolver(flow.layout, package)
+    solver = ThermalSolver(flow.layout, config.package)
     n_tiles = flow.layout.n_tiles
 
     t_tiles = np.full(n_tiles, float(t_ambient))  # line 1

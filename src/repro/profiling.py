@@ -20,9 +20,28 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterable, Iterator, Optional
 
 _depth = 0
+
+
+def total_phase_seconds(
+    per_iteration: Iterable[Optional[Dict[str, float]]],
+) -> Dict[str, float]:
+    """Sum per-phase seconds across iteration timing dicts.
+
+    Accepts the ``phase_seconds`` entries of a guardband history (``None``
+    entries — profiling disabled — are skipped) and returns one aggregate
+    ``{"sta": ..., "power": ..., "thermal": ...}`` dict, the shape the sweep
+    engine streams to JSONL per job.
+    """
+    totals: Dict[str, float] = {}
+    for phases in per_iteration:
+        if not phases:
+            continue
+        for name, seconds in phases.items():
+            totals[name] = totals.get(name, 0.0) + seconds
+    return totals
 
 
 @contextmanager

@@ -1,7 +1,15 @@
-"""Plain-text tables and series used by the benchmark harness."""
+"""Plain-text tables, series and sweep renderers for the harnesses."""
 
 from repro.reporting.tables import format_table
 from repro.reporting.figures import format_bar_chart, format_series
 from repro.reporting.heatmap import format_heatmap
+from repro.reporting.sweep import format_sweep_gains_chart, format_sweep_table
 
-__all__ = ["format_bar_chart", "format_heatmap", "format_series", "format_table"]
+__all__ = [
+    "format_bar_chart",
+    "format_heatmap",
+    "format_series",
+    "format_sweep_gains_chart",
+    "format_sweep_table",
+    "format_table",
+]

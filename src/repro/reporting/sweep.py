@@ -1,0 +1,79 @@
+"""Renderers for :class:`~repro.runner.results.SweepResult`.
+
+The engine's aggregate result maps directly onto the paper's evaluation
+artifacts: a Figs. 6-7 style bar chart of per-benchmark gains at one
+operating point, and a cell-per-row table over the whole grid (with
+failed cells shown inline rather than silently dropped).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from repro.reporting.figures import format_bar_chart
+from repro.reporting.tables import format_table
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports core)
+    from repro.runner.results import SweepResult
+
+
+def format_sweep_table(sweep: "SweepResult", title: str = "") -> str:
+    """One row per grid cell, successes and failures interleaved."""
+    rows: List[Tuple[object, ...]] = []
+    for r in sweep.results:
+        rows.append(
+            (
+                r.benchmark,
+                f"{r.t_ambient:g}",
+                f"D{r.corner:g}",
+                f"{r.frequency_hz / 1e6:.1f}",
+                f"{r.gain * 100:.1f}%",
+                r.iterations,
+                f"{r.max_tile_celsius:.1f}",
+                f"{r.wall_seconds:.2f}",
+            )
+        )
+    for f in sweep.failures:
+        rows.append(
+            (
+                f.benchmark,
+                f"{f.t_ambient:g}",
+                f"D{f.corner:g}",
+                f"FAILED ({f.error_type})",
+                "-",
+                "-",
+                "-",
+                f"{f.wall_seconds:.2f}",
+            )
+        )
+    header = title or (
+        f"sweep: {len(sweep.results)}/{sweep.n_jobs} cells ok, "
+        f"{sweep.workers} worker(s), {sweep.wall_seconds:.1f}s"
+    )
+    return format_table(
+        ["benchmark", "Tamb (C)", "corner", "f (MHz)", "gain",
+         "iters", "Tmax (C)", "wall (s)"],
+        rows,
+        title=header,
+    )
+
+
+def format_sweep_gains_chart(
+    sweep: "SweepResult",
+    t_ambient: Optional[float] = None,
+    corner: Optional[float] = None,
+    title: str = "",
+) -> str:
+    """Figs. 6-7 style per-benchmark gain bars for one grid slice."""
+    picked = [
+        r
+        for r in sweep.results
+        if (t_ambient is None or r.t_ambient == t_ambient)
+        and (corner is None or r.corner == corner)
+    ]
+    labels = [r.benchmark for r in picked]
+    values = [r.gain * 100 for r in picked]
+    if values:
+        labels.append("average")
+        values.append(sum(values) / len(values))
+    return format_bar_chart(labels, values, title=title)

@@ -1,0 +1,36 @@
+"""Parallel experiment engine for the paper's evaluation sweeps.
+
+The public surface is three names::
+
+    from repro.runner import ExperimentSpec, run_sweep
+
+    spec = ExperimentSpec(
+        benchmarks=("sha", "stereovision1"),
+        ambients=(25.0, 70.0),          # Figs. 6 vs 7
+        corners=(25.0,),                # device grade(s), Fig. 8 uses two
+    )
+    sweep = run_sweep(spec, workers=4, jsonl_path="sweep.jsonl")
+    print(sweep.mean_gain(t_ambient=25.0))
+
+Failed cells are recorded in ``sweep.failures`` rather than aborting the
+run; serial (``workers=1``) and parallel execution are bit-identical.
+"""
+
+from repro.runner.engine import (
+    DEFAULT_MAX_RETRIES,
+    RETRYABLE_ERRORS,
+    run_sweep,
+)
+from repro.runner.results import JobFailure, JobResult, SweepResult
+from repro.runner.spec import ExperimentSpec, SweepJob
+
+__all__ = [
+    "DEFAULT_MAX_RETRIES",
+    "ExperimentSpec",
+    "JobFailure",
+    "JobResult",
+    "RETRYABLE_ERRORS",
+    "run_sweep",
+    "SweepJob",
+    "SweepResult",
+]

@@ -1,0 +1,353 @@
+"""Parallel, fault-tolerant sweep engine.
+
+:func:`run_sweep` expands an :class:`~repro.runner.spec.ExperimentSpec`
+into jobs and executes them either in-process (``workers=1``) or on a
+``ProcessPoolExecutor``.  Design points:
+
+- **Determinism** — serial and parallel paths run the *same* pure
+  :func:`_execute_job`, so a parallel sweep is bit-identical to a serial
+  one (every job recomputes from the same seeded inputs).
+- **Graceful degradation** — a job that raises is recorded as a
+  :class:`~repro.runner.results.JobFailure`; the sweep always returns a
+  complete :class:`~repro.runner.results.SweepResult`.  A worker killed
+  mid-job (``BrokenProcessPool``) triggers a pool rebuild and a bounded
+  re-dispatch of the in-flight jobs.
+- **Bounded retry** — transient errors (:class:`RoutingError`, ``OSError``
+  and friends, broken pools) are retried up to ``max_retries`` extra
+  attempts; deterministic failures are not retried.
+- **Observability** — each finished cell streams one JSONL record
+  (including Algorithm 1 phase timings collected under
+  :mod:`repro.profiling`) and fires the ``progress`` callback.
+- **Per-job timeout** — a parallel job overdue past ``job_timeout``
+  seconds is recorded as a timeout failure.  A genuinely wedged worker
+  cannot be force-killed through ``concurrent.futures``; its result is
+  discarded on arrival.  (Ignored on the serial path.)
+
+The shared on-disk flow cache (:mod:`repro.cad.flow`) is safe under this
+fan-out: per-entry file locks serialise place-and-route so concurrent
+workers needing the same mapping share one computation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro import profiling
+from repro.arch.params import ArchParams
+from repro.cad.flow import run_flow
+from repro.cad.route import RoutingError
+from repro.coffe.fabric import Fabric, build_fabric
+from repro.core.guardband import thermal_aware_guardband
+from repro.core.margins import guardband_gain, worst_case_frequency
+from repro.runner.results import JobFailure, JobResult, SweepResult
+from repro.runner.spec import ExperimentSpec, SweepJob
+
+ProgressCallback = Callable[[Union[JobResult, JobFailure], int, int], None]
+
+RETRYABLE_ERRORS: Tuple[type, ...] = (
+    RoutingError,
+    OSError,
+    EOFError,
+    BrokenProcessPool,
+)
+"""Error classes worth a bounded re-attempt: congestion that may clear at
+a wider channel retry inside the flow, filesystem/cache races, and pool
+breakage from a killed worker.  Everything else is deterministic and
+fails fast."""
+
+DEFAULT_MAX_RETRIES = 1
+"""Extra attempts after the first, per job."""
+
+_FABRIC_MEMO: Dict[Tuple[float, ArchParams], Fabric] = {}
+"""Per-process memo: corner characterization is identical for every job
+sharing (corner, arch), and workers are long-lived."""
+
+
+def _fabric_for(corner: float, arch: ArchParams) -> Fabric:
+    key = (corner, arch)
+    if key not in _FABRIC_MEMO:
+        _FABRIC_MEMO[key] = build_fabric(corner, arch)
+    return _FABRIC_MEMO[key]
+
+
+def _execute_job(job: SweepJob) -> JobResult:
+    """Run one grid cell end-to-end.  Pure: deterministic in ``job``.
+
+    Module-level so the process pool can pickle it by reference; the
+    serial path calls it directly, guaranteeing identical numerics.
+    """
+    start = time.perf_counter()
+    netlist = job.resolve_netlist()
+    flow = run_flow(
+        netlist, job.arch, seed=job.seed, timing_driven=job.timing_driven
+    )
+    fabric = _fabric_for(job.corner, job.arch)
+    worst_case_hz = worst_case_frequency(flow, fabric)
+    with profiling.enabled():
+        result = thermal_aware_guardband(
+            flow, fabric, job.t_ambient, config=job.config
+        )
+    phase_seconds = profiling.total_phase_seconds(
+        iteration.phase_seconds for iteration in result.history
+    )
+    return JobResult(
+        job_id=job.job_id,
+        benchmark=job.benchmark,
+        t_ambient=job.t_ambient,
+        corner=job.corner,
+        frequency_hz=result.frequency_hz,
+        worst_case_hz=worst_case_hz,
+        gain=guardband_gain(result.frequency_hz, worst_case_hz),
+        iterations=result.iterations,
+        total_power_w=result.total_power_w,
+        max_tile_celsius=float(result.tile_temperatures.max()),
+        mean_tile_celsius=float(result.tile_temperatures.mean()),
+        wall_seconds=time.perf_counter() - start,
+        phase_seconds=phase_seconds,
+        cache_key=flow.cache_key,
+    )
+
+
+class _JsonlWriter:
+    """Append-only JSONL stream of per-job records, flushed per line."""
+
+    def __init__(self, path: Optional[str]) -> None:
+        self._handle = open(path, "a", encoding="utf-8") if path else None
+
+    def write(self, record: Dict[str, object]) -> None:
+        if self._handle is None:
+            return
+        self._handle.write(json.dumps(record, sort_keys=False) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+
+
+def _failure_from(
+    job: SweepJob, error: BaseException, attempts: int, started: float
+) -> JobFailure:
+    return JobFailure(
+        job_id=job.job_id,
+        benchmark=job.benchmark,
+        t_ambient=job.t_ambient,
+        corner=job.corner,
+        error_type=type(error).__name__,
+        message=str(error) or type(error).__name__,
+        attempts=attempts,
+        wall_seconds=time.perf_counter() - started,
+        retryable=isinstance(error, RETRYABLE_ERRORS),
+    )
+
+
+@dataclass
+class _Tracked:
+    """Book-keeping for one in-flight parallel job."""
+
+    job: SweepJob
+    attempts: int
+    started: float
+    submitted: float
+
+
+def run_sweep(
+    spec: Union[ExperimentSpec, List[SweepJob]],
+    workers: Optional[int] = 1,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    job_timeout: Optional[float] = None,
+    jsonl_path: Optional[str] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> SweepResult:
+    """Execute an experiment grid; never raises for a failing cell.
+
+    ``workers=None`` uses the machine's core count; ``workers=1`` runs
+    serially in-process (same numerics, no pool overhead).  Returns a
+    :class:`SweepResult` whose ``results``/``failures`` partition the
+    grid.
+    """
+    jobs = spec.expand() if isinstance(spec, ExperimentSpec) else list(spec)
+    if workers is None:
+        workers = max(1, os.cpu_count() or 1)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if max_retries < 0:
+        raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+    workers = min(workers, max(1, len(jobs)))
+
+    writer = _JsonlWriter(jsonl_path)
+    sweep = SweepResult(workers=workers, jsonl_path=jsonl_path)
+    started = time.perf_counter()
+
+    def record(outcome: Union[JobResult, JobFailure]) -> None:
+        bucket = sweep.results if isinstance(outcome, JobResult) else sweep.failures
+        bucket.append(outcome)
+        writer.write(outcome.to_record())
+        if progress is not None:
+            progress(outcome, sweep.n_jobs, len(jobs))
+
+    try:
+        if workers == 1:
+            _run_serial(jobs, max_retries, record)
+        else:
+            _run_parallel(jobs, workers, max_retries, job_timeout, record)
+    finally:
+        sweep.wall_seconds = time.perf_counter() - started
+        writer.close()
+
+    # Stable, grid-order reporting regardless of completion order.
+    order = {job.job_id: i for i, job in enumerate(jobs)}
+    sweep.results.sort(key=lambda r: order.get(r.job_id, len(order)))
+    sweep.failures.sort(key=lambda f: order.get(f.job_id, len(order)))
+    return sweep
+
+
+def _run_serial(
+    jobs: List[SweepJob],
+    max_retries: int,
+    record: Callable[[Union[JobResult, JobFailure]], None],
+) -> None:
+    for job in jobs:
+        job_started = time.perf_counter()
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                outcome: Union[JobResult, JobFailure] = replace(
+                    _execute_job(job), attempts=attempts
+                )
+                break
+            except Exception as error:  # degrade, never abort the sweep
+                if (
+                    isinstance(error, RETRYABLE_ERRORS)
+                    and attempts <= max_retries
+                ):
+                    continue
+                outcome = _failure_from(job, error, attempts, job_started)
+                break
+        record(outcome)
+
+
+def _run_parallel(
+    jobs: List[SweepJob],
+    workers: int,
+    max_retries: int,
+    job_timeout: Optional[float],
+    record: Callable[[Union[JobResult, JobFailure]], None],
+) -> None:
+    executor = ProcessPoolExecutor(max_workers=workers)
+    pending: Dict[Future, _Tracked] = {}
+
+    def submit(job: SweepJob, attempts: int, started: Optional[float]) -> None:
+        nonlocal executor
+        now = time.perf_counter()
+        tracked = _Tracked(
+            job=job,
+            attempts=attempts,
+            started=started if started is not None else now,
+            submitted=now,
+        )
+        try:
+            future = executor.submit(_execute_job, job)
+        except BrokenProcessPool:
+            # Pool died between the drain and this resubmit; rebuild once.
+            executor = ProcessPoolExecutor(max_workers=workers)
+            future = executor.submit(_execute_job, job)
+        pending[future] = tracked
+
+    for job in jobs:
+        submit(job, attempts=1, started=None)
+
+    try:
+        while pending:
+            done, _ = wait(
+                set(pending),
+                timeout=0.25 if job_timeout is not None else None,
+                return_when=FIRST_COMPLETED,
+            )
+            broken: List[_Tracked] = []
+            resubmit: List[_Tracked] = []
+            for future in done:
+                tracked = pending.pop(future)
+                try:
+                    result = future.result()
+                except BrokenProcessPool:
+                    broken.append(tracked)
+                except Exception as error:
+                    if (
+                        isinstance(error, RETRYABLE_ERRORS)
+                        and tracked.attempts <= max_retries
+                    ):
+                        resubmit.append(tracked)
+                    else:
+                        record(
+                            _failure_from(
+                                tracked.job, error,
+                                tracked.attempts, tracked.started,
+                            )
+                        )
+                else:
+                    record(replace(result, attempts=tracked.attempts))
+            if broken:
+                # A dead worker poisons the whole pool: every in-flight
+                # future fails with BrokenProcessPool.  Drain them, rebuild
+                # the pool once, and re-dispatch within each job's budget.
+                broken.extend(pending.values())
+                pending.clear()
+                executor.shutdown(wait=False, cancel_futures=True)
+                executor = ProcessPoolExecutor(max_workers=workers)
+                for tracked in broken:
+                    if tracked.attempts <= max_retries:
+                        resubmit.append(tracked)
+                    else:
+                        record(
+                            _failure_from(
+                                tracked.job,
+                                BrokenProcessPool(
+                                    "worker process died unexpectedly"
+                                ),
+                                tracked.attempts,
+                                tracked.started,
+                            )
+                        )
+            for tracked in resubmit:
+                submit(tracked.job, tracked.attempts + 1, tracked.started)
+            if job_timeout is not None:
+                _expire_overdue(pending, job_timeout, record)
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+
+
+def _expire_overdue(
+    pending: Dict[Future, _Tracked],
+    job_timeout: float,
+    record: Callable[[Union[JobResult, JobFailure]], None],
+) -> None:
+    """Record overdue jobs as timeout failures and stop tracking them.
+
+    A future still queued is cancelled outright; one already running
+    cannot be interrupted through ``concurrent.futures``, so its eventual
+    result is simply discarded (the slot frees when it finishes).
+    """
+    now = time.perf_counter()
+    for future, tracked in list(pending.items()):
+        if now - tracked.submitted <= job_timeout:
+            continue
+        future.cancel()
+        del pending[future]
+        record(
+            _failure_from(
+                tracked.job,
+                TimeoutError(
+                    f"job exceeded the {job_timeout:g}s timeout"
+                ),
+                tracked.attempts,
+                tracked.started,
+            )
+        )

@@ -1,0 +1,146 @@
+"""Sweep outcome model: per-job records and the aggregate result.
+
+Every record is flat (floats, strings, dicts of floats) so it pickles
+cheaply across the process pool and serialises 1:1 to a JSONL line.  The
+aggregate :class:`SweepResult` is what ``repro.reporting`` renders and
+what the CLI's ``--json`` mode emits via :meth:`SweepResult.to_dict`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+Cell = Tuple[str, float, float]
+"""Grid coordinate: (benchmark, t_ambient, corner)."""
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """A successfully guardbanded grid cell."""
+
+    job_id: str
+    benchmark: str
+    t_ambient: float
+    corner: float
+    frequency_hz: float
+    """Thermal-aware guardbanded clock (Algorithm 1)."""
+    worst_case_hz: float
+    """Conventional Tworst baseline clock on the same device."""
+    gain: float
+    """Fractional improvement over the worst-case baseline."""
+    iterations: int
+    total_power_w: float
+    max_tile_celsius: float
+    mean_tile_celsius: float
+    wall_seconds: float
+    attempts: int = 1
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    """Aggregate Algorithm 1 phase timings ("sta"/"power"/"thermal")."""
+    cache_key: Optional[str] = None
+    """Flow-cache key of the underlying P&R, when caching was on."""
+
+    @property
+    def cell(self) -> Cell:
+        return (self.benchmark, self.t_ambient, self.corner)
+
+    def to_record(self) -> Dict[str, object]:
+        return {"type": "result", **asdict(self)}
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """A grid cell that exhausted its attempts; recorded, never fatal."""
+
+    job_id: str
+    benchmark: str
+    t_ambient: float
+    corner: float
+    error_type: str
+    message: str
+    attempts: int
+    wall_seconds: float
+    retryable: bool = False
+    """Whether the final error was of a retryable class (budget exhausted)."""
+
+    @property
+    def cell(self) -> Cell:
+        return (self.benchmark, self.t_ambient, self.corner)
+
+    def to_record(self) -> Dict[str, object]:
+        return {"type": "failure", **asdict(self)}
+
+
+@dataclass
+class SweepResult:
+    """Aggregate of one engine run over an experiment grid."""
+
+    results: List[JobResult] = field(default_factory=list)
+    failures: List[JobFailure] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    workers: int = 1
+    jsonl_path: Optional[str] = None
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.results) + len(self.failures)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures and bool(self.results)
+
+    def result_for(
+        self, benchmark: str, t_ambient: float, corner: float
+    ) -> Optional[JobResult]:
+        for result in self.results:
+            if result.cell == (benchmark, t_ambient, corner):
+                return result
+        return None
+
+    def gains(self) -> Dict[Cell, float]:
+        """Guardbanding gain per grid cell (failed cells absent)."""
+        return {r.cell: r.gain for r in self.results}
+
+    def frequencies(self) -> Dict[Cell, float]:
+        return {r.cell: r.frequency_hz for r in self.results}
+
+    def mean_gain(
+        self,
+        t_ambient: Optional[float] = None,
+        corner: Optional[float] = None,
+    ) -> float:
+        """Average gain over (a slice of) the grid, Figs. 6-7 style."""
+        picked = [
+            r.gain
+            for r in self.results
+            if (t_ambient is None or r.t_ambient == t_ambient)
+            and (corner is None or r.corner == corner)
+        ]
+        if not picked:
+            raise ValueError("no successful cells match the requested slice")
+        return sum(picked) / len(picked)
+
+    def phase_totals(self) -> Dict[str, float]:
+        """Engine-wide Algorithm 1 phase seconds, summed over cells."""
+        totals: Dict[str, float] = {}
+        for result in self.results:
+            for name, seconds in result.phase_seconds.items():
+                totals[name] = totals.get(name, 0.0) + seconds
+        return totals
+
+    def to_dict(self) -> Dict[str, object]:
+        """Machine-readable summary (the CLI's ``--json`` payload)."""
+        return {
+            "n_jobs": self.n_jobs,
+            "n_ok": len(self.results),
+            "n_failed": len(self.failures),
+            "workers": self.workers,
+            "wall_seconds": self.wall_seconds,
+            "jsonl_path": self.jsonl_path,
+            "results": [asdict(r) for r in self.results],
+            "failures": [asdict(f) for f in self.failures],
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)

@@ -1,8 +1,21 @@
-"""Tests for the ``python -m repro`` command-line interface."""
+"""Tests for the ``python -m repro`` command-line interface.
+
+CLI contract: every subcommand supports ``--json`` (one machine-readable
+object on stdout) and failures exit non-zero with a one-line diagnostic,
+never a raw traceback.
+"""
+
+import json
 
 import pytest
 
 from repro.__main__ import main
+
+
+@pytest.fixture()
+def cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    return tmp_path
 
 
 class TestCli:
@@ -33,3 +46,65 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestJsonMode:
+    def test_characterize_json(self, capsys):
+        assert main(["characterize", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = {r["resource"] for r in payload["resources"]}
+        assert "sb_mux" in names and "bram" in names
+
+    def test_guardband_json(self, capsys):
+        assert main(["guardband", "stereovision3", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["benchmark"] == "stereovision3"
+        assert payload["frequency_hz"] > payload["worst_case_hz"] > 0
+        assert payload["gain"] > 0
+
+    def test_corners_json(self, capsys):
+        assert main(["corners", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["winners"]) == 11
+
+    def test_grades_json(self, capsys):
+        assert main(["grades", "--count", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["bands"]) == 2
+        assert payload["average_delay_s"] > 0
+
+
+class TestSweepCommand:
+    def test_sweep_text(self, cache_dir, capsys):
+        code = main(
+            ["sweep", "--benchmarks", "mkPktMerge,stereovision3",
+             "--ambients", "25,70"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mkPktMerge" in out and "stereovision3" in out
+        assert "guardbanding gain" not in out  # two ambients: no chart
+
+    def test_sweep_json_with_jsonl(self, cache_dir, tmp_path, capsys):
+        jsonl = tmp_path / "cells.jsonl"
+        code = main(
+            ["sweep", "--benchmarks", "mkPktMerge", "--ambients", "25",
+             "--workers", "2", "--json", "--jsonl", str(jsonl)]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_jobs"] == payload["n_ok"] == 1
+        assert payload["results"][0]["benchmark"] == "mkPktMerge"
+        lines = jsonl.read_text().splitlines()
+        assert len(lines) == 1 and json.loads(lines[0])["type"] == "result"
+
+    def test_sweep_unknown_benchmark_exits_1(self, capsys):
+        code = main(["sweep", "--benchmarks", "nonexistent", "--json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["error"] == "ValueError"
+        assert "unknown VTR benchmark" in payload["message"]
+
+    def test_sweep_bad_ambients_diagnostic(self):
+        with pytest.raises(SystemExit, match="--ambients"):
+            main(["sweep", "--benchmarks", "sha", "--ambients", "hot"])

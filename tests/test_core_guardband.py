@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.guardband import (
+    GuardbandConfig,
     GuardbandError,
     GuardbandResult,
     thermal_aware_guardband,
@@ -63,21 +64,29 @@ class TestAlgorithm1:
 
     def test_higher_activity_more_heat(self, tiny_flow, fabric25):
         calm = thermal_aware_guardband(
-            tiny_flow, fabric25, 25.0, base_activity=0.05
+            tiny_flow, fabric25, 25.0, config=GuardbandConfig(base_activity=0.05)
         )
         busy = thermal_aware_guardband(
-            tiny_flow, fabric25, 25.0, base_activity=0.6
+            tiny_flow, fabric25, 25.0, config=GuardbandConfig(base_activity=0.6)
         )
         assert busy.mean_rise_celsius > calm.mean_rise_celsius
         assert busy.frequency_hz <= calm.frequency_hz * (1 + 1e-9)
 
     def test_delta_t_margin_costs_frequency(self, tiny_flow, fabric25):
-        tight = thermal_aware_guardband(tiny_flow, fabric25, 25.0, delta_t=1.0)
-        loose = thermal_aware_guardband(tiny_flow, fabric25, 25.0, delta_t=6.0)
+        tight = thermal_aware_guardband(
+            tiny_flow, fabric25, 25.0, config=GuardbandConfig(delta_t=1.0)
+        )
+        loose = thermal_aware_guardband(
+            tiny_flow, fabric25, 25.0, config=GuardbandConfig(delta_t=6.0)
+        )
         assert loose.frequency_hz < tight.frequency_hz
 
-    def test_rejects_nonpositive_delta_t(self, tiny_flow, fabric25):
+    def test_rejects_nonpositive_delta_t(self):
         with pytest.raises(ValueError):
+            GuardbandConfig(delta_t=0.0)
+
+    def test_legacy_kwarg_rejects_nonpositive_delta_t(self, tiny_flow, fabric25):
+        with pytest.raises(ValueError), pytest.warns(DeprecationWarning):
             thermal_aware_guardband(tiny_flow, fabric25, 25.0, delta_t=0.0)
 
     def test_nonconvergence_raises(self, tiny_flow, fabric25):
@@ -87,7 +96,9 @@ class TestAlgorithm1:
         with pytest.raises(GuardbandError, match="converge"):
             thermal_aware_guardband(
                 tiny_flow, fabric25, 25.0,
-                delta_t=0.05, max_iterations=2, package=weak,
+                config=GuardbandConfig(
+                    delta_t=0.05, max_iterations=2, package=weak
+                ),
             )
 
     def test_max_gradient_nonnegative(self, result):

@@ -1,10 +1,19 @@
 """Tests for the on-disk place-and-route cache."""
 
+import os
 import pickle
+import subprocess
+import sys
 
 import pytest
 
-from repro.cad.flow import _disk_cache_path, run_flow
+from repro.cad.flow import (
+    FLOW_CACHE_VERSION,
+    _disk_cache_path,
+    arch_digest,
+    flow_cache_key,
+    run_flow,
+)
 from repro.netlists.generator import NetlistSpec, generate_netlist
 
 
@@ -40,7 +49,11 @@ class TestDiskCache:
         flow_module._FLOW_CACHE.clear()
         result = run_flow(small_netlist, arch, seed=3)  # must not raise
         assert result.netlist is small_netlist
-        # The corrupt entry was replaced by a valid one.
+        # The corrupt bytes were quarantined for post-mortem, and the
+        # entry was recomputed and re-cached as a valid pickle.
+        quarantined = list(path.parent.glob("*.corrupt"))
+        assert len(quarantined) == 1
+        assert quarantined[0].read_bytes() == b"not a pickle"
         with open(path, "rb") as handle:
             pickle.load(handle)
 
@@ -62,3 +75,52 @@ class TestDiskCache:
         assert _disk_cache_path(small_netlist, arch, 1) != _disk_cache_path(
             small_netlist, other, 1
         )
+
+    def test_result_carries_cache_key(self, cache_dir, small_netlist, arch):
+        result = run_flow(small_netlist, arch, seed=3)
+        assert result.cache_key == flow_cache_key(small_netlist, arch, 3)
+        # Reloads (memory or disk) keep the key.
+        from repro.cad import flow as flow_module
+
+        flow_module._FLOW_CACHE.clear()
+        assert run_flow(small_netlist, arch, seed=3).cache_key == result.cache_key
+
+
+class TestCacheKeyDigest:
+    """The key must be a content digest, stable across interpreters —
+    ``hash()`` is salted per process and silently splits the cache."""
+
+    def test_deterministic_within_process(self, small_netlist, arch):
+        assert arch_digest(arch) == arch_digest(arch)
+        assert flow_cache_key(small_netlist, arch, 3) == flow_cache_key(
+            small_netlist, arch, 3
+        )
+
+    def test_sensitive_to_every_arch_field(self, arch):
+        baseline = arch_digest(arch)
+        for changed in (
+            arch.with_changes(cluster_size=arch.cluster_size + 2),
+            arch.with_changes(channel_tracks=arch.channel_tracks + 4),
+            arch.with_changes(vdd=arch.vdd + 0.05),
+        ):
+            assert arch_digest(changed) != baseline
+
+    def test_key_embeds_cache_version(self, small_netlist, arch):
+        assert flow_cache_key(small_netlist, arch, 3).startswith(
+            f"v{FLOW_CACHE_VERSION}_"
+        )
+
+    def test_stable_across_interpreters(self, small_netlist, arch):
+        """Fresh interpreter (fresh hash salt) computes the same key."""
+        script = (
+            "from repro.arch.params import ArchParams\n"
+            "from repro.cad.flow import arch_digest\n"
+            "print(arch_digest(ArchParams()), end='')\n"
+        )
+        env = dict(os.environ, PYTHONPATH="src", PYTHONHASHSEED="12345")
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, check=True, env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        assert out.stdout == arch_digest(type(arch)())

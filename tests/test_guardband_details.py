@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.activity.ace import estimate_activity
-from repro.core.guardband import thermal_aware_guardband
+from repro.core.guardband import GuardbandConfig, thermal_aware_guardband
 from repro.power.model import PowerModel
 from repro.thermal.hotspot import ThermalSolver
 
@@ -60,7 +60,9 @@ class TestFixedPoint:
         assert r_busy.total_power_w > r_lazy.total_power_w
 
     def test_result_metadata(self, tiny_flow, fabric25):
-        result = thermal_aware_guardband(tiny_flow, fabric25, 40.0, delta_t=3.0)
+        result = thermal_aware_guardband(
+            tiny_flow, fabric25, 40.0, config=GuardbandConfig(delta_t=3.0)
+        )
         assert result.t_ambient == 40.0
         assert result.delta_t == 3.0
         assert result.critical_path_s == pytest.approx(1.0 / result.frequency_hz)

@@ -19,7 +19,11 @@ from repro import profiling
 from repro.activity.ace import estimate_activity
 from repro.cad.flow import run_flow
 from repro.cad.timing import TimingAnalyzer
-from repro.core.guardband import GuardbandError, thermal_aware_guardband
+from repro.core.guardband import (
+    GuardbandConfig,
+    GuardbandError,
+    thermal_aware_guardband,
+)
 from repro.core.reference import seed_implementation
 from repro.netlists.vtr_suite import vtr_benchmark
 from repro.power.model import PowerModel
@@ -46,7 +50,8 @@ class TestGuardbandIterationValidation:
     ):
         with pytest.raises(ValueError, match="max_iterations must be at least 1"):
             thermal_aware_guardband(
-                tiny_flow, fabric25, t_ambient=25.0, max_iterations=max_iterations
+                tiny_flow, fabric25, t_ambient=25.0,
+                config=GuardbandConfig(max_iterations=max_iterations),
             )
 
     def test_non_convergence_message_reports_last_delta(self, tiny_flow, fabric25):
@@ -55,7 +60,7 @@ class TestGuardbandIterationValidation:
         with pytest.raises(GuardbandError, match=r"last \|dT\|"):
             thermal_aware_guardband(
                 tiny_flow, fabric25, t_ambient=25.0,
-                delta_t=1e-9, max_iterations=1,
+                config=GuardbandConfig(delta_t=1e-9, max_iterations=1),
             )
 
 

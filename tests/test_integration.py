@@ -10,6 +10,7 @@ import pytest
 
 from repro import (
     ArchParams,
+    GuardbandConfig,
     build_fabric,
     run_flow,
     thermal_aware_guardband,
@@ -30,8 +31,10 @@ class TestHeadlineClaims:
     def test_guardband_gain_at_25c_in_paper_band(self, sha_flow, fabric25):
         # Paper abstract: "thermal-aware timing on FPGAs yields up to 36.5 %
         # performance improvement" (Fig. 6 average) at Tamb = 25 C.
-        result = thermal_aware_guardband(sha_flow, fabric25, 25.0,
-                                         base_activity=0.19)
+        result = thermal_aware_guardband(
+            sha_flow, fabric25, 25.0,
+            config=GuardbandConfig(base_activity=0.19),
+        )
         gain = guardband_gain(
             result.frequency_hz, worst_case_frequency(sha_flow, fabric25)
         )
@@ -39,8 +42,10 @@ class TestHeadlineClaims:
 
     def test_guardband_gain_at_70c_smaller(self, sha_flow, fabric25):
         # Paper Fig. 7: ~14 % average at Tamb = 70 C.
-        result = thermal_aware_guardband(sha_flow, fabric25, 70.0,
-                                         base_activity=0.19)
+        result = thermal_aware_guardband(
+            sha_flow, fabric25, 70.0,
+            config=GuardbandConfig(base_activity=0.19),
+        )
         gain = guardband_gain(
             result.frequency_hz, worst_case_frequency(sha_flow, fabric25)
         )

@@ -1,0 +1,229 @@
+"""Tests for the parallel experiment engine (``repro.runner``).
+
+Failure-path coverage: a raising job is recorded without aborting the
+sweep, transient errors retry up to the budget, a corrupt flow-cache
+pickle is quarantined, a killed worker degrades to a per-job failure, and
+parallel execution is bit-identical to serial.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import signal
+import time
+
+import pytest
+
+from repro.cad.flow import _disk_cache_path
+from repro.cad.route import RoutingError
+from repro.core.guardband import GuardbandConfig
+from repro.netlists.generator import NetlistSpec
+from repro.runner import ExperimentSpec, JobFailure, JobResult, run_sweep
+from repro.runner import engine as engine_module
+
+TINY_A = NetlistSpec("runner_tiny_a", n_luts=10, depth=3, seed=51,
+                     base_activity=0.2)
+TINY_B = NetlistSpec("runner_tiny_b", n_luts=12, depth=3, seed=52,
+                     base_activity=0.18)
+
+
+@pytest.fixture()
+def cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    return tmp_path
+
+
+def tiny_spec(**overrides) -> ExperimentSpec:
+    defaults = dict(benchmarks=(TINY_A, TINY_B), ambients=(25.0,))
+    defaults.update(overrides)
+    return ExperimentSpec(**defaults)
+
+
+# Module-level so the process pool can pickle them by reference (the
+# forked workers share this module's in-memory state).
+def _kill_own_worker(job):
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _sleep_job(job):
+    time.sleep(3.0)
+
+
+class TestExperimentSpec:
+    def test_grid_expansion(self):
+        spec = ExperimentSpec(
+            benchmarks=("sha", "bgm"),
+            ambients=(25.0, 70.0),
+            corners=(25.0, 70.0),
+        )
+        jobs = spec.expand()
+        assert len(jobs) == spec.n_jobs == 8
+        assert len({job.job_id for job in jobs}) == 8
+        # Benchmark-major: consecutive jobs share a design, so parallel
+        # workers queue on one flow-cache lock instead of re-placing.
+        assert [j.benchmark for j in jobs[:4]] == ["sha"] * 4
+
+    def test_per_benchmark_base_activity(self):
+        spec = ExperimentSpec(benchmarks=("sha", "bgm"))
+        configs = {j.benchmark: j.config for j in spec.expand()}
+        assert configs["sha"].base_activity == pytest.approx(0.19)
+        assert configs["bgm"].base_activity == pytest.approx(0.12)
+
+    def test_explicit_config_applies_uniformly(self):
+        config = GuardbandConfig(delta_t=4.0, base_activity=0.3)
+        spec = ExperimentSpec(benchmarks=("sha", "bgm"), config=config)
+        assert all(j.config == config for j in spec.expand())
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(ValueError, match="unknown VTR benchmark"):
+            ExperimentSpec(benchmarks=("nonexistent",))
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(benchmarks=())
+        with pytest.raises(ValueError):
+            ExperimentSpec(benchmarks=("sha",), ambients=())
+
+
+class TestSerialSweep:
+    def test_records_results_and_streams_jsonl(self, cache_dir, tmp_path):
+        jsonl = tmp_path / "out" / "sweep.jsonl"
+        jsonl.parent.mkdir()
+        sweep = run_sweep(
+            tiny_spec(ambients=(25.0, 70.0)), workers=1,
+            jsonl_path=str(jsonl),
+        )
+        assert sweep.ok and sweep.n_jobs == 4
+        assert all(isinstance(r, JobResult) for r in sweep.results)
+        for result in sweep.results:
+            assert result.frequency_hz > result.worst_case_hz > 0
+            assert set(result.phase_seconds) == {"sta", "power", "thermal"}
+            assert result.cache_key  # disk cache was on
+        records = [json.loads(line) for line in jsonl.read_text().splitlines()]
+        assert len(records) == 4
+        assert all(r["type"] == "result" for r in records)
+        assert records[0]["phase_seconds"]["sta"] > 0.0
+
+    def test_gain_slices(self, cache_dir):
+        sweep = run_sweep(tiny_spec(ambients=(25.0, 70.0)), workers=1)
+        assert 0.0 < sweep.mean_gain(t_ambient=70.0) < sweep.mean_gain(
+            t_ambient=25.0
+        )
+        with pytest.raises(ValueError):
+            sweep.mean_gain(t_ambient=999.0)
+
+    def test_worker_exception_recorded_not_fatal(self, cache_dir, monkeypatch):
+        real = engine_module._execute_job
+
+        def flaky(job):
+            if job.benchmark == "runner_tiny_a":
+                raise RuntimeError("synthetic job explosion")
+            return real(job)
+
+        monkeypatch.setattr(engine_module, "_execute_job", flaky)
+        sweep = run_sweep(tiny_spec(), workers=1)
+        assert len(sweep.results) == 1 and len(sweep.failures) == 1
+        failure = sweep.failures[0]
+        assert isinstance(failure, JobFailure)
+        assert failure.benchmark == "runner_tiny_a"
+        assert failure.error_type == "RuntimeError"
+        assert "explosion" in failure.message
+        assert failure.attempts == 1  # deterministic errors are not retried
+        assert not failure.retryable
+
+    def test_transient_error_retried_until_success(self, cache_dir, monkeypatch):
+        real = engine_module._execute_job
+        calls = {"n": 0}
+
+        def congested_once(job):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RoutingError("transient congestion")
+            return real(job)
+
+        monkeypatch.setattr(engine_module, "_execute_job", congested_once)
+        sweep = run_sweep(
+            ExperimentSpec(benchmarks=(TINY_A,)), workers=1, max_retries=2
+        )
+        assert sweep.ok
+        assert sweep.results[0].attempts == 2
+
+    def test_retry_exhaustion_recorded(self, cache_dir, monkeypatch):
+        def always_congested(job):
+            raise RoutingError("permanent congestion")
+
+        monkeypatch.setattr(engine_module, "_execute_job", always_congested)
+        sweep = run_sweep(
+            ExperimentSpec(benchmarks=(TINY_A,)), workers=1, max_retries=2
+        )
+        assert not sweep.results
+        failure = sweep.failures[0]
+        assert failure.error_type == "RoutingError"
+        assert failure.attempts == 3  # first try + 2 retries
+        assert failure.retryable
+
+    def test_corrupt_cache_pickle_quarantined(self, cache_dir):
+        spec = ExperimentSpec(benchmarks=(TINY_A,))
+        job = spec.expand()[0]
+        path = _disk_cache_path(job.resolve_netlist(), job.arch, job.seed)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"definitely not a pickle")
+        from repro.cad import flow as flow_module
+
+        flow_module._FLOW_CACHE.clear()
+        sweep = run_sweep(spec, workers=1)
+        assert sweep.ok, sweep.failures
+        quarantined = list(cache_dir.glob("*.corrupt"))
+        assert len(quarantined) == 1
+        # The entry was recomputed and re-cached as a valid pickle.
+        with open(path, "rb") as handle:
+            pickle.load(handle)
+
+
+class TestParallelSweep:
+    def test_parallel_bit_identical_to_serial(self, cache_dir):
+        spec = tiny_spec(ambients=(25.0, 70.0))
+        serial = run_sweep(spec, workers=1)
+        parallel = run_sweep(spec, workers=2)
+        assert serial.ok and parallel.ok
+        assert serial.frequencies() == parallel.frequencies()
+        assert serial.gains() == parallel.gains()
+        assert [r.job_id for r in serial.results] == [
+            r.job_id for r in parallel.results
+        ]
+
+    def test_killed_worker_degrades_to_recorded_failure(
+        self, cache_dir, monkeypatch
+    ):
+        # Two jobs so the engine actually takes the pool path (it clamps
+        # workers to the job count and runs workers=1 in-process).
+        monkeypatch.setattr(engine_module, "_execute_job", _kill_own_worker)
+        sweep = run_sweep(tiny_spec(), workers=2, max_retries=1)
+        assert not sweep.results
+        assert len(sweep.failures) == 2
+        for failure in sweep.failures:
+            assert failure.error_type == "BrokenProcessPool"
+            assert failure.attempts == 2
+
+    def test_job_timeout_recorded(self, cache_dir, monkeypatch):
+        monkeypatch.setattr(engine_module, "_execute_job", _sleep_job)
+        started = time.perf_counter()
+        sweep = run_sweep(tiny_spec(), workers=2, job_timeout=0.5)
+        assert time.perf_counter() - started < 3.0
+        assert not sweep.results
+        assert {f.error_type for f in sweep.failures} == {"TimeoutError"}
+
+    def test_progress_callback_sees_every_cell(self, cache_dir):
+        seen = []
+        sweep = run_sweep(
+            tiny_spec(), workers=2,
+            progress=lambda outcome, done, total: seen.append(
+                (outcome.job_id, done, total)
+            ),
+        )
+        assert sweep.ok
+        assert len(seen) == 2
+        assert {entry[2] for entry in seen} == {2}
+        assert {entry[1] for entry in seen} == {1, 2}
