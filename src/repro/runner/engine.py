@@ -14,14 +14,24 @@ into jobs and executes them either in-process (``workers=1``) or on a
   re-dispatch of the in-flight jobs.
 - **Bounded retry** — transient errors (:class:`RoutingError`, ``OSError``
   and friends, broken pools) are retried up to ``max_retries`` extra
-  attempts; deterministic failures are not retried.
+  attempts; deterministic failures are not retried.  A
+  :class:`RoutingError` retry perturbs the placement seed — the flow is
+  deterministic (and already escalates channel width internally), so an
+  identical re-run would only fail identically.
 - **Observability** — each finished cell streams one JSONL record
   (including Algorithm 1 phase timings collected under
-  :mod:`repro.profiling`) and fires the ``progress`` callback.
+  :mod:`repro.profiling`) and fires the ``progress`` callback.  The
+  JSONL file is truncated at the start of each run, so one file is one
+  run.
 - **Per-job timeout** — a parallel job overdue past ``job_timeout``
-  seconds is recorded as a timeout failure.  A genuinely wedged worker
-  cannot be force-killed through ``concurrent.futures``; its result is
-  discarded on arrival.  (Ignored on the serial path.)
+  seconds is recorded as a timeout failure.  At most ``workers`` jobs
+  are dispatched to the pool at a time (the rest wait in an engine-side
+  ready queue), so the timeout clock starts at execution start, not
+  submission — queue wait behind a full pool never counts against it.
+  A genuinely wedged worker cannot be force-killed through
+  ``concurrent.futures``; its slot is parked until the late result
+  arrives and is discarded, and if every slot wedges the pool is
+  rebuilt.  (Ignored on the serial path.)
 
 The shared on-disk flow cache (:mod:`repro.cad.flow`) is safe under this
 fan-out: per-entry file locks serialise place-and-route so concurrent
@@ -33,10 +43,11 @@ from __future__ import annotations
 import json
 import os
 import time
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import Callable, Deque, Dict, List, Optional, Set, Tuple, Union
 
 from repro import profiling
 from repro.arch.params import ArchParams
@@ -56,10 +67,10 @@ RETRYABLE_ERRORS: Tuple[type, ...] = (
     EOFError,
     BrokenProcessPool,
 )
-"""Error classes worth a bounded re-attempt: congestion that may clear at
-a wider channel retry inside the flow, filesystem/cache races, and pool
-breakage from a killed worker.  Everything else is deterministic and
-fails fast."""
+"""Error classes worth a bounded re-attempt: congestion that may clear
+under a different placement seed (see :func:`_retry_job`),
+filesystem/cache races, and pool breakage from a killed worker.
+Everything else is deterministic and fails fast."""
 
 DEFAULT_MAX_RETRIES = 1
 """Extra attempts after the first, per job."""
@@ -115,10 +126,15 @@ def _execute_job(job: SweepJob) -> JobResult:
 
 
 class _JsonlWriter:
-    """Append-only JSONL stream of per-job records, flushed per line."""
+    """Per-run JSONL stream of per-job records, flushed per line.
+
+    The path is truncated on open so one file always holds exactly one
+    run — re-running a sweep with the same ``--jsonl`` path never mixes
+    records from different runs.
+    """
 
     def __init__(self, path: Optional[str]) -> None:
-        self._handle = open(path, "a", encoding="utf-8") if path else None
+        self._handle = open(path, "w", encoding="utf-8") if path else None
 
     def write(self, record: Dict[str, object]) -> None:
         if self._handle is None:
@@ -129,6 +145,21 @@ class _JsonlWriter:
     def close(self) -> None:
         if self._handle is not None:
             self._handle.close()
+
+
+def _retry_job(job: SweepJob, error: BaseException) -> SweepJob:
+    """The job to submit for the next attempt after a retryable error.
+
+    ``run_flow`` is deterministic for a given (netlist, arch, seed) and
+    already escalates channel width internally, so re-running an
+    unroutable cell unchanged would only fail identically; a
+    :class:`RoutingError` retry therefore perturbs the placement seed to
+    explore a different mapping.  Other transient errors (filesystem
+    races, pool breakage) re-run the job unchanged.
+    """
+    if isinstance(error, RoutingError):
+        return replace(job, seed=job.seed + 1)
+    return job
 
 
 def _failure_from(
@@ -215,12 +246,13 @@ def _run_serial(
 ) -> None:
     for job in jobs:
         job_started = time.perf_counter()
+        attempt_job = job
         attempts = 0
         while True:
             attempts += 1
             try:
                 outcome: Union[JobResult, JobFailure] = replace(
-                    _execute_job(job), attempts=attempts
+                    _execute_job(attempt_job), attempts=attempts
                 )
                 break
             except Exception as error:  # degrade, never abort the sweep
@@ -228,6 +260,7 @@ def _run_serial(
                     isinstance(error, RETRYABLE_ERRORS)
                     and attempts <= max_retries
                 ):
+                    attempt_job = _retry_job(attempt_job, error)
                     continue
                 outcome = _failure_from(job, error, attempts, job_started)
                 break
@@ -242,38 +275,66 @@ def _run_parallel(
     record: Callable[[Union[JobResult, JobFailure]], None],
 ) -> None:
     executor = ProcessPoolExecutor(max_workers=workers)
+    # (job, attempts, first-dispatch time or None) cells not yet dispatched.
+    ready: Deque[Tuple[SweepJob, int, Optional[float]]] = deque(
+        (job, 1, None) for job in jobs
+    )
     pending: Dict[Future, _Tracked] = {}
+    zombies: Set[Future] = set()
+    """Expired-but-still-running futures: each keeps occupying one worker
+    slot until its (discarded) result arrives."""
 
-    def submit(job: SweepJob, attempts: int, started: Optional[float]) -> None:
+    def rebuild_pool() -> None:
         nonlocal executor
-        now = time.perf_counter()
-        tracked = _Tracked(
-            job=job,
-            attempts=attempts,
-            started=started if started is not None else now,
-            submitted=now,
-        )
-        try:
-            future = executor.submit(_execute_job, job)
-        except BrokenProcessPool:
-            # Pool died between the drain and this resubmit; rebuild once.
-            executor = ProcessPoolExecutor(max_workers=workers)
-            future = executor.submit(_execute_job, job)
-        pending[future] = tracked
+        executor.shutdown(wait=False, cancel_futures=True)
+        executor = ProcessPoolExecutor(max_workers=workers)
+        zombies.clear()
 
-    for job in jobs:
-        submit(job, attempts=1, started=None)
+    def dispatch() -> None:
+        # Keep at most `workers` futures in flight (wedged zombie slots
+        # count), so a submitted future starts executing immediately:
+        # `submitted` approximates execution start — queue wait never
+        # eats into `job_timeout` — and on pool breakage every tracked
+        # future really had a worker slot.
+        nonlocal executor
+        while ready and len(pending) + len(zombies) < workers:
+            job, attempts, started = ready.popleft()
+            now = time.perf_counter()
+            try:
+                future = executor.submit(_execute_job, job)
+            except BrokenProcessPool:
+                # Pool died between the drain and this dispatch; rebuild.
+                rebuild_pool()
+                future = executor.submit(_execute_job, job)
+            pending[future] = _Tracked(
+                job=job,
+                attempts=attempts,
+                started=started if started is not None else now,
+                submitted=now,
+            )
 
+    dispatch()
     try:
-        while pending:
+        while pending or ready:
+            if not pending:
+                # Every slot is wedged on an expired job but grid cells
+                # remain: abandon that pool and rebuild so the sweep
+                # progresses.
+                rebuild_pool()
+                dispatch()
+                continue
             done, _ = wait(
-                set(pending),
+                set(pending) | zombies,
                 timeout=0.25 if job_timeout is not None else None,
                 return_when=FIRST_COMPLETED,
             )
             broken: List[_Tracked] = []
-            resubmit: List[_Tracked] = []
             for future in done:
+                if future in zombies:
+                    # Already recorded as a timeout; discard the late
+                    # result and free the slot.
+                    zombies.discard(future)
+                    continue
                 tracked = pending.pop(future)
                 try:
                     result = future.result()
@@ -284,7 +345,11 @@ def _run_parallel(
                         isinstance(error, RETRYABLE_ERRORS)
                         and tracked.attempts <= max_retries
                     ):
-                        resubmit.append(tracked)
+                        ready.appendleft((
+                            _retry_job(tracked.job, error),
+                            tracked.attempts + 1,
+                            tracked.started,
+                        ))
                     else:
                         record(
                             _failure_from(
@@ -296,15 +361,22 @@ def _run_parallel(
                     record(replace(result, attempts=tracked.attempts))
             if broken:
                 # A dead worker poisons the whole pool: every in-flight
-                # future fails with BrokenProcessPool.  Drain them, rebuild
-                # the pool once, and re-dispatch within each job's budget.
+                # future fails with BrokenProcessPool.  In-flight is
+                # capped at the worker count, so each of these was
+                # dispatched to a worker slot and counting the attempt is
+                # fair; cells still in `ready` are untouched and keep
+                # their full budget.  Drain, rebuild the pool once, and
+                # re-dispatch ahead of queued cells.
                 broken.extend(pending.values())
                 pending.clear()
-                executor.shutdown(wait=False, cancel_futures=True)
-                executor = ProcessPoolExecutor(max_workers=workers)
+                rebuild_pool()
                 for tracked in broken:
                     if tracked.attempts <= max_retries:
-                        resubmit.append(tracked)
+                        ready.appendleft((
+                            tracked.job,
+                            tracked.attempts + 1,
+                            tracked.started,
+                        ))
                     else:
                         record(
                             _failure_from(
@@ -316,31 +388,35 @@ def _run_parallel(
                                 tracked.started,
                             )
                         )
-            for tracked in resubmit:
-                submit(tracked.job, tracked.attempts + 1, tracked.started)
             if job_timeout is not None:
-                _expire_overdue(pending, job_timeout, record)
+                _expire_overdue(pending, zombies, job_timeout, record)
+            dispatch()
     finally:
         executor.shutdown(wait=False, cancel_futures=True)
 
 
 def _expire_overdue(
     pending: Dict[Future, _Tracked],
+    zombies: Set[Future],
     job_timeout: float,
     record: Callable[[Union[JobResult, JobFailure]], None],
 ) -> None:
     """Record overdue jobs as timeout failures and stop tracking them.
 
-    A future still queued is cancelled outright; one already running
-    cannot be interrupted through ``concurrent.futures``, so its eventual
-    result is simply discarded (the slot frees when it finishes).
+    Dispatch is capped at the pool width, so ``submitted`` approximates
+    execution start and queue wait never counts against the timeout.  A
+    running future cannot be interrupted through ``concurrent.futures``;
+    it is parked as a zombie that keeps occupying its slot until the
+    (discarded) result arrives — and if every slot wedges, the caller
+    rebuilds the pool.
     """
     now = time.perf_counter()
     for future, tracked in list(pending.items()):
         if now - tracked.submitted <= job_timeout:
             continue
-        future.cancel()
         del pending[future]
+        if not future.cancel():
+            zombies.add(future)
         record(
             _failure_from(
                 tracked.job,

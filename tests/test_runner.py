@@ -51,6 +51,23 @@ def _sleep_job(job):
     time.sleep(3.0)
 
 
+def _slow_ok_job(job):
+    time.sleep(0.4)
+    return JobResult(
+        job_id=job.job_id, benchmark=job.benchmark,
+        t_ambient=job.t_ambient, corner=job.corner,
+        frequency_hz=1e9, worst_case_hz=5e8, gain=1.0, iterations=1,
+        total_power_w=1.0, max_tile_celsius=50.0, mean_tile_celsius=40.0,
+        wall_seconds=0.4,
+    )
+
+
+def _kill_worker_on_tiny_a(job):
+    if job.benchmark == "runner_tiny_a":
+        os.kill(os.getpid(), signal.SIGKILL)
+    return _slow_ok_job(job)
+
+
 class TestExperimentSpec:
     def test_grid_expansion(self):
         spec = ExperimentSpec(
@@ -164,6 +181,37 @@ class TestSerialSweep:
         assert failure.attempts == 3  # first try + 2 retries
         assert failure.retryable
 
+    def test_routing_retry_perturbs_placement_seed(
+        self, cache_dir, monkeypatch
+    ):
+        # The flow is deterministic per seed, so a useful RoutingError
+        # retry must explore a different placement.
+        real = engine_module._execute_job
+        seeds = []
+
+        def congested_once(job):
+            seeds.append(job.seed)
+            if len(seeds) == 1:
+                raise RoutingError("congested at this placement seed")
+            return real(job)
+
+        monkeypatch.setattr(engine_module, "_execute_job", congested_once)
+        sweep = run_sweep(
+            ExperimentSpec(benchmarks=(TINY_A,), seed=7), workers=1,
+            max_retries=1,
+        )
+        assert sweep.ok
+        assert seeds == [7, 8]
+
+    def test_jsonl_truncated_per_run(self, cache_dir, tmp_path):
+        # Re-running with the same --jsonl path must not mix records from
+        # two runs (consumers count lines / aggregate whole files).
+        jsonl = tmp_path / "sweep.jsonl"
+        run_sweep(tiny_spec(), workers=1, jsonl_path=str(jsonl))
+        sweep = run_sweep(tiny_spec(), workers=1, jsonl_path=str(jsonl))
+        records = [json.loads(line) for line in jsonl.read_text().splitlines()]
+        assert len(records) == sweep.n_jobs == 2
+
     def test_corrupt_cache_pickle_quarantined(self, cache_dir):
         spec = ExperimentSpec(benchmarks=(TINY_A,))
         job = spec.expand()[0]
@@ -214,6 +262,42 @@ class TestParallelSweep:
         assert time.perf_counter() - started < 3.0
         assert not sweep.results
         assert {f.error_type for f in sweep.failures} == {"TimeoutError"}
+
+    def test_queue_wait_not_counted_against_timeout(
+        self, cache_dir, monkeypatch
+    ):
+        # 6 jobs on 2 workers: the last pair starts executing ~0.8s after
+        # submission.  With the timeout measured from execution start
+        # (bounded dispatch), a 1s budget per 0.4s job never expires; a
+        # timeout measured from submission would spuriously kill them.
+        monkeypatch.setattr(engine_module, "_execute_job", _slow_ok_job)
+        sweep = run_sweep(
+            tiny_spec(ambients=(25.0, 50.0, 70.0)), workers=2,
+            job_timeout=1.0,
+        )
+        assert not sweep.failures, [f.to_record() for f in sweep.failures]
+        assert len(sweep.results) == 6
+
+    def test_pool_breakage_spares_queued_jobs_budget(
+        self, cache_dir, monkeypatch
+    ):
+        # Only dispatched cells are charged an attempt when the pool
+        # breaks; cells still waiting in the ready queue keep their full
+        # budget.  The two tiny_a jobs dispatch first (benchmark-major),
+        # kill both workers twice, and exhaust their budget; the queued
+        # tiny_b jobs then run on a rebuilt pool and succeed first-try.
+        monkeypatch.setattr(
+            engine_module, "_execute_job", _kill_worker_on_tiny_a
+        )
+        sweep = run_sweep(
+            tiny_spec(ambients=(25.0, 70.0)), workers=2, max_retries=1
+        )
+        assert len(sweep.failures) == 2
+        assert all(f.benchmark == "runner_tiny_a" for f in sweep.failures)
+        assert all(f.attempts == 2 for f in sweep.failures)
+        assert len(sweep.results) == 2
+        assert all(r.benchmark == "runner_tiny_b" for r in sweep.results)
+        assert all(r.attempts == 1 for r in sweep.results)
 
     def test_progress_callback_sees_every_cell(self, cache_dir):
         seen = []
