@@ -43,7 +43,6 @@ from repro.core.grades import plan_temperature_grades
 from repro.core.guardband import GuardbandConfig
 from repro.core.margins import guardband_gain
 from repro.netlists.vtr_suite import benchmark_names
-from repro.reporting.figures import format_bar_chart
 from repro.reporting.sweep import format_sweep_gains_chart, format_sweep_table
 from repro.reporting.tables import format_table
 from repro.runner import ExperimentSpec, JobResult, run_sweep

@@ -19,7 +19,6 @@ Feedback through registers is handled by damped fixed-point iteration.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
 
 import numpy as np
 

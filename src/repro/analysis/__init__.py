@@ -1,0 +1,44 @@
+"""Domain-invariant static analysis for the repro codebase.
+
+Generic linters cannot check the invariants this reproduction's
+correctness rests on; :mod:`repro.analysis` walks the AST of every
+module under ``src/repro`` with rules that can:
+
+- ``units`` — Celsius/Kelvin offsets only in ``technology/temperature.py``;
+- ``determinism`` — no unseeded RNGs or wall-clock values in the flow core;
+- ``pickle-boundary`` — ``SweepJob``/``ExperimentSpec`` stay picklable;
+- ``cache-key`` — ``arch_digest``/``FLOW_CACHE_VERSION``/``ArchParams``
+  move together (recorded manifest);
+- ``frozen-mutation`` — no ``object.__setattr__`` escapes;
+- ``float-equality`` — no exact float compares in physics code (warning).
+
+Run ``python -m repro.analysis`` (see :mod:`repro.analysis.cli`), or
+:func:`run_analysis` programmatically.  Findings pass through inline
+``# repro-lint: ignore[rule-id]`` suppressions and the committed
+baseline before gating.
+"""
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.engine import (
+    AnalysisReport,
+    ModuleInfo,
+    Project,
+    Rule,
+    run_analysis,
+)
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.manifest import ArchManifest
+from repro.analysis.rules import all_rules
+
+__all__ = [
+    "AnalysisReport",
+    "ArchManifest",
+    "Baseline",
+    "Finding",
+    "ModuleInfo",
+    "Project",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "run_analysis",
+]

@@ -1,0 +1,112 @@
+"""Committed baseline of accepted findings.
+
+The baseline lets the linter be adopted on a codebase with pre-existing
+violations: known findings (by :attr:`Finding.fingerprint`) do not fail
+the run, while anything new does.  Fingerprints exclude line numbers, so
+unrelated edits don't invalidate entries; each entry carries a *count* so
+that introducing a second identical violation in the same file is still
+caught.
+
+The file is JSON, sorted, and meant to be committed — shrinking it is
+progress, growing it is a review decision.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from repro.analysis.findings import Finding, sort_key
+
+BASELINE_FORMAT_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Accepted-finding budget, keyed by fingerprint."""
+
+    counts: Dict[str, int] = field(default_factory=dict)
+    notes: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    """Human-readable context per fingerprint (rule/path/message)."""
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        version = data.get("version")
+        if version != BASELINE_FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: unsupported baseline version {version!r} "
+                f"(expected {BASELINE_FORMAT_VERSION})"
+            )
+        counts: Dict[str, int] = {}
+        notes: Dict[str, Dict[str, object]] = {}
+        for fingerprint, entry in data.get("entries", {}).items():
+            counts[fingerprint] = int(entry.get("count", 1))
+            notes[fingerprint] = {
+                "rule": entry.get("rule", ""),
+                "path": entry.get("path", ""),
+                "message": entry.get("message", ""),
+            }
+        return cls(counts=counts, notes=notes)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        baseline = cls()
+        for finding in findings:
+            fp = finding.fingerprint
+            baseline.counts[fp] = baseline.counts.get(fp, 0) + 1
+            baseline.notes[fp] = {
+                "rule": finding.rule_id,
+                "path": finding.path,
+                "message": finding.message,
+            }
+        return baseline
+
+    def save(self, path: Path) -> None:
+        entries = {
+            fp: {**self.notes.get(fp, {}), "count": count}
+            for fp, count in sorted(self.counts.items())
+        }
+        payload = {"version": BASELINE_FORMAT_VERSION, "entries": entries}
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    def partition(
+        self, findings: Iterable[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Split findings into (new, baselined).
+
+        Each fingerprint absorbs at most its recorded count, in source
+        order; occurrences beyond the budget are new.
+        """
+        seen: Counter = Counter()
+        fresh: List[Finding] = []
+        known: List[Finding] = []
+        for finding in sorted(findings, key=sort_key):
+            fp = finding.fingerprint
+            seen[fp] += 1
+            if seen[fp] <= self.counts.get(fp, 0):
+                known.append(finding)
+            else:
+                fresh.append(finding)
+        return fresh, known
+
+    def stale_entries(self, findings: Iterable[Finding]) -> List[str]:
+        """Fingerprints whose budget exceeds what the scan produced.
+
+        Stale entries mean a baselined violation was fixed — the file
+        should be regenerated so the budget cannot be silently re-spent.
+        """
+        seen: Counter = Counter(f.fingerprint for f in findings)
+        return sorted(
+            fp for fp, count in self.counts.items() if seen[fp] < count
+        )

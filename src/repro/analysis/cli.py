@@ -1,0 +1,171 @@
+"""``python -m repro.analysis`` — run the domain linter.
+
+Exit codes: 0 when no *new* errors (baselined findings and warnings do
+not gate), 1 when new errors exist or the baseline is stale, 2 on usage
+errors.  ``--json`` emits the full machine-readable report on stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.engine import (
+    AnalysisReport,
+    Project,
+    default_baseline_path,
+    default_manifest_path,
+    default_scan_root,
+    load_modules,
+    run_analysis,
+)
+from repro.analysis.findings import Severity
+from repro.analysis.rules import all_rules
+from repro.analysis.rules.cache_key import current_manifest
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST-based domain-invariant linter for the repro codebase",
+    )
+    parser.add_argument(
+        "root",
+        nargs="?",
+        type=Path,
+        default=None,
+        help="directory (or single file) to scan; default: the installed "
+        "repro package",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable report on stdout"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=f"baseline file (default: {default_baseline_path().name} next "
+        "to the analysis package)",
+    )
+    parser.add_argument(
+        "--manifest",
+        type=Path,
+        default=None,
+        help="ArchParams manifest file for the cache-key rule",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="accept every current finding into the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--update-manifest",
+        action="store_true",
+        help="record the current (ArchParams fields, FLOW_CACHE_VERSION) "
+        "pair and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="describe every rule and exit"
+    )
+    return parser
+
+
+def _print_report(report: AnalysisReport, baseline_path: Path) -> None:
+    for finding in report.findings:
+        marker = " (baselined)" if finding in report.baselined else ""
+        print(finding.format() + marker)
+    if report.suppressed:
+        print(f"{len(report.suppressed)} finding(s) inline-suppressed")
+    if report.stale_baseline:
+        print(
+            f"stale baseline: {len(report.stale_baseline)} entr(y/ies) no "
+            f"longer match any finding — regenerate {baseline_path} with "
+            "--update-baseline"
+        )
+    n_err = len(report.new_errors)
+    n_warn = len(report.new_warnings)
+    print(
+        f"{report.n_files} files scanned: {n_err} new error(s), "
+        f"{n_warn} warning(s), {len(report.baselined)} baselined"
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id} ({rule.severity}): {rule.description}")
+        return 0
+
+    root = args.root if args.root is not None else default_scan_root()
+    if not root.exists():
+        parser.error(f"scan root {root} does not exist")
+    manifest_path = (
+        args.manifest if args.manifest is not None else default_manifest_path()
+    )
+    baseline_path = (
+        args.baseline if args.baseline is not None else default_baseline_path()
+    )
+
+    if args.update_manifest:
+        modules, parse_errors = load_modules(Path(root))
+        if parse_errors:
+            for finding in parse_errors:
+                print(finding.format(), file=sys.stderr)
+            return 1
+        project = Project(
+            root=Path(root), modules=modules, manifest_path=manifest_path
+        )
+        manifest = current_manifest(project)
+        if manifest is None:
+            print(
+                "could not locate ArchParams / FLOW_CACHE_VERSION under "
+                f"{root}",
+                file=sys.stderr,
+            )
+            return 1
+        manifest.save(manifest_path)
+        print(
+            f"recorded {len(manifest.fields)} ArchParams fields at "
+            f"FLOW_CACHE_VERSION={manifest.flow_cache_version} -> "
+            f"{manifest_path}"
+        )
+        return 0
+
+    try:
+        baseline = Baseline.load(baseline_path)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+
+    report = run_analysis(
+        root=Path(root),
+        rules=all_rules(),
+        baseline=baseline,
+        manifest_path=manifest_path,
+    )
+
+    if args.update_baseline:
+        Baseline.from_findings(
+            f for f in report.findings if f.severity is Severity.ERROR
+        ).save(baseline_path)
+        print(
+            f"baselined {len([f for f in report.findings if f.severity is Severity.ERROR])} "
+            f"error finding(s) -> {baseline_path}"
+        )
+        return 0
+
+    if args.json:
+        print(json.dumps(report.to_dict(), sort_keys=False))
+    else:
+        _print_report(report, baseline_path)
+
+    if report.new_errors or report.stale_baseline:
+        return 1
+    return 0

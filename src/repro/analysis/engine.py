@@ -1,0 +1,267 @@
+"""Rule engine: parse every module once, dispatch per-rule visitors.
+
+The engine walks a scan root (normally ``src/repro``), parses each
+``*.py`` into one shared :class:`ModuleInfo`, and hands it to every
+registered rule.  Rules are :class:`Rule` subclasses with two hooks:
+
+- :meth:`Rule.check_module` — per-module findings from that module's AST;
+- :meth:`Rule.finalize` — cross-module findings once the whole project is
+  parsed (e.g. the cache-key rule, which correlates ``ArchParams`` with
+  ``arch_digest`` and ``FLOW_CACHE_VERSION`` across files).
+
+Findings then pass through inline suppressions and the committed
+baseline; only *new errors* gate (see :mod:`repro.analysis.cli`).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.findings import Finding, Severity, sort_key
+from repro.analysis.suppress import (
+    is_suppressed,
+    suppressions_for,
+    unknown_rule_references,
+)
+
+PARSE_ERROR_RULE = "parse-error"
+SUPPRESS_ERROR_RULE = "unknown-suppression"
+
+DEFAULT_MANIFEST_NAME = "archparams_manifest.json"
+DEFAULT_BASELINE_NAME = "baseline.json"
+
+_ANALYSIS_DIR = Path(__file__).resolve().parent
+
+
+def default_manifest_path() -> Path:
+    return _ANALYSIS_DIR / DEFAULT_MANIFEST_NAME
+
+
+def default_baseline_path() -> Path:
+    return _ANALYSIS_DIR / DEFAULT_BASELINE_NAME
+
+
+def default_scan_root() -> Path:
+    """The installed ``repro`` package itself."""
+    return _ANALYSIS_DIR.parent
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source module."""
+
+    path: Path
+    rel: str
+    """POSIX path relative to the scan root (rules match on this)."""
+    source: str
+    tree: ast.Module
+
+    def finding(
+        self,
+        rule: "Rule",
+        node: ast.AST,
+        message: str,
+        severity: Optional[Severity] = None,
+    ) -> Finding:
+        return Finding(
+            rule_id=rule.rule_id,
+            path=self.rel,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            severity=severity if severity is not None else rule.severity,
+            message=message,
+        )
+
+
+@dataclass
+class Project:
+    """Everything :meth:`Rule.finalize` may correlate across modules."""
+
+    root: Path
+    modules: List[ModuleInfo]
+    manifest_path: Path
+
+    def module(self, rel: str) -> Optional[ModuleInfo]:
+        for info in self.modules:
+            if info.rel == rel:
+                return info
+        return None
+
+    def find_class(self, name: str) -> Optional[Tuple[ModuleInfo, ast.ClassDef]]:
+        """The first module defining a top-level class ``name``."""
+        for info in self.modules:
+            for node in info.tree.body:
+                if isinstance(node, ast.ClassDef) and node.name == name:
+                    return info, node
+        return None
+
+
+class Rule:
+    """Base class for one lint rule; subclasses set the class attributes."""
+
+    rule_id: str = ""
+    severity: Severity = Severity.ERROR
+    description: str = ""
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        return ()
+
+    def finalize(self, project: Project) -> Iterable[Finding]:
+        return ()
+
+
+@dataclass
+class AnalysisReport:
+    """Outcome of one engine run, pre-partitioned for the CLI."""
+
+    findings: List[Finding] = field(default_factory=list)
+    """Every unsuppressed finding, in source order."""
+    new_errors: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    stale_baseline: List[str] = field(default_factory=list)
+    n_files: int = 0
+
+    @property
+    def new_warnings(self) -> List[Finding]:
+        return [
+            f for f in self.findings
+            if f.severity is Severity.WARNING and f not in self.baselined
+        ]
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing new gates the run."""
+        return not self.new_errors
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "n_files": self.n_files,
+            "n_findings": len(self.findings),
+            "n_new_errors": len(self.new_errors),
+            "n_baselined": len(self.baselined),
+            "n_suppressed": len(self.suppressed),
+            "stale_baseline": self.stale_baseline,
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+
+def _iter_sources(root: Path) -> List[Path]:
+    if root.is_file():
+        return [root]
+    return sorted(
+        p for p in root.rglob("*.py")
+        if "__pycache__" not in p.parts
+    )
+
+
+def load_modules(root: Path) -> Tuple[List[ModuleInfo], List[Finding]]:
+    """Parse every module under ``root``; syntax errors become findings."""
+    modules: List[ModuleInfo] = []
+    errors: List[Finding] = []
+    base = root if root.is_dir() else root.parent
+    for path in _iter_sources(root):
+        rel = path.relative_to(base).as_posix()
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(path))
+        except (SyntaxError, UnicodeDecodeError) as error:
+            line = getattr(error, "lineno", 1) or 1
+            errors.append(
+                Finding(
+                    rule_id=PARSE_ERROR_RULE,
+                    path=rel,
+                    line=line,
+                    col=1,
+                    severity=Severity.ERROR,
+                    message=f"could not parse module: {error}",
+                )
+            )
+            continue
+        modules.append(ModuleInfo(path=path, rel=rel, source=source, tree=tree))
+    return modules, errors
+
+
+def run_analysis(
+    root: Optional[Path] = None,
+    rules: Optional[Sequence[Rule]] = None,
+    baseline: Optional[Baseline] = None,
+    manifest_path: Optional[Path] = None,
+) -> AnalysisReport:
+    """Run every rule over the tree under ``root`` and partition findings.
+
+    ``baseline=None`` means an empty baseline (everything new gates);
+    pass :meth:`Baseline.load` of the committed file for CI semantics.
+    """
+    if root is None:
+        root = default_scan_root()
+    root = Path(root)
+    if rules is None:
+        from repro.analysis.rules import all_rules
+
+        rules = all_rules()
+    if manifest_path is None:
+        manifest_path = default_manifest_path()
+    if baseline is None:
+        baseline = Baseline()
+
+    modules, raw = load_modules(root)
+    raw = list(raw)
+    known_ids = frozenset(
+        [r.rule_id for r in rules] + [PARSE_ERROR_RULE, SUPPRESS_ERROR_RULE]
+    )
+
+    for module in modules:
+        for rule in rules:
+            raw.extend(rule.check_module(module))
+
+    project = Project(root=root, modules=modules, manifest_path=manifest_path)
+    for rule in rules:
+        raw.extend(rule.finalize(project))
+
+    # Inline suppressions: drop findings whose anchor line opts out, and
+    # flag marker comments that name rules which do not exist (typos
+    # silently disabling nothing are worse than an error).
+    suppression_tables = {
+        module.rel: suppressions_for(module.source) for module in modules
+    }
+    for module in modules:
+        for line, rule_id in unknown_rule_references(
+            suppression_tables[module.rel], known_ids
+        ):
+            raw.append(
+                Finding(
+                    rule_id=SUPPRESS_ERROR_RULE,
+                    path=module.rel,
+                    line=line,
+                    col=1,
+                    severity=Severity.ERROR,
+                    message=f"suppression names unknown rule {rule_id!r}",
+                )
+            )
+
+    kept: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in raw:
+        table = suppression_tables.get(finding.path)
+        if table and is_suppressed(table, finding.line, finding.rule_id):
+            suppressed.append(finding)
+        else:
+            kept.append(finding)
+    kept.sort(key=sort_key)
+
+    fresh, known = baseline.partition(kept)
+    report = AnalysisReport(
+        findings=kept,
+        new_errors=[f for f in fresh if f.severity is Severity.ERROR],
+        baselined=known,
+        suppressed=sorted(suppressed, key=sort_key),
+        stale_baseline=baseline.stale_entries(kept),
+        n_files=len(modules),
+    )
+    return report

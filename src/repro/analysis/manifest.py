@@ -1,0 +1,73 @@
+"""ArchParams field manifest — the cache-key rule's recorded state.
+
+The flow cache keys on a digest of *every* ``ArchParams`` field plus
+``FLOW_CACHE_VERSION``.  Adding/removing/renaming a field changes what a
+cache entry means, so it must come with a version bump — we have bumped
+the version twice in two PRs because this drifted silently.  The
+committed manifest records the last reviewed ``(field set, version)``
+pair; :mod:`repro.analysis.rules.cache_key` compares the live code
+against it and fails when the fields changed but the version did not.
+
+Regenerate with ``python -m repro.analysis --update-manifest`` after
+bumping ``FLOW_CACHE_VERSION``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional
+
+MANIFEST_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ArchManifest:
+    """Recorded (ArchParams fields, FLOW_CACHE_VERSION) pair."""
+
+    fields: tuple
+    flow_cache_version: int
+
+    @classmethod
+    def load(cls, path: Path) -> Optional["ArchManifest"]:
+        if not path.exists():
+            return None
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("version") != MANIFEST_FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: unsupported manifest version {data.get('version')!r}"
+            )
+        return cls(
+            fields=tuple(data["archparams_fields"]),
+            flow_cache_version=int(data["flow_cache_version"]),
+        )
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": MANIFEST_FORMAT_VERSION,
+            "archparams_fields": sorted(self.fields),
+            "flow_cache_version": self.flow_cache_version,
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+
+def dataclass_field_names(class_body: List) -> List[str]:
+    """Field names of a dataclass body: annotated, non-ClassVar assignments."""
+    import ast
+
+    names: List[str] = []
+    for stmt in class_body:
+        if not isinstance(stmt, ast.AnnAssign):
+            continue
+        if not isinstance(stmt.target, ast.Name):
+            continue
+        annotation = ast.dump(stmt.annotation)
+        if "ClassVar" in annotation:
+            continue
+        names.append(stmt.target.id)
+    return names

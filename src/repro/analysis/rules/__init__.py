@@ -1,0 +1,35 @@
+"""Rule registry: every domain rule the engine runs by default."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.engine import Rule
+from repro.analysis.rules.cache_key import CacheKeyRule
+from repro.analysis.rules.determinism import DeterminismRule
+from repro.analysis.rules.float_eq import FloatEqualityRule
+from repro.analysis.rules.frozen_mutation import FrozenMutationRule
+from repro.analysis.rules.pickle_boundary import PickleBoundaryRule
+from repro.analysis.rules.units import UnitsRule
+
+__all__ = [
+    "CacheKeyRule",
+    "DeterminismRule",
+    "FloatEqualityRule",
+    "FrozenMutationRule",
+    "PickleBoundaryRule",
+    "UnitsRule",
+    "all_rules",
+]
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, in reporting order."""
+    return [
+        UnitsRule(),
+        DeterminismRule(),
+        PickleBoundaryRule(),
+        CacheKeyRule(),
+        FrozenMutationRule(),
+        FloatEqualityRule(),
+    ]

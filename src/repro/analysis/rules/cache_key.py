@@ -1,0 +1,204 @@
+"""cache-key — arch_digest / FLOW_CACHE_VERSION / ArchParams coherence.
+
+Three things must move together or the flow cache silently serves stale
+place-and-route results:
+
+1. every ``ArchParams`` field must be consumed by ``arch_digest`` (a
+   field the digest ignores means two different architectures share a
+   cache entry);
+2. an ``ArchParams`` field-set change must come with a
+   ``FLOW_CACHE_VERSION`` bump (old entries were keyed under different
+   semantics);
+3. the committed manifest (:mod:`repro.analysis.manifest`) must match
+   the live ``(field set, version)`` pair, so (2) is checkable across
+   commits.
+
+This is a cross-module rule: it runs in :meth:`finalize` over the parsed
+project, locating ``ArchParams``, ``arch_digest`` and
+``FLOW_CACHE_VERSION`` wherever they are defined.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.engine import ModuleInfo, Project, Rule
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.manifest import ArchManifest, dataclass_field_names
+
+
+def _find_assignment(
+    project: Project, name: str
+) -> Optional[Tuple[ModuleInfo, ast.stmt, int]]:
+    """Top-level ``name = <int>`` assignment anywhere in the project."""
+    for info in project.modules:
+        for stmt in info.tree.body:
+            targets: List[ast.expr] = []
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+                value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets = [stmt.target]
+                value = stmt.value
+            else:
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    if isinstance(value, ast.Constant) and isinstance(
+                        value.value, int
+                    ):
+                        return info, stmt, value.value
+    return None
+
+
+def _find_function(
+    project: Project, name: str
+) -> Optional[Tuple[ModuleInfo, ast.FunctionDef]]:
+    for info in project.modules:
+        for stmt in info.tree.body:
+            if isinstance(stmt, ast.FunctionDef) and stmt.name == name:
+                return info, stmt
+    return None
+
+
+def _digest_consumption(func: ast.FunctionDef) -> Tuple[bool, Set[str]]:
+    """(iterates dataclasses.fields(), explicitly-read field names).
+
+    A digest built by iterating ``fields(arch)`` consumes every field by
+    construction; one that reads ``arch.<name>`` attributes is checked
+    field-by-field.
+    """
+    iterates_fields = False
+    explicit: Set[str] = set()
+    arg_names = {arg.arg for arg in func.args.args}
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            callee = node.func
+            callee_name = (
+                callee.id
+                if isinstance(callee, ast.Name)
+                else getattr(callee, "attr", "")
+            )
+            if callee_name == "fields" and node.args:
+                first = node.args[0]
+                if isinstance(first, ast.Name) and first.id in arg_names:
+                    iterates_fields = True
+        elif isinstance(node, ast.Attribute):
+            base = node.value
+            if isinstance(base, ast.Name) and base.id in arg_names:
+                explicit.add(node.attr)
+    return iterates_fields, explicit
+
+
+class CacheKeyRule(Rule):
+    rule_id = "cache-key"
+    severity = Severity.ERROR
+    description = (
+        "arch_digest must consume every ArchParams field, and ArchParams "
+        "field-set changes must bump FLOW_CACHE_VERSION (tracked via the "
+        "committed manifest)"
+    )
+
+    def finalize(self, project: Project) -> Iterable[Finding]:
+        located = project.find_class("ArchParams")
+        version = _find_assignment(project, "FLOW_CACHE_VERSION")
+        digest = _find_function(project, "arch_digest")
+        if located is None or version is None or digest is None:
+            # Not a project with a flow cache (e.g. rule fixtures) —
+            # nothing to check.
+            return ()
+        params_module, params_cls = located
+        version_module, version_stmt, version_value = version
+        digest_module, digest_func = digest
+        findings: List[Finding] = []
+
+        field_names = set(dataclass_field_names(params_cls.body))
+        iterates, explicit = _digest_consumption(digest_func)
+        if not iterates:
+            missing = sorted(field_names - explicit)
+            for name in missing:
+                findings.append(
+                    digest_module.finding(
+                        self,
+                        digest_func,
+                        f"arch_digest does not consume ArchParams.{name}; "
+                        "two architectures differing only in that field "
+                        "would share a flow-cache entry",
+                    )
+                )
+
+        manifest = ArchManifest.load(project.manifest_path)
+        if manifest is None:
+            findings.append(
+                params_module.finding(
+                    self,
+                    params_cls,
+                    "no ArchParams manifest recorded; run `python -m "
+                    "repro.analysis --update-manifest` and commit "
+                    f"{project.manifest_path.name}",
+                    severity=Severity.WARNING,
+                )
+            )
+            return findings
+
+        recorded = set(manifest.fields)
+        if field_names != recorded:
+            added = sorted(field_names - recorded)
+            removed = sorted(recorded - field_names)
+            change = "; ".join(
+                part
+                for part in (
+                    f"added: {', '.join(added)}" if added else "",
+                    f"removed: {', '.join(removed)}" if removed else "",
+                )
+                if part
+            )
+            if version_value == manifest.flow_cache_version:
+                findings.append(
+                    params_module.finding(
+                        self,
+                        params_cls,
+                        f"ArchParams field set changed ({change}) without a "
+                        "FLOW_CACHE_VERSION bump; stale cache entries would "
+                        "be served under the old key semantics — bump the "
+                        "version, then refresh the manifest with "
+                        "--update-manifest",
+                    )
+                )
+            else:
+                findings.append(
+                    params_module.finding(
+                        self,
+                        params_cls,
+                        f"ArchParams field set changed ({change}) and "
+                        "FLOW_CACHE_VERSION was bumped; refresh the "
+                        "manifest with --update-manifest to record the new "
+                        "reviewed state",
+                    )
+                )
+        elif version_value != manifest.flow_cache_version:
+            findings.append(
+                version_module.finding(
+                    self,
+                    version_stmt,
+                    f"FLOW_CACHE_VERSION is {version_value} but the "
+                    f"manifest records {manifest.flow_cache_version}; "
+                    "refresh the manifest with --update-manifest",
+                    severity=Severity.WARNING,
+                )
+            )
+        return findings
+
+
+def current_manifest(project: Project) -> Optional[ArchManifest]:
+    """The live (fields, version) pair, for ``--update-manifest``."""
+    located = project.find_class("ArchParams")
+    version = _find_assignment(project, "FLOW_CACHE_VERSION")
+    if located is None or version is None:
+        return None
+    _, params_cls = located
+    return ArchManifest(
+        fields=tuple(sorted(dataclass_field_names(params_cls.body))),
+        flow_cache_version=version[2],
+    )

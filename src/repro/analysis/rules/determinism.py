@@ -1,0 +1,145 @@
+"""determinism — the P&R flow and everything feeding it must be seeded.
+
+``run_flow`` is cached and retried per ``(netlist, arch, seed)``; the
+sweep engine's bounded-retry and bit-identity guarantees (and the flow
+cache itself) are only sound if a job recomputes identically from its
+inputs.  Inside the deterministic core (``cad/``, ``core/``, ``runner/``,
+``spice/``, ``netlists/``) this rule flags every source of hidden
+nondeterminism:
+
+- ``np.random.default_rng()`` with no seed (or an explicit ``None``);
+- legacy global-state numpy randomness (``np.random.normal`` etc.);
+- the stdlib ``random`` module (globally seeded, process-wide state);
+- wall-clock values flowing into computation: ``time.time()``,
+  ``datetime.now()`` / ``utcnow()``.  (``time.perf_counter`` is allowed:
+  it only feeds observability fields like ``wall_seconds``.)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Tuple
+
+from repro.analysis.engine import ModuleInfo, Rule
+from repro.analysis.findings import Finding, Severity
+
+DETERMINISTIC_PREFIXES: Tuple[str, ...] = (
+    "cad/",
+    "core/",
+    "runner/",
+    "spice/",
+    "netlists/",
+)
+
+_SEEDED_NP_RANDOM = frozenset({"default_rng", "Generator", "SeedSequence"})
+_CLOCK_CALLS = frozenset({"time.time", "datetime.now", "datetime.utcnow"})
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """`a.b.c` attribute chain as a string, or None for anything else."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class DeterminismRule(Rule):
+    rule_id = "determinism"
+    severity = Severity.ERROR
+    description = (
+        "unseeded RNGs, stdlib random, or wall-clock values inside the "
+        "deterministic flow core (cad/, core/, runner/, spice/, netlists/)"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        if not module.rel.startswith(DETERMINISTIC_PREFIXES):
+            return ()
+        findings: List[Finding] = []
+        uses_stdlib_random = False
+        for node in module.tree.body:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        uses_stdlib_random = True
+            elif isinstance(node, ast.ImportFrom) and node.module == "random":
+                findings.append(
+                    module.finding(
+                        self,
+                        node,
+                        "stdlib `random` imports share mutable global state "
+                        "across the process; use a seeded "
+                        "np.random.default_rng(seed) instead",
+                    )
+                )
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _dotted(node.func)
+            if chain is None:
+                continue
+            findings.extend(
+                self._check_call(module, node, chain, uses_stdlib_random)
+            )
+        return findings
+
+    def _check_call(
+        self,
+        module: ModuleInfo,
+        node: ast.Call,
+        chain: str,
+        uses_stdlib_random: bool,
+    ) -> Iterable[Finding]:
+        tail = chain.split(".")
+        # np.random.default_rng() / numpy.random.default_rng(None)
+        if tail[-1] == "default_rng":
+            if not node.args and not node.keywords:
+                yield module.finding(
+                    self,
+                    node,
+                    "np.random.default_rng() without a seed is "
+                    "nondeterministic; thread an explicit seed through",
+                )
+            elif node.args and (
+                isinstance(node.args[0], ast.Constant)
+                and node.args[0].value is None
+            ):
+                yield module.finding(
+                    self,
+                    node,
+                    "np.random.default_rng(None) seeds from the OS; require "
+                    "an integer seed",
+                )
+            return
+        # Legacy numpy global-state API: np.random.normal, np.random.seed...
+        if len(tail) >= 3 and tail[-3] in {"np", "numpy"} and tail[-2] == "random":
+            if tail[-1] not in _SEEDED_NP_RANDOM:
+                yield module.finding(
+                    self,
+                    node,
+                    f"legacy global-state numpy randomness "
+                    f"`{chain}`; use a seeded np.random.default_rng(seed)",
+                )
+            return
+        # stdlib random module calls (only when `import random` is stdlib's).
+        if uses_stdlib_random and len(tail) == 2 and tail[0] == "random":
+            yield module.finding(
+                self,
+                node,
+                f"`{chain}` uses the process-wide stdlib random state; "
+                "use a seeded np.random.default_rng(seed)",
+            )
+            return
+        if chain in _CLOCK_CALLS or (
+            len(tail) >= 2 and ".".join(tail[-2:]) in _CLOCK_CALLS
+        ):
+            yield module.finding(
+                self,
+                node,
+                f"wall-clock call `{chain}` inside the deterministic core; "
+                "results must be a pure function of (netlist, arch, seed) — "
+                "use time.perf_counter for observability-only timing",
+            )

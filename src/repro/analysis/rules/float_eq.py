@@ -1,0 +1,114 @@
+"""float-equality — exact ``==``/``!=`` on physical quantities.
+
+Delays, frequencies, powers and temperatures are computed through chains
+of floating-point physics; comparing them exactly encodes an assumption
+(bit-identical recomputation) that holds only on the carefully guarded
+fast paths.  In the timing/power/thermal modules this rule flags:
+
+- ``==`` / ``!=`` against a float literal (``if gain == 0.1``);
+- ``==`` / ``!=`` between operands whose names look like physical
+  quantities (``t_ambient``, ``delay_ns``, ``power_w``...), excluding
+  identifier-ish names (``*_key``, ``*_id``, ``*_name``...).
+
+Exact comparison is sometimes *right* — grid-coordinate matching where
+values round-trip unchanged from the spec — which is what inline
+``# repro-lint: ignore[float-equality] <why>`` is for.  The rule is a
+WARNING: it reports but never gates, so judgment stays with the author.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, List, Optional
+
+from repro.analysis.engine import ModuleInfo, Rule
+from repro.analysis.findings import Finding, Severity
+
+NUMERIC_PREFIXES = (
+    "cad/",
+    "core/",
+    "thermal/",
+    "power/",
+    "coffe/",
+    "spice/",
+    "technology/",
+    "runner/",
+)
+
+_FLOATY = re.compile(
+    r"(^|_)(t|temp|temperature|ambient|corner|delay|slack|power|leakage|"
+    r"freq|frequency|hz|gain|celsius|kelvin|volt|vdd|watt|amps|seconds|"
+    r"resistance|capacitance|energy)(s?)(_|$)"
+)
+_EXEMPT = re.compile(r"(^|_)(key|id|name|type|kind|count|index|shape|len)(s?)(_|$)")
+
+
+def _identifier(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _is_float_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_float_literal(node.operand)
+    return False
+
+
+def _looks_physical(node: ast.AST) -> bool:
+    name = _identifier(node)
+    if name is None:
+        return False
+    lowered = name.lower()
+    return bool(_FLOATY.search(lowered)) and not _EXEMPT.search(lowered)
+
+
+class FloatEqualityRule(Rule):
+    rule_id = "float-equality"
+    severity = Severity.WARNING
+    description = (
+        "exact ==/!= on floats in timing/power/thermal code; compare with "
+        "a tolerance (math.isclose / np.isclose) or suppress with a reason"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        if not module.rel.startswith(NUMERIC_PREFIXES):
+            return ()
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                literal = next(
+                    (x for x in (left, right) if _is_float_literal(x)), None
+                )
+                if literal is not None:
+                    findings.append(
+                        module.finding(
+                            self,
+                            node,
+                            "exact comparison against a float literal; use "
+                            "math.isclose (or restructure to avoid the "
+                            "comparison)",
+                        )
+                    )
+                elif _looks_physical(left) and _looks_physical(right):
+                    findings.append(
+                        module.finding(
+                            self,
+                            node,
+                            "exact ==/!= between physical quantities "
+                            f"({_identifier(left)}, {_identifier(right)}); "
+                            "use a tolerance, or suppress with a reason if "
+                            "the values round-trip exactly",
+                        )
+                    )
+        return findings

@@ -1,0 +1,72 @@
+"""frozen-mutation — ``object.__setattr__`` escapes on frozen dataclasses.
+
+Frozen dataclasses (``ArchParams``, ``SweepJob``, ``GuardbandConfig``...)
+are frozen *because* they are hashed, cached, and shipped across process
+boundaries; mutating one through ``object.__setattr__`` after
+construction invalidates every key it participates in.  The only
+legitimate uses are ``__post_init__`` (the dataclass idiom for derived
+fields) and ``__setstate__`` (unpickle-time reconstruction) — anywhere
+else is a mutation of a value the rest of the system assumes immutable.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional
+
+from repro.analysis.engine import ModuleInfo, Rule
+from repro.analysis.findings import Finding, Severity
+
+ALLOWED_METHODS = frozenset({"__post_init__", "__setstate__"})
+
+
+def _is_object_setattr(node: ast.Call) -> bool:
+    func = node.func
+    return (
+        isinstance(func, ast.Attribute)
+        and func.attr == "__setattr__"
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "object"
+    )
+
+
+class FrozenMutationRule(Rule):
+    rule_id = "frozen-mutation"
+    severity = Severity.ERROR
+    description = (
+        "object.__setattr__ outside __post_init__/__setstate__ mutates "
+        "values the cache and hash layers assume immutable"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        self._walk(module, module.tree, enclosing=None, findings=findings)
+        return findings
+
+    def _walk(
+        self,
+        module: ModuleInfo,
+        node: ast.AST,
+        enclosing: Optional[str],
+        findings: List[Finding],
+    ) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._walk(module, child, child.name, findings)
+                continue
+            if isinstance(child, ast.Call) and _is_object_setattr(child):
+                if enclosing not in ALLOWED_METHODS:
+                    where = (
+                        f"in {enclosing}()" if enclosing else "at module level"
+                    )
+                    findings.append(
+                        module.finding(
+                            self,
+                            child,
+                            f"object.__setattr__ {where}; frozen instances "
+                            "may only self-initialize in __post_init__ or "
+                            "__setstate__ — construct a new value with "
+                            "dataclasses.replace instead",
+                        )
+                    )
+            self._walk(module, child, enclosing, findings)

@@ -1,0 +1,129 @@
+"""pickle-boundary — jobs crossing the process pool must stay picklable.
+
+``run_sweep`` ships :class:`~repro.runner.spec.SweepJob` values (expanded
+from :class:`~repro.runner.spec.ExperimentSpec`) to ``ProcessPoolExecutor``
+workers.  A field that holds a lambda, an open handle, a generator, or an
+instance of a locally-defined class pickles fine in unit tests (where
+``workers=1`` skips the pool) and then breaks the first parallel sweep.
+This rule patrols the modules that define the boundary types:
+
+- field *annotations* naming unpicklable types (``Callable``, ``IO``,
+  ``TextIO``, ``BinaryIO``, ``Generator``, ``Iterator``);
+- ``lambda`` field *defaults* (the lambda becomes the instance attribute);
+- classes defined inside functions in a boundary module (instances of a
+  local class can never be pickled by reference).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Set
+
+from repro.analysis.engine import ModuleInfo, Rule
+from repro.analysis.findings import Finding, Severity
+
+BOUNDARY_CLASSES = frozenset({"SweepJob", "ExperimentSpec"})
+"""Types whose instances cross the ProcessPoolExecutor boundary."""
+
+UNPICKLABLE_TYPE_NAMES = frozenset(
+    {"Callable", "IO", "TextIO", "BinaryIO", "Generator", "Iterator"}
+)
+
+
+def _annotation_names(node: ast.AST) -> Set[str]:
+    names: Set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            names.add(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            names.add(sub.attr)
+        elif isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            # String annotations: best-effort parse of forward references.
+            try:
+                parsed = ast.parse(sub.value, mode="eval")
+            except SyntaxError:
+                continue
+            names |= _annotation_names(parsed)
+    return names
+
+
+class PickleBoundaryRule(Rule):
+    rule_id = "pickle-boundary"
+    severity = Severity.ERROR
+    description = (
+        "unpicklable field types, lambda defaults, or locally-defined "
+        "classes in the modules defining SweepJob/ExperimentSpec"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        boundary_classes = [
+            node
+            for node in module.tree.body
+            if isinstance(node, ast.ClassDef) and node.name in BOUNDARY_CLASSES
+        ]
+        if not boundary_classes:
+            return ()
+        findings: List[Finding] = []
+        for cls in boundary_classes:
+            findings.extend(self._check_fields(module, cls))
+        findings.extend(self._check_local_classes(module))
+        return findings
+
+    def _check_fields(
+        self, module: ModuleInfo, cls: ast.ClassDef
+    ) -> Iterable[Finding]:
+        for stmt in cls.body:
+            if not isinstance(stmt, ast.AnnAssign):
+                continue
+            target = stmt.target
+            name = target.id if isinstance(target, ast.Name) else "<field>"
+            bad = _annotation_names(stmt.annotation) & UNPICKLABLE_TYPE_NAMES
+            for type_name in sorted(bad):
+                yield module.finding(
+                    self,
+                    stmt,
+                    f"{cls.name}.{name} is annotated with {type_name}, which "
+                    "does not survive the ProcessPoolExecutor pickle "
+                    "boundary; pass data, not behavior, to workers",
+                )
+            if stmt.value is not None:
+                for sub in ast.walk(stmt.value):
+                    if isinstance(sub, ast.Lambda):
+                        # default_factory lambdas never reach instances;
+                        # plain lambda defaults become the attribute value.
+                        if _is_default_factory(stmt.value, sub):
+                            continue
+                        yield module.finding(
+                            self,
+                            sub,
+                            f"{cls.name}.{name} has a lambda default; the "
+                            "lambda becomes the instance attribute and "
+                            "cannot be pickled to workers",
+                        )
+
+    def _check_local_classes(self, module: ModuleInfo) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.ClassDef):
+                    yield module.finding(
+                        self,
+                        sub,
+                        f"class {sub.name} is defined inside {node.name}(); "
+                        "instances of locally-defined classes cannot be "
+                        "pickled across the worker-pool boundary — move it "
+                        "to module level",
+                    )
+
+
+def _is_default_factory(value: ast.AST, lam: ast.Lambda) -> bool:
+    """True when ``lam`` is the ``default_factory=`` of a field() call."""
+    if not isinstance(value, ast.Call):
+        return False
+    func = value.func
+    func_name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", "")
+    if func_name != "field":
+        return False
+    return any(kw.arg == "default_factory" and kw.value is lam
+               for kw in value.keywords)

@@ -1,0 +1,59 @@
+"""units — Celsius/Kelvin discipline.
+
+Every temperature conversion must go through
+:mod:`repro.technology.temperature` (``celsius_to_kelvin`` /
+``kelvin_to_celsius`` / the named constants).  A raw ``273.15`` or
+``298.15`` literal anywhere else is an offset applied outside the one
+module allowed to know it — historically how mixed-unit bugs enter
+thermal code, because the result is plausibly-sized either way.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.analysis.engine import ModuleInfo, Rule
+from repro.analysis.findings import Finding, Severity
+
+TEMPERATURE_MODULE = "technology/temperature.py"
+
+EXEMPT_PREFIXES = ("analysis/",)
+"""The linter itself must name the literals in order to detect them."""
+
+OFFSET_LITERALS = (273.15, 298.15)
+"""Zero-Celsius and the 25 C characterization reference, in kelvin."""
+
+
+class UnitsRule(Rule):
+    rule_id = "units"
+    severity = Severity.ERROR
+    description = (
+        "temperature-offset literals (273.15 / 298.15) outside "
+        "technology/temperature.py; use celsius_to_kelvin / T_REFERENCE_K"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        if module.rel == TEMPERATURE_MODULE or module.rel.startswith(
+            EXEMPT_PREFIXES
+        ):
+            return ()
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Constant):
+                continue
+            value = node.value
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            if float(value) in OFFSET_LITERALS:
+                findings.append(
+                    module.finding(
+                        self,
+                        node,
+                        f"raw temperature-offset literal {value!r}; use "
+                        "repro.technology.temperature (celsius_to_kelvin, "
+                        "ZERO_CELSIUS_K, T_REFERENCE_K) so Celsius/Kelvin "
+                        "conversions live in one module",
+                    )
+                )
+        return findings

@@ -14,7 +14,7 @@ the pure-Python router so benchmark flows complete quickly.  See DESIGN.md
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Tuple
 
 
@@ -96,7 +96,7 @@ class ArchParams:
     def ble_count(self) -> int:
         return self.cluster_size
 
-    def with_changes(self, **changes) -> "ArchParams":
+    def with_changes(self, **changes: object) -> "ArchParams":
         """Return a copy with some parameters replaced."""
         return replace(self, **changes)
 

@@ -18,7 +18,7 @@ evaluated at the temperature of the tile the driving mux sits in.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, List, Optional, Tuple
 

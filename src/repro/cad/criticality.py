@@ -14,7 +14,7 @@ it at a fraction of the cost and with no fabric dependence.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
 from repro.netlists.netlist import BlockType, Netlist, SEQUENTIAL_TYPES
 

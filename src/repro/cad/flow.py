@@ -25,13 +25,13 @@ except ImportError:  # pragma: no cover - non-POSIX fallback
 
 from repro.arch.layout import FabricLayout, TileType
 from repro.arch.params import ArchParams
-from repro.arch.rrgraph import RRGraph, build_rr_graph
+from repro.arch.rrgraph import build_rr_graph
 from repro.cad.criticality import criticality_weights
 from repro.cad.pack import PackedNetlist, pack_netlist
 from repro.cad.place import Placement, place
 from repro.cad.route import RoutingError, RoutingResult, route
 from repro.cad.timing import TimingAnalyzer
-from repro.netlists.netlist import BlockType, Netlist
+from repro.netlists.netlist import Netlist
 
 
 @dataclass

@@ -22,7 +22,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.arch.layout import TileType
 from repro.arch.params import ArchParams
-from repro.netlists.netlist import Block, BlockType, Net, Netlist
+from repro.netlists.netlist import BlockType, Netlist
 
 
 @dataclass

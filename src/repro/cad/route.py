@@ -14,8 +14,8 @@ escalating present factor until no node is over capacity.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.arch.rrgraph import RRGraph, RRNodeType
 from repro.cad.pack import PackedNetlist

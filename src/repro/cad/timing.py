@@ -20,12 +20,11 @@ See DESIGN.md, "Hot-loop data layout".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
 from repro.arch.layout import FabricLayout
-from repro.arch.rrgraph import RRGraph, RRNodeType
 from repro.cad.pack import PackedNetlist
 from repro.cad.place import Placement
 from repro.cad.route import RoutingResult

@@ -41,7 +41,6 @@ from repro.spice.devices import (
     effective_resistance,
     gate_capacitance,
     off_current,
-    pass_gate_resistance,
 )
 from repro.spice.montecarlo import sram_cell_leakage, sram_weakest_cell_leakage
 from repro.technology.ptm22 import LP_NMOS, LP_PMOS

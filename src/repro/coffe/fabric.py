@@ -18,8 +18,8 @@ design study (Figs. 2-3) and architecture proposal (Fig. 8).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 

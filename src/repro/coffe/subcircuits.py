@@ -34,10 +34,10 @@ from repro.spice.devices import (
     effective_resistance,
     gate_capacitance,
     leakage_current,
-    off_current,
     pass_gate_resistance,
 )
 from repro.technology.ptm22 import HP_NMOS, HP_PMOS, DeviceParams
+from repro.technology.temperature import T_REFERENCE_K, celsius_to_kelvin
 
 PN_RATIO = 1.8
 """PMOS/NMOS width ratio of inverters."""
@@ -91,7 +91,9 @@ class WireLoad:
 
     def resistance_at(self, t_kelvin: float) -> float:
         """Wire resistance with the copper temperature coefficient applied."""
-        return self.resistance_ohms * (1.0 + WIRE_TEMPCO_PER_K * (t_kelvin - 298.15))
+        return self.resistance_ohms * (
+            1.0 + WIRE_TEMPCO_PER_K * (t_kelvin - T_REFERENCE_K)
+        )
 
 
 NO_WIRE = WireLoad(0.0, 0.0)
@@ -118,7 +120,7 @@ def tgate_resistance(vdd: float, width: float, t_kelvin: float) -> float:
     Anchored at ``TGATE_COLD_PENALTY`` times the equal-width NMOS pass gate
     at 0 Celsius, with the (flat) temperature shape of :data:`PASS_TGATE`.
     """
-    t_cold = 273.15  # 0 Celsius
+    t_cold = celsius_to_kelvin(0.0)
     r_nmos_cold = pass_gate_resistance(PASS_ROUTING, vdd, width, t_cold)
     shape = pass_gate_resistance(
         PASS_TGATE, vdd, width, t_kelvin, body_factor=1.0

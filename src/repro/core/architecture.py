@@ -35,7 +35,8 @@ def expected_delay(
     """Eq. 1: expected delay over a uniform ``[t_min, t_max]`` range, seconds."""
     if t_max < t_min:
         raise ValueError(f"t_max ({t_max}) < t_min ({t_min})")
-    if t_max == t_min:
+    # Degenerate-range check: endpoints are caller-specified, not computed.
+    if t_max == t_min:  # repro-lint: ignore[float-equality]
         grid = np.array([t_min])
     else:
         grid = np.linspace(t_min, t_max, n_samples)
@@ -43,7 +44,7 @@ def expected_delay(
         delays = np.asarray(fabric.cp_delay_s(grid))
     else:
         delays = np.asarray(fabric.delay_s(component, grid))
-    if t_max == t_min:
+    if t_max == t_min:  # repro-lint: ignore[float-equality]
         return float(delays[0])
     trapezoid = getattr(np, "trapezoid", None) or np.trapz
     return float(trapezoid(delays, grid) / (t_max - t_min))

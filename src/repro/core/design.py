@@ -9,12 +9,12 @@ thermal-aware architecture selection.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.arch.params import ArchParams
-from repro.coffe.fabric import Fabric, build_fabric
+from repro.coffe.fabric import build_fabric
 
 DEFAULT_CORNERS = (0.0, 25.0, 100.0)
 """The corners of paper Figs. 2-3 (D0, D25, D100)."""

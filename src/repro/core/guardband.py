@@ -73,7 +73,7 @@ class GuardbandConfig:
                 f"base_activity must be in (0, 1], got {self.base_activity}"
             )
 
-    def with_changes(self, **changes) -> "GuardbandConfig":
+    def with_changes(self, **changes: object) -> "GuardbandConfig":
         """Return a copy with some knobs replaced."""
         return replace(self, **changes)
 

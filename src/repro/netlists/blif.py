@@ -18,7 +18,7 @@ Nets are identified by name; every net must have exactly one driver.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, TextIO, Tuple, Union
+from typing import Dict, List, TextIO, Tuple, Union
 
 from repro.netlists.netlist import Block, BlockType, Net, Netlist
 

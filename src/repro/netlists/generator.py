@@ -22,7 +22,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.netlists.netlist import Block, BlockType, Net, Netlist
+from repro.netlists.netlist import BlockType, Net, Netlist
 
 
 @dataclass(frozen=True)

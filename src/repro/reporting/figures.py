@@ -18,7 +18,7 @@ def format_bar_chart(
     if not values:
         return title
     peak = max(max(values), 1e-12)
-    label_width = max(len(l) for l in labels)
+    label_width = max(len(label) for label in labels)
     lines: List[str] = [title] if title else []
     for label, value in zip(labels, values):
         bar = "#" * max(0, int(round(width * value / peak)))

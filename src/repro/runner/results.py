@@ -111,11 +111,13 @@ class SweepResult:
         corner: Optional[float] = None,
     ) -> float:
         """Average gain over (a slice of) the grid, Figs. 6-7 style."""
+        # Grid-coordinate matching: both sides round-trip unchanged from
+        # the ExperimentSpec grid, so exact equality is the correct test.
         picked = [
             r.gain
             for r in self.results
-            if (t_ambient is None or r.t_ambient == t_ambient)
-            and (corner is None or r.corner == corner)
+            if (t_ambient is None or r.t_ambient == t_ambient)  # repro-lint: ignore[float-equality]
+            and (corner is None or r.corner == corner)  # repro-lint: ignore[float-equality]
         ]
         if not picked:
             raise ValueError("no successful cells match the requested slice")

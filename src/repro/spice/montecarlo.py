@@ -9,7 +9,6 @@ distribution and evaluating the standby leakage of each sampled 6T cell.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
@@ -69,15 +68,25 @@ def sram_weakest_cell_leakage(
     t_kelvin: float,
     n_cells: int = 2000,
     vth_sigma: float = SRAM_VTH_SIGMA,
-    seed: Optional[int] = 2019,
+    seed: int = 2019,
 ) -> SramLeakageSample:
     """Monte-Carlo leakage of an ``n_cells`` SRAM array at ``t_kelvin``.
 
     Returns the mean and the weakest-cell (maximum) leakage; the weakest-cell
     value feeds BRAM sizing in :mod:`repro.coffe.bram`.
+
+    ``seed`` is a required integer: the sample feeds BRAM transistor
+    sizing, so the whole characterization must be reproducible — an
+    OS-seeded draw here would make two runs of the same flow size
+    different fabrics.
     """
     if n_cells <= 0:
         raise ValueError(f"n_cells must be positive, got {n_cells}")
+    if seed is None or not isinstance(seed, (int, np.integer)):
+        raise TypeError(
+            f"seed must be an explicit integer (got {seed!r}); the "
+            "Monte-Carlo population must be reproducible per flow run"
+        )
     rng = np.random.default_rng(seed)
     shifts_n = rng.normal(0.0, vth_sigma, size=n_cells)
     shifts_p = rng.normal(0.0, vth_sigma, size=n_cells)

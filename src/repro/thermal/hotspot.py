@@ -16,7 +16,6 @@ same trick HotSpot uses for its steady-state grid model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np

@@ -19,7 +19,7 @@ from typing import Optional
 
 import numpy as np
 from scipy.sparse import identity
-from scipy.sparse.linalg import factorized, spsolve
+from scipy.sparse.linalg import factorized
 
 from repro.arch.layout import FabricLayout
 from repro.thermal.hotspot import ThermalSolver

@@ -1,0 +1,710 @@
+"""Tests for repro.analysis — the domain-invariant linter.
+
+Each rule gets a fixture module that must flag and one that must pass;
+plus suppression-comment, baseline round-trip, manifest (cache-key) and
+CLI behavior, and a full pass over the real ``src/repro`` tree that must
+come back clean.
+"""
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    Baseline,
+    Finding,
+    Severity,
+    all_rules,
+    run_analysis,
+)
+from repro.analysis.cli import main as cli_main
+from repro.analysis.engine import Project, default_scan_root, load_modules
+from repro.analysis.manifest import ArchManifest
+from repro.analysis.rules.cache_key import current_manifest
+from repro.analysis.suppress import suppressions_for
+
+SRC_REPRO = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+
+def write_module(root: Path, rel: str, body: str) -> Path:
+    path = root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(body), encoding="utf-8")
+    return path
+
+
+def run_on(tmp_path: Path, **kwargs):
+    return run_analysis(
+        root=tmp_path,
+        rules=all_rules(),
+        manifest_path=kwargs.pop("manifest_path", tmp_path / "manifest.json"),
+        **kwargs,
+    )
+
+
+def rule_ids(report):
+    return [f.rule_id for f in report.findings]
+
+
+class TestUnitsRule:
+    def test_flags_offset_literal_outside_temperature_module(self, tmp_path):
+        write_module(
+            tmp_path,
+            "thermal/bad.py",
+            """
+            def to_kelvin(t_c):
+                return t_c + 273.15
+            """,
+        )
+        report = run_on(tmp_path)
+        assert rule_ids(report) == ["units"]
+        assert report.findings[0].severity is Severity.ERROR
+        assert "273.15" in report.findings[0].message
+
+    def test_flags_reference_temperature_literal(self, tmp_path):
+        write_module(
+            tmp_path,
+            "power/bad.py",
+            "SCALE = 1.0 / 298.15\n",
+        )
+        report = run_on(tmp_path)
+        assert rule_ids(report) == ["units"]
+
+    def test_passes_inside_temperature_module_and_clean_code(self, tmp_path):
+        write_module(
+            tmp_path,
+            "technology/temperature.py",
+            """
+            ZERO_CELSIUS_K = 273.15
+            T_REFERENCE_K = 298.15
+            """,
+        )
+        write_module(
+            tmp_path,
+            "thermal/good.py",
+            """
+            from repro.technology.temperature import celsius_to_kelvin
+
+            def to_kelvin(t_c):
+                return celsius_to_kelvin(t_c)
+            """,
+        )
+        assert run_on(tmp_path).findings == []
+
+
+class TestDeterminismRule:
+    def test_flags_unseeded_default_rng(self, tmp_path):
+        write_module(
+            tmp_path,
+            "cad/bad.py",
+            """
+            import numpy as np
+
+            def jitter():
+                return np.random.default_rng().random()
+            """,
+        )
+        report = run_on(tmp_path)
+        assert rule_ids(report) == ["determinism"]
+
+    def test_flags_none_seed_and_legacy_global_api(self, tmp_path):
+        write_module(
+            tmp_path,
+            "core/bad.py",
+            """
+            import numpy as np
+
+            def sample(n):
+                rng = np.random.default_rng(None)
+                return np.random.normal(size=n)
+            """,
+        )
+        report = run_on(tmp_path)
+        assert rule_ids(report) == ["determinism", "determinism"]
+
+    def test_flags_stdlib_random_and_wall_clock(self, tmp_path):
+        write_module(
+            tmp_path,
+            "runner/bad.py",
+            """
+            import random
+            import time
+
+            def pick(items):
+                random.shuffle(items)
+                return time.time()
+            """,
+        )
+        report = run_on(tmp_path)
+        assert rule_ids(report) == ["determinism", "determinism"]
+        assert any("wall-clock" in f.message for f in report.findings)
+
+    def test_passes_seeded_rng_and_perf_counter(self, tmp_path):
+        write_module(
+            tmp_path,
+            "cad/good.py",
+            """
+            import time
+            import numpy as np
+
+            def place(seed):
+                start = time.perf_counter()
+                rng = np.random.default_rng(seed)
+                return rng.random(), time.perf_counter() - start
+            """,
+        )
+        assert run_on(tmp_path).findings == []
+
+    def test_ignores_modules_outside_deterministic_core(self, tmp_path):
+        write_module(
+            tmp_path,
+            "reporting/ok.py",
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+        )
+        assert run_on(tmp_path).findings == []
+
+
+class TestPickleBoundaryRule:
+    def test_flags_callable_field_and_lambda_default(self, tmp_path):
+        write_module(
+            tmp_path,
+            "runner/spec.py",
+            """
+            from dataclasses import dataclass
+            from typing import Callable
+
+            @dataclass(frozen=True)
+            class SweepJob:
+                benchmark: str
+                on_done: Callable = print
+                scale: object = lambda x: x
+            """,
+        )
+        report = run_on(tmp_path)
+        assert rule_ids(report) == ["pickle-boundary", "pickle-boundary"]
+        assert any("Callable" in f.message for f in report.findings)
+        assert any("lambda" in f.message for f in report.findings)
+
+    def test_flags_locally_defined_class_in_boundary_module(self, tmp_path):
+        write_module(
+            tmp_path,
+            "runner/spec.py",
+            """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class ExperimentSpec:
+                benchmark: str
+
+            def make_helper():
+                class Helper:
+                    pass
+                return Helper()
+            """,
+        )
+        report = run_on(tmp_path)
+        assert rule_ids(report) == ["pickle-boundary"]
+        assert "locally-defined" in report.findings[0].message
+
+    def test_passes_plain_data_fields_and_factory_lambda(self, tmp_path):
+        write_module(
+            tmp_path,
+            "runner/spec.py",
+            """
+            from dataclasses import dataclass, field
+            from typing import Optional, Tuple
+
+            @dataclass(frozen=True)
+            class SweepJob:
+                benchmark: str
+                t_ambient: float
+                corners: Tuple[float, ...] = (25.0,)
+                tags: dict = field(default_factory=dict)
+                note: Optional[str] = None
+            """,
+        )
+        assert run_on(tmp_path).findings == []
+
+    def test_ignores_modules_without_boundary_classes(self, tmp_path):
+        write_module(
+            tmp_path,
+            "reporting/free.py",
+            """
+            def render():
+                class Row:
+                    pass
+                return Row()
+            """,
+        )
+        assert run_on(tmp_path).findings == []
+
+
+CACHE_FIXTURE_PARAMS = """
+    from dataclasses import dataclass
+
+    @dataclass(frozen=True)
+    class ArchParams:
+        lut_size: int = 6
+        cluster_size: int = 10
+"""
+
+CACHE_FIXTURE_FLOW_FIELDS = """
+    import hashlib
+    from dataclasses import fields
+
+    FLOW_CACHE_VERSION = 4
+
+    def arch_digest(arch):
+        payload = repr(tuple((f.name, getattr(arch, f.name)) for f in fields(arch)))
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+"""
+
+
+class TestCacheKeyRule:
+    def _project(self, tmp_path, params=CACHE_FIXTURE_PARAMS,
+                 flow=CACHE_FIXTURE_FLOW_FIELDS):
+        write_module(tmp_path, "arch/params.py", params)
+        write_module(tmp_path, "cad/flow.py", flow)
+
+    def _manifest(self, tmp_path, fields=("cluster_size", "lut_size"),
+                  version=4):
+        path = tmp_path / "manifest.json"
+        ArchManifest(fields=tuple(fields), flow_cache_version=version).save(path)
+        return path
+
+    def test_passes_when_manifest_matches(self, tmp_path):
+        self._project(tmp_path)
+        path = self._manifest(tmp_path)
+        report = run_on(tmp_path, manifest_path=path)
+        assert report.findings == []
+
+    def test_missing_manifest_is_a_warning(self, tmp_path):
+        self._project(tmp_path)
+        report = run_on(tmp_path)
+        assert rule_ids(report) == ["cache-key"]
+        assert report.findings[0].severity is Severity.WARNING
+        assert report.ok
+
+    def test_field_change_without_version_bump_is_an_error(self, tmp_path):
+        self._project(tmp_path)
+        path = self._manifest(tmp_path, fields=("lut_size",), version=4)
+        report = run_on(tmp_path, manifest_path=path)
+        assert rule_ids(report) == ["cache-key"]
+        assert report.findings[0].severity is Severity.ERROR
+        assert "without a FLOW_CACHE_VERSION bump" in report.findings[0].message
+
+    def test_field_change_with_version_bump_requests_manifest_refresh(
+        self, tmp_path
+    ):
+        self._project(tmp_path)
+        path = self._manifest(tmp_path, fields=("lut_size",), version=3)
+        report = run_on(tmp_path, manifest_path=path)
+        assert rule_ids(report) == ["cache-key"]
+        assert "refresh the manifest" in report.findings[0].message
+
+    def test_digest_missing_a_field_is_an_error(self, tmp_path):
+        flow = """
+            import hashlib
+
+            FLOW_CACHE_VERSION = 4
+
+            def arch_digest(arch):
+                payload = f"{arch.lut_size}"
+                return hashlib.sha256(payload.encode()).hexdigest()[:16]
+        """
+        self._project(tmp_path, flow=flow)
+        path = self._manifest(tmp_path)
+        report = run_on(tmp_path, manifest_path=path)
+        assert rule_ids(report) == ["cache-key"]
+        assert "cluster_size" in report.findings[0].message
+
+    def test_explicit_field_reads_cover_all_fields(self, tmp_path):
+        flow = """
+            import hashlib
+
+            FLOW_CACHE_VERSION = 4
+
+            def arch_digest(arch):
+                payload = f"{arch.lut_size}_{arch.cluster_size}"
+                return hashlib.sha256(payload.encode()).hexdigest()[:16]
+        """
+        self._project(tmp_path, flow=flow)
+        path = self._manifest(tmp_path)
+        assert run_on(tmp_path, manifest_path=path).findings == []
+
+    def test_absent_archparams_project_is_exempt(self, tmp_path):
+        write_module(tmp_path, "cad/other.py", "X = 1\n")
+        assert run_on(tmp_path).findings == []
+
+
+class TestFrozenMutationRule:
+    def test_flags_setattr_outside_post_init(self, tmp_path):
+        write_module(
+            tmp_path,
+            "cad/bad.py",
+            """
+            def tweak(params):
+                object.__setattr__(params, "lut_size", 7)
+            """,
+        )
+        report = run_on(tmp_path)
+        assert rule_ids(report) == ["frozen-mutation"]
+        assert "tweak()" in report.findings[0].message
+
+    def test_flags_module_level_setattr(self, tmp_path):
+        write_module(
+            tmp_path,
+            "core/bad.py",
+            """
+            CONFIG = make_config()
+            object.__setattr__(CONFIG, "mode", "fast")
+            """,
+        )
+        report = run_on(tmp_path)
+        assert rule_ids(report) == ["frozen-mutation"]
+        assert "module level" in report.findings[0].message
+
+    def test_passes_post_init_and_setstate(self, tmp_path):
+        write_module(
+            tmp_path,
+            "cad/good.py",
+            """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class Node:
+                raw: str
+                norm: str = ""
+
+                def __post_init__(self):
+                    object.__setattr__(self, "norm", self.raw.lower())
+
+                def __setstate__(self, state):
+                    for key, value in state.items():
+                        object.__setattr__(self, key, value)
+            """,
+        )
+        assert run_on(tmp_path).findings == []
+
+
+class TestFloatEqualityRule:
+    def test_flags_float_literal_comparison(self, tmp_path):
+        write_module(
+            tmp_path,
+            "thermal/bad.py",
+            """
+            def converged(delta):
+                return delta == 0.0
+            """,
+        )
+        report = run_on(tmp_path)
+        assert rule_ids(report) == ["float-equality"]
+        assert report.findings[0].severity is Severity.WARNING
+
+    def test_flags_physical_quantity_comparison(self, tmp_path):
+        write_module(
+            tmp_path,
+            "power/bad.py",
+            """
+            def same_point(t_ambient, corner_celsius):
+                return t_ambient == corner_celsius
+            """,
+        )
+        report = run_on(tmp_path)
+        assert rule_ids(report) == ["float-equality"]
+
+    def test_warnings_do_not_gate(self, tmp_path):
+        write_module(tmp_path, "thermal/bad.py", "OK = 1.0 == 1.0\n")
+        report = run_on(tmp_path)
+        assert report.findings and report.ok
+
+    def test_passes_tolerant_and_identifier_comparisons(self, tmp_path):
+        write_module(
+            tmp_path,
+            "cad/good.py",
+            """
+            import math
+
+            def close(delay_a, delay_b):
+                return math.isclose(delay_a, delay_b, rel_tol=1e-9)
+
+            def same_entry(cache_key, other_key):
+                return cache_key == other_key
+            """,
+        )
+        assert run_on(tmp_path).findings == []
+
+    def test_ignores_non_numeric_modules(self, tmp_path):
+        write_module(
+            tmp_path,
+            "reporting/ok.py",
+            "def eq(power_w, other_power): return power_w == other_power\n",
+        )
+        assert run_on(tmp_path).findings == []
+
+
+class TestSuppression:
+    def test_inline_suppression_drops_the_finding(self, tmp_path):
+        write_module(
+            tmp_path,
+            "thermal/ok.py",
+            """
+            def to_kelvin(t_c):
+                return t_c + 273.15  # repro-lint: ignore[units] fixture
+            """,
+        )
+        report = run_on(tmp_path)
+        assert report.findings == []
+        assert [f.rule_id for f in report.suppressed] == ["units"]
+
+    def test_bare_ignore_suppresses_every_rule(self, tmp_path):
+        write_module(
+            tmp_path,
+            "thermal/ok.py",
+            "K = 273.15  # repro-lint: ignore\n",
+        )
+        report = run_on(tmp_path)
+        assert report.findings == []
+        assert len(report.suppressed) == 1
+
+    def test_suppression_is_rule_specific(self, tmp_path):
+        write_module(
+            tmp_path,
+            "thermal/partial.py",
+            "K = 273.15  # repro-lint: ignore[determinism]\n",
+        )
+        report = run_on(tmp_path)
+        assert rule_ids(report) == ["units"]
+
+    def test_unknown_rule_in_suppression_is_an_error(self, tmp_path):
+        write_module(
+            tmp_path,
+            "thermal/typo.py",
+            "X = 1  # repro-lint: ignore[unitz]\n",
+        )
+        report = run_on(tmp_path)
+        assert rule_ids(report) == ["unknown-suppression"]
+        assert not report.ok
+
+    def test_marker_inside_docstring_is_not_a_suppression(self, tmp_path):
+        source = (
+            '"""Mentions # repro-lint: ignore[units] as prose."""\n'
+            "K = 273.15\n"
+        )
+        write_module(tmp_path, "thermal/doc.py", source)
+        report = run_on(tmp_path)
+        assert rule_ids(report) == ["units"]
+
+    def test_suppressions_for_parses_rule_lists(self):
+        table = suppressions_for(
+            "x = 1  # repro-lint: ignore[units, determinism]\n"
+        )
+        assert table == {1: frozenset({"units", "determinism"})}
+
+
+class TestBaseline:
+    def _violating_module(self, tmp_path):
+        write_module(
+            tmp_path,
+            "thermal/legacy.py",
+            """
+            def to_kelvin(t_c):
+                return t_c + 273.15
+            """,
+        )
+
+    def test_round_trip(self, tmp_path):
+        self._violating_module(tmp_path)
+        first = run_on(tmp_path)
+        assert not first.ok
+        baseline_path = tmp_path / "baseline.json"
+        Baseline.from_findings(first.findings).save(baseline_path)
+
+        second = run_on(
+            tmp_path, baseline=Baseline.load(baseline_path)
+        )
+        assert second.ok
+        assert [f.rule_id for f in second.baselined] == ["units"]
+        assert second.new_errors == []
+
+    def test_baselined_finding_survives_line_drift(self, tmp_path):
+        self._violating_module(tmp_path)
+        baseline = Baseline.from_findings(run_on(tmp_path).findings)
+        write_module(
+            tmp_path,
+            "thermal/legacy.py",
+            """
+            # a new leading comment shifts every line down
+
+
+            def to_kelvin(t_c):
+                return t_c + 273.15
+            """,
+        )
+        report = run_on(tmp_path, baseline=baseline)
+        assert report.ok and len(report.baselined) == 1
+
+    def test_second_identical_violation_is_new(self, tmp_path):
+        self._violating_module(tmp_path)
+        baseline = Baseline.from_findings(run_on(tmp_path).findings)
+        write_module(
+            tmp_path,
+            "thermal/legacy.py",
+            """
+            def to_kelvin(t_c):
+                return t_c + 273.15
+
+            def to_kelvin_again(t_c):
+                return t_c + 273.15
+            """,
+        )
+        report = run_on(tmp_path, baseline=baseline)
+        assert not report.ok
+        assert len(report.new_errors) == 1
+        assert len(report.baselined) == 1
+
+    def test_fixed_violation_marks_baseline_stale(self, tmp_path):
+        self._violating_module(tmp_path)
+        baseline = Baseline.from_findings(run_on(tmp_path).findings)
+        write_module(tmp_path, "thermal/legacy.py", "X = 1\n")
+        report = run_on(tmp_path, baseline=baseline)
+        assert report.stale_baseline
+
+    def test_load_missing_file_is_empty(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "absent.json")
+        assert baseline.counts == {}
+
+    def test_load_rejects_unknown_version(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "entries": {}}))
+        with pytest.raises(ValueError):
+            Baseline.load(path)
+
+
+class TestManifest:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "m.json"
+        manifest = ArchManifest(fields=("a", "b"), flow_cache_version=4)
+        manifest.save(path)
+        loaded = ArchManifest.load(path)
+        assert loaded.fields == ("a", "b")
+        assert loaded.flow_cache_version == 4
+
+    def test_current_manifest_matches_real_repo(self):
+        from dataclasses import fields as dc_fields
+
+        from repro.arch.params import ArchParams
+        from repro.cad.flow import FLOW_CACHE_VERSION
+
+        modules, errors = load_modules(SRC_REPRO)
+        assert errors == []
+        project = Project(
+            root=SRC_REPRO, modules=modules, manifest_path=Path("unused")
+        )
+        manifest = current_manifest(project)
+        assert manifest is not None
+        assert set(manifest.fields) == {f.name for f in dc_fields(ArchParams)}
+        assert manifest.flow_cache_version == FLOW_CACHE_VERSION
+
+
+class TestEngine:
+    def test_syntax_error_becomes_parse_error_finding(self, tmp_path):
+        write_module(tmp_path, "cad/broken.py", "def f(:\n")
+        report = run_on(tmp_path)
+        assert rule_ids(report) == ["parse-error"]
+        assert not report.ok
+
+    def test_findings_are_source_ordered(self, tmp_path):
+        write_module(tmp_path, "thermal/b.py", "X = 273.15\nY = 298.15\n")
+        write_module(tmp_path, "thermal/a.py", "Z = 273.15\n")
+        report = run_on(tmp_path)
+        assert [(f.path, f.line) for f in report.findings] == [
+            ("thermal/a.py", 1),
+            ("thermal/b.py", 1),
+            ("thermal/b.py", 2),
+        ]
+
+
+class TestCli:
+    def test_clean_fixture_exits_zero(self, tmp_path, capsys):
+        write_module(tmp_path, "cad/ok.py", "X = 1\n")
+        code = cli_main([str(tmp_path)])
+        assert code == 0
+        assert "0 new error(s)" in capsys.readouterr().out
+
+    def test_violation_exits_nonzero_with_location(self, tmp_path, capsys):
+        write_module(tmp_path, "thermal/bad.py", "K = 273.15\n")
+        code = cli_main([str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "thermal/bad.py:1:5: error[units]" in out
+
+    def test_json_mode(self, tmp_path, capsys):
+        write_module(tmp_path, "thermal/bad.py", "K = 273.15\n")
+        code = cli_main([str(tmp_path), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["ok"] is False
+        assert payload["findings"][0]["rule"] == "units"
+
+    def test_update_baseline_then_clean(self, tmp_path, capsys):
+        write_module(tmp_path, "thermal/bad.py", "K = 273.15\n")
+        baseline = tmp_path / "baseline.json"
+        assert cli_main(
+            [str(tmp_path), "--baseline", str(baseline), "--update-baseline"]
+        ) == 0
+        assert cli_main([str(tmp_path), "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "baselined" in out
+
+    def test_update_manifest_roundtrip(self, tmp_path):
+        write_module(tmp_path, "arch/params.py", CACHE_FIXTURE_PARAMS)
+        write_module(tmp_path, "cad/flow.py", CACHE_FIXTURE_FLOW_FIELDS)
+        manifest = tmp_path / "manifest.json"
+        assert cli_main(
+            [str(tmp_path), "--manifest", str(manifest), "--update-manifest"]
+        ) == 0
+        assert cli_main([str(tmp_path), "--manifest", str(manifest)]) == 0
+
+    def test_list_rules(self, capsys):
+        assert cli_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in (
+            "units",
+            "determinism",
+            "pickle-boundary",
+            "cache-key",
+            "frozen-mutation",
+            "float-equality",
+        ):
+            assert rule_id in out
+
+
+class TestRealRepo:
+    """The committed tree must stay clean under its committed baseline."""
+
+    def test_full_pass_over_src_repro_is_clean(self):
+        report = run_analysis(root=SRC_REPRO)
+        formatted = "\n".join(f.format() for f in report.new_errors)
+        assert report.new_errors == [], f"new lint errors:\n{formatted}"
+        assert report.n_files >= 60
+
+    def test_module_entry_point(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "--json"],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(SRC_REPRO.parent), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        payload = json.loads(proc.stdout)
+        assert payload["ok"] is True
