@@ -5,7 +5,7 @@ design — on the vectorized fast path (flattened STA element arrays,
 pre-factorized thermal solve, matrix-product power model) and on the seed
 reference implementation (:mod:`repro.core.reference`) — and reports the
 mean per-iteration wall time of the hot loop (STA + power + thermal
-phases, measured with :mod:`repro.profiling`) and iterations/sec for
+phases, measured with :mod:`repro.observe` spans) and iterations/sec for
 each.  Both runs must converge to identical guardband frequencies.
 
 Smoke mode for CI: set ``HOTLOOP_SMOKE=1`` to run a single netlist and
@@ -19,7 +19,7 @@ import os
 
 import numpy as np
 
-from repro import profiling
+from repro import observe
 from repro.cad.flow import run_flow
 from repro.core.guardband import GuardbandConfig, thermal_aware_guardband
 from repro.core.reference import seed_implementation
@@ -38,7 +38,7 @@ def _hotloop_seconds(flow, fabric, base_activity, repeats=3):
     best = float("inf")
     result = None
     for _ in range(repeats):
-        with profiling.enabled():
+        with observe.enabled():
             result = thermal_aware_guardband(
                 flow, fabric, T_AMBIENT,
                 config=GuardbandConfig(base_activity=base_activity),

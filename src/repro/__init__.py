@@ -19,6 +19,10 @@ The package is organised as a stack:
 - :mod:`repro.runner` — the parallel experiment engine that fans the
   paper's evaluation grids (benchmarks x ambients x corners) across
   worker processes with retry, per-job records and JSONL streaming.
+- :mod:`repro.observe` — unified tracing/metrics/events for the whole
+  stack: hierarchical spans, counters/gauges/histograms and JSONL trace
+  sinks, zero-cost when disabled (``repro.profiling`` is now a
+  deprecated shim over it).
 
 Typical single-design use::
 
@@ -47,6 +51,7 @@ Whole-evaluation sweeps go through the engine instead::
     print(sweep.mean_gain(t_ambient=25.0))
 """
 
+from repro import observe
 from repro import profiling
 from repro.arch.params import ArchParams
 from repro.cad.flow import FlowResult, run_flow
@@ -63,7 +68,7 @@ from repro.core.margins import worst_case_frequency
 from repro.netlists.generator import generate_netlist
 from repro.netlists.vtr_suite import VTR_BENCHMARKS, vtr_benchmark
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ArchParams",
@@ -77,6 +82,7 @@ __all__ = [
     "corner_delay_curves",
     "expected_delay",
     "generate_netlist",
+    "observe",
     "profiling",
     "run_flow",
     "select_design_corner",

@@ -24,6 +24,7 @@ completed cell.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 from typing import Dict, Optional, Sequence
@@ -33,6 +34,7 @@ import numpy as np
 from repro import (
     ArchParams,
     build_fabric,
+    observe,
     run_flow,
     thermal_aware_guardband,
     vtr_benchmark,
@@ -203,13 +205,20 @@ def _run_engine(
                 flush=True,
             )
 
-    sweep = run_sweep(
-        spec,
-        workers=args.workers,
-        jsonl_path=getattr(args, "jsonl", None),
-        job_timeout=getattr(args, "timeout", None),
-        progress=progress,
+    trace_path = getattr(args, "trace", None)
+    session = (
+        observe.enabled(jsonl_path=trace_path)
+        if trace_path
+        else contextlib.nullcontext()
     )
+    with session:
+        sweep = run_sweep(
+            spec,
+            workers=args.workers,
+            jsonl_path=getattr(args, "jsonl", None),
+            job_timeout=getattr(args, "timeout", None),
+            progress=progress,
+        )
     if quiet:
         print(sweep.to_json())
     else:
@@ -223,6 +232,11 @@ def _run_engine(
                     t_ambient=chart_ambient,
                     title=f"guardbanding gain at Tamb={chart_ambient:g}C",
                 )
+            )
+        if trace_path:
+            print(
+                f"\ntrace written to {trace_path} "
+                f"(read it with: python -m repro.observe report {trace_path})"
             )
         if sweep.failures:
             print(
@@ -301,6 +315,11 @@ def main(argv=None) -> int:
     engine.add_argument(
         "--timeout", type=float, default=None,
         help="per-job timeout in seconds (parallel mode)",
+    )
+    engine.add_argument(
+        "--trace", type=str, default=None,
+        help="write a repro.observe span/event trace (JSONL) to this file; "
+             "summarise it with 'python -m repro.observe report PATH'",
     )
 
     p = sub.add_parser("suite", parents=[common, engine],

@@ -9,10 +9,14 @@ nondeterminism:
 
 - ``np.random.default_rng()`` with no seed (or an explicit ``None``);
 - legacy global-state numpy randomness (``np.random.normal`` etc.);
-- the stdlib ``random`` module (globally seeded, process-wide state);
-- wall-clock values flowing into computation: ``time.time()``,
-  ``datetime.now()`` / ``utcnow()``.  (``time.perf_counter`` is allowed:
-  it only feeds observability fields like ``wall_seconds``.)
+- the stdlib ``random`` module (globally seeded, process-wide state).
+
+Clock reads are policed *repo-wide*, not just in the core: every clock —
+wall (``time.time``, ``datetime.now``/``utcnow``) **and** monotonic
+(``time.perf_counter``, ``time.monotonic``, and their ``_ns`` variants)
+— must be read through :mod:`repro.observe.clock`, so timing stays an
+observability concern that one grep can audit.  Only ``observe/``
+(the clock's home) and the deprecated ``profiling.py`` shim are exempt.
 """
 
 from __future__ import annotations
@@ -31,8 +35,26 @@ DETERMINISTIC_PREFIXES: Tuple[str, ...] = (
     "netlists/",
 )
 
+CLOCK_EXEMPT_PREFIXES: Tuple[str, ...] = ("observe/",)
+"""Modules allowed to read clocks directly: the observability subsystem
+(everything else routes through :mod:`repro.observe.clock`)."""
+
+CLOCK_EXEMPT_MODULES: Tuple[str, ...] = ("profiling.py",)
+"""The deprecated ``repro.profiling`` shim keeps its historical exemption."""
+
 _SEEDED_NP_RANDOM = frozenset({"default_rng", "Generator", "SeedSequence"})
-_CLOCK_CALLS = frozenset({"time.time", "datetime.now", "datetime.utcnow"})
+_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "datetime.now",
+        "datetime.utcnow",
+    }
+)
 
 
 def _dotted(node: ast.AST) -> Optional[str]:
@@ -51,42 +73,67 @@ class DeterminismRule(Rule):
     rule_id = "determinism"
     severity = Severity.ERROR
     description = (
-        "unseeded RNGs, stdlib random, or wall-clock values inside the "
-        "deterministic flow core (cad/, core/, runner/, spice/, netlists/)"
+        "unseeded RNGs or stdlib random inside the deterministic flow core "
+        "(cad/, core/, runner/, spice/, netlists/), and direct clock reads "
+        "anywhere outside repro.observe"
     )
 
     def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
-        if not module.rel.startswith(DETERMINISTIC_PREFIXES):
+        in_core = module.rel.startswith(DETERMINISTIC_PREFIXES)
+        clock_exempt = (
+            module.rel.startswith(CLOCK_EXEMPT_PREFIXES)
+            or module.rel in CLOCK_EXEMPT_MODULES
+        )
+        if not in_core and clock_exempt:
             return ()
         findings: List[Finding] = []
         uses_stdlib_random = False
-        for node in module.tree.body:
-            if isinstance(node, ast.Import):
-                for alias in node.names:
-                    if alias.name == "random":
-                        uses_stdlib_random = True
-            elif isinstance(node, ast.ImportFrom) and node.module == "random":
-                findings.append(
-                    module.finding(
-                        self,
-                        node,
-                        "stdlib `random` imports share mutable global state "
-                        "across the process; use a seeded "
-                        "np.random.default_rng(seed) instead",
+        if in_core:
+            for node in module.tree.body:
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        if alias.name == "random":
+                            uses_stdlib_random = True
+                elif isinstance(node, ast.ImportFrom) and node.module == "random":
+                    findings.append(
+                        module.finding(
+                            self,
+                            node,
+                            "stdlib `random` imports share mutable global state "
+                            "across the process; use a seeded "
+                            "np.random.default_rng(seed) instead",
+                        )
                     )
-                )
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Call):
                 continue
             chain = _dotted(node.func)
             if chain is None:
                 continue
-            findings.extend(
-                self._check_call(module, node, chain, uses_stdlib_random)
-            )
+            if in_core:
+                findings.extend(
+                    self._check_rng_call(module, node, chain, uses_stdlib_random)
+                )
+            if not clock_exempt:
+                findings.extend(self._check_clock_call(module, node, chain))
         return findings
 
-    def _check_call(
+    def _check_clock_call(
+        self, module: ModuleInfo, node: ast.Call, chain: str
+    ) -> Iterable[Finding]:
+        tail = chain.split(".")
+        if chain in _CLOCK_CALLS or (
+            len(tail) >= 2 and ".".join(tail[-2:]) in _CLOCK_CALLS
+        ):
+            yield module.finding(
+                self,
+                node,
+                f"direct wall-clock/monotonic read `{chain}`; all clock "
+                "access goes through repro.observe.clock (wall()/monotonic()) "
+                "so timing stays an auditable observability concern",
+            )
+
+    def _check_rng_call(
         self,
         module: ModuleInfo,
         node: ast.Call,
@@ -131,15 +178,4 @@ class DeterminismRule(Rule):
                 node,
                 f"`{chain}` uses the process-wide stdlib random state; "
                 "use a seeded np.random.default_rng(seed)",
-            )
-            return
-        if chain in _CLOCK_CALLS or (
-            len(tail) >= 2 and ".".join(tail[-2:]) in _CLOCK_CALLS
-        ):
-            yield module.finding(
-                self,
-                node,
-                f"wall-clock call `{chain}` inside the deterministic core; "
-                "results must be a pure function of (netlist, arch, seed) — "
-                "use time.perf_counter for observability-only timing",
             )

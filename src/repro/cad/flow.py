@@ -23,6 +23,7 @@ try:  # POSIX advisory locks; absent on some platforms.
 except ImportError:  # pragma: no cover - non-POSIX fallback
     fcntl = None  # type: ignore[assignment]
 
+from repro import observe
 from repro.arch.layout import FabricLayout, TileType
 from repro.arch.params import ArchParams
 from repro.arch.rrgraph import build_rr_graph
@@ -55,6 +56,28 @@ class FlowResult:
 
 
 _FLOW_CACHE: Dict[Tuple[str, ArchParams, int], FlowResult] = {}
+
+_CACHE_COUNTS = {"hit": 0, "miss": 0, "quarantine": 0}
+"""Process-lifetime flow-cache behaviour.  Always-on (cache events are
+rare, an int bump is free) so sweep consumers see cache behaviour even
+without an observability session; mirrored into ``flow.cache.*``
+counters when one is active."""
+
+
+def cache_counters() -> Dict[str, int]:
+    """Snapshot of this process's flow-cache hit/miss/quarantine counts.
+
+    The sweep engine diffs two snapshots around each job to attribute
+    cache behaviour per grid cell (:attr:`JobResult.cache_events`).
+    """
+    return dict(_CACHE_COUNTS)
+
+
+def _count_cache(kind: str, **attrs: object) -> None:
+    _CACHE_COUNTS[kind] += 1
+    observe.counter(f"flow.cache.{kind}").inc()
+    observe.event(f"flow.cache.{kind}", **attrs)
+
 
 FLOW_CACHE_VERSION = 4
 """Bump to invalidate on-disk flow caches after algorithmic changes.
@@ -126,6 +149,7 @@ def _cache_lock(path: Path) -> Iterator[None]:
 
 def _quarantine(path: Path) -> None:
     """Move a corrupt/stale pickle aside (kept for post-mortem, not retried)."""
+    _count_cache("quarantine", path=path.name)
     try:
         os.replace(path, path.with_name(path.name + ".corrupt"))
     except OSError:
@@ -183,6 +207,7 @@ def run_flow(
     cache_seed = seed + (1_000_003 if timing_driven else 0)
     key = (netlist.name, arch, cache_seed)
     if use_cache and key in _FLOW_CACHE:
+        _count_cache("hit", source="memory", netlist=netlist.name)
         return _FLOW_CACHE[key]
     disk_path = _disk_cache_path(netlist, arch, cache_seed) if use_cache else None
     if disk_path is None:
@@ -194,7 +219,9 @@ def run_flow(
     # one P&R instead of racing to duplicate (or corrupt) it.
     with _cache_lock(disk_path):
         result = _load_cached(disk_path)
-        if result is None:
+        if result is not None:
+            _count_cache("hit", source="disk", netlist=netlist.name)
+        else:
             result = _compute_flow(
                 netlist, arch, seed, placement_effort, timing_driven,
                 memory_key=None,
@@ -214,47 +241,63 @@ def _compute_flow(
     memory_key: Optional[Tuple[str, ArchParams, int]],
 ) -> FlowResult:
     """The uncached pack -> place -> route -> STA pipeline."""
-    packed = pack_netlist(netlist, arch)
-    counts = {
-        TileType.CLB: 0,
-        TileType.BRAM: 0,
-        TileType.DSP: 0,
-        TileType.IO: 0,
-    }
-    for cluster in packed.clusters:
-        counts[cluster.type] += 1
-    layout = FabricLayout.for_netlist(
-        arch,
-        n_clb=counts[TileType.CLB],
-        n_bram=counts[TileType.BRAM],
-        n_dsp=counts[TileType.DSP],
-        n_io=counts[TileType.IO],
+    _count_cache("miss", netlist=netlist.name, seed=seed)
+    compute_span = observe.span(
+        "flow.compute",
+        netlist=netlist.name,
+        seed=seed,
+        timing_driven=timing_driven,
     )
-    net_weights = criticality_weights(netlist) if timing_driven else None
-    placement = place(
-        packed, layout, seed=seed, effort=placement_effort,
-        net_weights=net_weights,
-    )
-    # VPR-style channel-width adaptation: retry with wider channels when
-    # PathFinder cannot resolve congestion.
-    width = arch.routed_channel_tracks
-    routing = None
-    last_error: Optional[RoutingError] = None
-    for _attempt in range(4):
-        graph = build_rr_graph(
-            arch.with_changes(routed_channel_tracks=width), layout
+    with compute_span:
+        with observe.span("flow.pack"):
+            packed = pack_netlist(netlist, arch)
+        counts = {
+            TileType.CLB: 0,
+            TileType.BRAM: 0,
+            TileType.DSP: 0,
+            TileType.IO: 0,
+        }
+        for cluster in packed.clusters:
+            counts[cluster.type] += 1
+        layout = FabricLayout.for_netlist(
+            arch,
+            n_clb=counts[TileType.CLB],
+            n_bram=counts[TileType.BRAM],
+            n_dsp=counts[TileType.DSP],
+            n_io=counts[TileType.IO],
         )
-        try:
-            routing = route(packed, placement, graph)
-            break
-        except RoutingError as error:
-            last_error = error
-            width = int(width * 1.5)
-    if routing is None:
-        raise RoutingError(
-            f"{netlist.name}: unroutable even at {width} tracks"
-        ) from last_error
-    timing = TimingAnalyzer(packed, placement, routing, layout)
+        with observe.span("flow.place"):
+            net_weights = criticality_weights(netlist) if timing_driven else None
+            placement = place(
+                packed, layout, seed=seed, effort=placement_effort,
+                net_weights=net_weights,
+            )
+        # VPR-style channel-width adaptation: retry with wider channels when
+        # PathFinder cannot resolve congestion.
+        width = arch.routed_channel_tracks
+        routing = None
+        last_error: Optional[RoutingError] = None
+        attempts = 0
+        with observe.span("flow.route") as route_span:
+            for _attempt in range(4):
+                attempts += 1
+                graph = build_rr_graph(
+                    arch.with_changes(routed_channel_tracks=width), layout
+                )
+                try:
+                    routing = route(packed, placement, graph)
+                    break
+                except RoutingError as error:
+                    last_error = error
+                    width = int(width * 1.5)
+            route_span.set_attrs(attempts=attempts, tracks=width)
+        if routing is None:
+            raise RoutingError(
+                f"{netlist.name}: unroutable even at {width} tracks"
+            ) from last_error
+        with observe.span("flow.sta_build"):
+            timing = TimingAnalyzer(packed, placement, routing, layout)
+        compute_span.set_attrs(n_tiles=layout.n_tiles)
     result = FlowResult(netlist, arch, layout, packed, placement, routing, timing)
     if memory_key is not None:
         _FLOW_CACHE[memory_key] = result

@@ -22,7 +22,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro import profiling
+from repro import observe
 from repro.activity.ace import ActivityEstimate, estimate_activity
 from repro.cad.flow import FlowResult
 from repro.coffe.fabric import Fabric
@@ -88,8 +88,9 @@ class GuardbandIteration:
     mean_tile_celsius: float
     max_delta_celsius: float
     phase_seconds: Optional[Dict[str, float]] = None
-    """Wall-clock seconds per phase ("sta", "power", "thermal"), collected
-    only under :func:`repro.profiling.enabled`; ``None`` otherwise."""
+    """Seconds per phase ("sta", "power", "thermal"), derived from the
+    iteration's :mod:`repro.observe` phase spans when observability is
+    enabled; ``None`` otherwise."""
 
 
 @dataclass
@@ -181,49 +182,78 @@ def thermal_aware_guardband(
     history: List[GuardbandIteration] = []
     converged = False
     iterations = 0
+    prev_frequency: Optional[float] = None
 
-    for _ in range(max_iterations):
-        iterations += 1
-        timer = profiling.iteration_timings()
-        # Line 4: full-netlist STA at the current temperature profile.
-        with timer.phase("sta"):
-            report = flow.timing.critical_path(fabric, t_tiles)
-        frequency = report.frequency_hz
-        # Line 5: per-tile dynamic + leakage power.
-        with timer.phase("power"):
-            power = power_model.evaluate(frequency, t_tiles)
-        # Line 7: thermal solve; line 8: convergence check.
-        with timer.phase("thermal"):
-            t_new = solver.solve(power.total_w, t_ambient)
-        max_delta = float(np.max(np.abs(t_new - t_tiles)))
-        t_tiles = t_new
-        history.append(
-            GuardbandIteration(
-                frequency_hz=frequency,
-                total_power_w=power.total_watts,
-                max_tile_celsius=float(t_tiles.max()),
-                mean_tile_celsius=float(t_tiles.mean()),
-                max_delta_celsius=max_delta,
-                phase_seconds=timer.as_dict(),
+    run_span = observe.span(
+        "guardband.run",
+        benchmark=flow.netlist.name,
+        t_ambient=float(t_ambient),
+        delta_t=delta_t,
+        max_iterations=max_iterations,
+    )
+    with run_span:
+        for _ in range(max_iterations):
+            iterations += 1
+            it_span = observe.span("guardband.iteration", index=iterations)
+            with it_span:
+                # Line 4: full-netlist STA at the current temperatures.
+                with observe.span("guardband.sta") as sta_span:
+                    report = flow.timing.critical_path(fabric, t_tiles)
+                frequency = report.frequency_hz
+                # Line 5: per-tile dynamic + leakage power.
+                with observe.span("guardband.power") as power_span:
+                    power = power_model.evaluate(frequency, t_tiles)
+                # Line 7: thermal solve; line 8: convergence check.
+                with observe.span("guardband.thermal") as thermal_span:
+                    t_new = solver.solve(power.total_w, t_ambient)
+                max_delta = float(np.max(np.abs(t_new - t_tiles)))
+                t_tiles = t_new
+                it_span.set_attrs(
+                    frequency_hz=frequency,
+                    delta_frequency_hz=(
+                        frequency - prev_frequency
+                        if prev_frequency is not None
+                        else 0.0
+                    ),
+                    max_delta_celsius=max_delta,
+                    max_tile_celsius=float(t_tiles.max()),
+                    total_power_w=power.total_watts,
+                )
+            prev_frequency = frequency
+            history.append(
+                GuardbandIteration(
+                    frequency_hz=frequency,
+                    total_power_w=power.total_watts,
+                    max_tile_celsius=float(t_tiles.max()),
+                    mean_tile_celsius=float(t_tiles.mean()),
+                    max_delta_celsius=max_delta,
+                    phase_seconds=observe.phase_seconds(
+                        sta=sta_span, power=power_span, thermal=thermal_span
+                    ),
+                )
             )
-        )
-        if max_delta <= delta_t:
-            converged = True
-            break
+            if max_delta <= delta_t:
+                converged = True
+                break
 
-    if not converged:
-        last = (
-            f" (last |dT| = {history[-1].max_delta_celsius:.2f} C)"
-            if history
-            else ""
-        )
-        raise GuardbandError(
-            f"{flow.netlist.name}: temperature did not converge within "
-            f"{max_iterations} iterations{last}"
-        )
+        run_span.set_attrs(converged=converged, iterations=iterations)
+        if not converged:
+            observe.counter("guardband.diverged").inc()
+            last = (
+                f" (last |dT| = {history[-1].max_delta_celsius:.2f} C)"
+                if history
+                else ""
+            )
+            raise GuardbandError(
+                f"{flow.netlist.name}: temperature did not converge within "
+                f"{max_iterations} iterations{last}"
+            )
 
-    # Line 9: final timing with the delta_t compensation margin.
-    final = flow.timing.critical_path(fabric, t_tiles + delta_t)
+        observe.histogram("guardband.iterations").observe(float(iterations))
+        # Line 9: final timing with the delta_t compensation margin.
+        with observe.span("guardband.final_sta"):
+            final = flow.timing.critical_path(fabric, t_tiles + delta_t)
+        run_span.set_attrs(frequency_hz=final.frequency_hz)
     return GuardbandResult(
         frequency_hz=final.frequency_hz,
         critical_path_s=final.critical_path_s,

@@ -1,0 +1,56 @@
+"""Command-line trace reader: ``python -m repro.observe report <trace.jsonl>``.
+
+Reconstructs the trace tree(s) from a JSONL trace file (written by
+``python -m repro suite/sweep --trace PATH`` or any
+:func:`repro.observe.enabled` session with a ``jsonl_path``) and prints
+the span tree plus per-phase, per-cell, metric and event summaries.
+``--json`` emits the same report as one machine-readable object.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.observe.report import load_traces, render_report, report_dict
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.observe",
+        description="Read and summarise repro observability traces",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    p = sub.add_parser(
+        "report", help="reconstruct and summarise a trace JSONL file"
+    )
+    p.add_argument("path", help="trace JSONL file to read")
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit the report as one machine-readable JSON object",
+    )
+    p.add_argument(
+        "--max-depth", type=int, default=None,
+        help="prune the rendered span tree below this depth",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        trace_file = load_traces(args.path)
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if not trace_file.traces:
+        print(f"error: no trace records found in {args.path}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(report_dict(trace_file), sort_keys=False))
+    else:
+        print(render_report(trace_file, max_depth=args.max_depth))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""Trace identity and cross-process propagation.
+
+A *trace* is one logical operation (e.g. one ``run_sweep``); *spans* nest
+inside it.  Identifiers only need to be unique within one trace file:
+span ids combine the pid with a per-process counter (fork-safe — children
+inherit the counter value but differ in pid), trace ids are random bytes.
+
+:class:`TraceContext` is the picklable capsule the engine ships to pool
+workers alongside each :class:`~repro.runner.spec.SweepJob` dispatch: the
+worker-side session re-parents its spans under ``span_id`` and appends
+records to ``jsonl_path``, so a parallel sweep still reads back as one
+tree.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+_IDS = itertools.count(1)
+
+
+def new_trace_id() -> str:
+    return os.urandom(8).hex()
+
+
+def new_span_id() -> str:
+    return f"{os.getpid():08x}-{next(_IDS):06x}"
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Everything a worker needs to join an in-flight trace."""
+
+    trace_id: str
+    span_id: Optional[str]
+    """Re-parenting anchor: the engine's current span at dispatch time."""
+    jsonl_path: Optional[str]
+    """Trace file workers append to; ``None`` under a non-file sink (the
+    worker then times spans but has nowhere to record them)."""

@@ -1,0 +1,147 @@
+"""Metrics registry: counters, gauges and histograms.
+
+Instruments are plain mutable accumulators owned by the active session;
+:meth:`MetricsRegistry.records` snapshots every instrument that saw a
+write into flat record dicts, which the session flushes to its sink on
+exit.  Pool workers run one session per job, so each worker flush carries
+that job's *delta* and the report CLI can sum counter records across
+processes without double counting.
+
+When observability is disabled the module-level ``NULL_*`` singletons
+stand in: every mutator is a no-op, so instrumented call sites pay one
+``is-enabled`` check and nothing else.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class Counter:
+    """Monotonically increasing count (cache hits, retries, solves)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming summary (count/sum/min/max) of an observed distribution."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+NULL_COUNTER = _NullCounter("<disabled>")
+NULL_GAUGE = _NullGauge("<disabled>")
+NULL_HISTOGRAM = _NullHistogram("<disabled>")
+
+
+class MetricsRegistry:
+    """Get-or-create registry for one session's metric instruments."""
+
+    __slots__ = ("counters", "gauges", "histograms")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self.counters.get(name)
+        if instrument is None:
+            instrument = self.counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self.gauges.get(name)
+        if instrument is None:
+            instrument = self.gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self.histograms.get(name)
+        if instrument is None:
+            instrument = self.histograms[name] = Histogram(name)
+        return instrument
+
+    def records(self) -> List[Dict[str, object]]:
+        """Flat record dicts for every instrument that saw a write."""
+        out: List[Dict[str, object]] = []
+        for counter in self.counters.values():
+            if counter.value:
+                out.append(
+                    {"type": "metric", "kind": "counter",
+                     "name": counter.name, "value": counter.value}
+                )
+        for gauge in self.gauges.values():
+            if gauge.value is not None:
+                out.append(
+                    {"type": "metric", "kind": "gauge",
+                     "name": gauge.name, "value": gauge.value}
+                )
+        for histogram in self.histograms.values():
+            if histogram.count:
+                out.append(
+                    {"type": "metric", "kind": "histogram",
+                     "name": histogram.name, "count": histogram.count,
+                     "sum": histogram.total, "min": histogram.min,
+                     "max": histogram.max}
+                )
+        return out

@@ -1,0 +1,85 @@
+"""Pluggable record sinks: where span, event and metric records go.
+
+A sink receives flat JSON-serialisable dicts, one per finished span,
+emitted event, or flushed metric.  Two implementations cover the two real
+uses:
+
+- :class:`InMemorySink` — test double; keeps records on a list with typed
+  accessors so assertions read like the trace.
+- :class:`JsonlSink` — line-flushed JSONL file.  The engine session opens
+  it truncating (one file is one run, matching the sweep JSONL contract);
+  pool workers re-open the same path in *append* mode, so every flushed
+  line lands whole (``O_APPEND`` writes of a line-sized buffer are a
+  single atomic syscall on POSIX) in the sweep's one trace file.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+
+class Sink:
+    """Interface: ``write`` one record dict; ``close`` when the session ends."""
+
+    path: Optional[str] = None
+    """Filesystem path workers can re-open, when the sink has one."""
+
+    def write(self, record: Dict[str, object]) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources; further writes are undefined."""
+
+
+class InMemorySink(Sink):
+    """Collects records on a list — the sink tests assert against."""
+
+    def __init__(self) -> None:
+        self.records: List[Dict[str, object]] = []
+        self.closed = False
+
+    def write(self, record: Dict[str, object]) -> None:
+        self.records.append(record)
+
+    def close(self) -> None:
+        self.closed = True
+
+    def of_type(self, record_type: str) -> List[Dict[str, object]]:
+        return [r for r in self.records if r.get("type") == record_type]
+
+    def spans(self) -> List[Dict[str, object]]:
+        return self.of_type("span")
+
+    def events(self) -> List[Dict[str, object]]:
+        return self.of_type("event")
+
+    def metrics(self) -> List[Dict[str, object]]:
+        return self.of_type("metric")
+
+
+class JsonlSink(Sink):
+    """One JSON object per line, flushed per record.
+
+    ``append=True`` is the worker-side mode: records join an existing
+    trace file instead of truncating it.
+    """
+
+    def __init__(self, path: str, append: bool = False) -> None:
+        self.path = path
+        if not append:
+            open(path, "w", encoding="utf-8").close()  # truncate: one file, one run
+        # Always *write* in append mode, even for the truncating owner:
+        # an O_APPEND handle has no private offset, so the engine's lines
+        # and concurrently appending workers' lines can never overwrite
+        # each other mid-file.
+        self._handle = open(path, "a", encoding="utf-8")
+
+    def write(self, record: Dict[str, object]) -> None:
+        # Build the whole line first and write it in one call: concurrent
+        # appenders then never interleave partial lines.
+        self._handle.write(json.dumps(record, sort_keys=False) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        self._handle.close()

@@ -1,66 +1,58 @@
-"""Opt-in phase timers for the Algorithm 1 hot loop.
+"""Deprecated phase-timer shim over :mod:`repro.observe`.
 
-Profiling is **off by default** so the guardband loop pays only a cheap
-no-op context per phase.  Enable it around any code that runs Algorithm 1
-and each :class:`~repro.core.guardband.GuardbandIteration` in the result
-history carries a ``phase_seconds`` dict::
+``repro.profiling`` predates the unified observability subsystem; its
+opt-in phase timers are now derived from :mod:`repro.observe` spans.  The
+historical shapes keep working — :func:`enabled` (now with a
+``DeprecationWarning``), :func:`is_enabled`, :func:`iteration_timings`
+and the ``phase_seconds`` dicts it produces — but new code should use
+``repro.observe`` directly::
 
-    from repro import profiling, thermal_aware_guardband
+    from repro import observe, thermal_aware_guardband
 
-    with profiling.enabled():
+    with observe.enabled():
         result = thermal_aware_guardband(flow, fabric, t_ambient=25.0)
     for it in result.history:
         print(it.phase_seconds)   # {"sta": ..., "power": ..., "thermal": ...}
 
-Future PRs can use this to see where iteration time goes without paying
-for instrumentation in production runs.
+This module (together with ``repro/observe/``) is the only place outside
+the observability subsystem allowed to touch clocks — see the
+``determinism`` rule in :mod:`repro.analysis`.
 """
 
 from __future__ import annotations
 
-import time
+import warnings
 from contextlib import contextmanager
-from typing import Dict, Iterable, Iterator, Optional
+from typing import Dict, Iterator, Optional
 
-_depth = 0
+from repro import observe
+
+#: Re-exported for callers that imported the aggregate helper from here.
+total_phase_seconds = observe.total_phase_seconds
 
 
-def total_phase_seconds(
-    per_iteration: Iterable[Optional[Dict[str, float]]],
-) -> Dict[str, float]:
-    """Sum per-phase seconds across iteration timing dicts.
-
-    Accepts the ``phase_seconds`` entries of a guardband history (``None``
-    entries — profiling disabled — are skipped) and returns one aggregate
-    ``{"sta": ..., "power": ..., "thermal": ...}`` dict, the shape the sweep
-    engine streams to JSONL per job.
-    """
-    totals: Dict[str, float] = {}
-    for phases in per_iteration:
-        if not phases:
-            continue
-        for name, seconds in phases.items():
-            totals[name] = totals.get(name, 0.0) + seconds
-    return totals
+def _deprecated(api: str) -> None:
+    warnings.warn(
+        f"repro.profiling.{api} is deprecated; use repro.observe instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 @contextmanager
 def enabled() -> Iterator[None]:
-    """Turn on phase-timing collection for the duration of the block."""
-    global _depth
-    _depth += 1
-    try:
+    """Deprecated spelling of :func:`repro.observe.enabled` (timing-only)."""
+    _deprecated("enabled()")
+    with observe.enabled():
         yield
-    finally:
-        _depth -= 1
 
 
 def is_enabled() -> bool:
-    return _depth > 0
+    return observe.is_enabled()
 
 
 class PhaseTimings:
-    """Accumulates wall-clock seconds per named phase."""
+    """Accumulates seconds per named phase, one observe span per enter."""
 
     __slots__ = ("seconds",)
 
@@ -69,19 +61,19 @@ class PhaseTimings:
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
-        start = time.perf_counter()
-        try:
+        with observe.span(f"phase.{name}") as phase_span:
             yield
-        finally:
-            elapsed = time.perf_counter() - start
-            self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+        if phase_span.duration_s is not None:
+            self.seconds[name] = (
+                self.seconds.get(name, 0.0) + phase_span.duration_s
+            )
 
     def as_dict(self) -> Optional[Dict[str, float]]:
         return dict(self.seconds)
 
 
 class _NullTimings:
-    """No-op stand-in used when profiling is disabled."""
+    """No-op stand-in used when observability is disabled."""
 
     __slots__ = ()
 
@@ -97,5 +89,5 @@ _NULL = _NullTimings()
 
 
 def iteration_timings():
-    """A fresh collector when profiling is enabled, else a shared no-op."""
-    return PhaseTimings() if is_enabled() else _NULL
+    """A fresh collector when observability is enabled, else a shared no-op."""
+    return PhaseTimings() if observe.is_enabled() else _NULL

@@ -19,10 +19,15 @@ into jobs and executes them either in-process (``workers=1``) or on a
   deterministic (and already escalates channel width internally), so an
   identical re-run would only fail identically.
 - **Observability** — each finished cell streams one JSONL record
-  (including Algorithm 1 phase timings collected under
-  :mod:`repro.profiling`) and fires the ``progress`` callback.  The
+  (including Algorithm 1 phase timings derived from
+  :mod:`repro.observe` spans) and fires the ``progress`` callback.  The
   JSONL file is truncated at the start of each run, so one file is one
-  run.
+  run.  When an observability session is active (CLI ``--trace``), the
+  sweep additionally emits a ``sweep.run`` span, per-cell ``sweep.cell``
+  lifecycle spans and ``job.terminal``/``job.retry`` events — including
+  for timed-out and killed-worker cells, whose worker-side spans never
+  close — and ships a :class:`~repro.observe.context.TraceContext` to
+  every pool worker so worker spans re-parent under the sweep's trace.
 - **Per-job timeout** — a parallel job overdue past ``job_timeout``
   seconds is recorded as a timeout failure.  At most ``workers`` jobs
   are dispatched to the pool at a time (the rest wait in an engine-side
@@ -42,17 +47,18 @@ from __future__ import annotations
 
 import json
 import os
-import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
 from typing import Callable, Deque, Dict, List, Optional, Set, Tuple, Union
 
-from repro import profiling
+from repro import observe
 from repro.arch.params import ArchParams
-from repro.cad.flow import run_flow
+from repro.cad.flow import cache_counters, run_flow
 from repro.cad.route import RoutingError
+from repro.observe.clock import monotonic
+from repro.observe.context import TraceContext
 from repro.coffe.fabric import Fabric, build_fabric
 from repro.core.guardband import thermal_aware_guardband
 from repro.core.margins import guardband_gain, worst_case_frequency
@@ -92,21 +98,46 @@ def _execute_job(job: SweepJob) -> JobResult:
 
     Module-level so the process pool can pickle it by reference; the
     serial path calls it directly, guaranteeing identical numerics.
+
+    Always runs under :func:`repro.observe.enabled` — timing-only when
+    nothing else opened a session (so ``phase_seconds`` is collected, as
+    the old ``profiling.enabled()`` wrapper did), nested into the
+    surrounding session when the CLI enabled tracing or a worker attached
+    a :class:`TraceContext`.
     """
-    start = time.perf_counter()
-    netlist = job.resolve_netlist()
-    flow = run_flow(
-        netlist, job.arch, seed=job.seed, timing_driven=job.timing_driven
-    )
-    fabric = _fabric_for(job.corner, job.arch)
-    worst_case_hz = worst_case_frequency(flow, fabric)
-    with profiling.enabled():
-        result = thermal_aware_guardband(
-            flow, fabric, job.t_ambient, config=job.config
+    start = monotonic()
+    with observe.enabled():
+        job_span = observe.span(
+            "sweep.job",
+            job_id=job.job_id,
+            benchmark=job.benchmark,
+            t_ambient=job.t_ambient,
+            corner=job.corner,
         )
-    phase_seconds = profiling.total_phase_seconds(
-        iteration.phase_seconds for iteration in result.history
-    )
+        with job_span:
+            cache_before = cache_counters()
+            netlist = job.resolve_netlist()
+            flow = run_flow(
+                netlist, job.arch, seed=job.seed, timing_driven=job.timing_driven
+            )
+            fabric = _fabric_for(job.corner, job.arch)
+            worst_case_hz = worst_case_frequency(flow, fabric)
+            result = thermal_aware_guardband(
+                flow, fabric, job.t_ambient, config=job.config
+            )
+            cache_after = cache_counters()
+            cache_events = {
+                kind: cache_after[kind] - cache_before[kind]
+                for kind in cache_after
+                if cache_after[kind] > cache_before[kind]
+            }
+            job_span.set_attrs(
+                frequency_hz=result.frequency_hz,
+                iterations=result.iterations,
+            )
+        phase_seconds = observe.total_phase_seconds(
+            iteration.phase_seconds for iteration in result.history
+        )
     return JobResult(
         job_id=job.job_id,
         benchmark=job.benchmark,
@@ -119,10 +150,25 @@ def _execute_job(job: SweepJob) -> JobResult:
         total_power_w=result.total_power_w,
         max_tile_celsius=float(result.tile_temperatures.max()),
         mean_tile_celsius=float(result.tile_temperatures.mean()),
-        wall_seconds=time.perf_counter() - start,
+        wall_seconds=monotonic() - start,
         phase_seconds=phase_seconds,
         cache_key=flow.cache_key,
+        cache_events=cache_events,
     )
+
+
+def _run_job_in_worker(
+    job: SweepJob, context: Optional[TraceContext]
+) -> JobResult:
+    """Pool-worker entry point: join the dispatching sweep's trace.
+
+    ``context`` is the engine's :func:`repro.observe.propagation_context`
+    at dispatch time (``None`` when tracing is off).  The worker attaches
+    for exactly this job, appending its spans to the sweep's JSONL file
+    and flushing its metric deltas on detach.
+    """
+    with observe.attach(context):
+        return _execute_job(job)
 
 
 class _JsonlWriter:
@@ -173,8 +219,19 @@ def _failure_from(
         error_type=type(error).__name__,
         message=str(error) or type(error).__name__,
         attempts=attempts,
-        wall_seconds=time.perf_counter() - started,
+        wall_seconds=monotonic() - started,
         retryable=isinstance(error, RETRYABLE_ERRORS),
+    )
+
+
+def _record_retry(job: SweepJob, attempts: int, error: BaseException) -> None:
+    """Trace a bounded re-attempt (no-op when observability is off)."""
+    observe.counter("sweep.retries").inc()
+    observe.event(
+        "job.retry",
+        job_id=job.job_id,
+        attempts=attempts,
+        error_type=type(error).__name__,
     )
 
 
@@ -214,22 +271,56 @@ def run_sweep(
 
     writer = _JsonlWriter(jsonl_path)
     sweep = SweepResult(workers=workers, jsonl_path=jsonl_path)
-    started = time.perf_counter()
+    started = monotonic()
 
     def record(outcome: Union[JobResult, JobFailure]) -> None:
         bucket = sweep.results if isinstance(outcome, JobResult) else sweep.failures
         bucket.append(outcome)
         writer.write(outcome.to_record())
+        # Engine-side lifecycle trace: emitted for *every* terminal
+        # outcome, so cells whose worker never finished (timeout, killed
+        # worker) still appear in the trace tree.
+        extra: Dict[str, object] = {}
+        if isinstance(outcome, JobResult):
+            status = "ok"
+            extra["cache_hits"] = outcome.cache_events.get("hit", 0)
+            observe.counter("sweep.jobs.ok").inc()
+        else:
+            status = outcome.error_type
+            extra["error_type"] = outcome.error_type
+            observe.counter("sweep.jobs.failed").inc()
+        observe.event(
+            "job.terminal",
+            job_id=outcome.job_id,
+            status=status,
+            attempts=outcome.attempts,
+        )
+        observe.emit_span(
+            "sweep.cell",
+            duration_s=outcome.wall_seconds,
+            status="ok" if isinstance(outcome, JobResult) else "error",
+            job_id=outcome.job_id,
+            benchmark=outcome.benchmark,
+            attempts=outcome.attempts,
+            **extra,
+        )
         if progress is not None:
             progress(outcome, sweep.n_jobs, len(jobs))
 
     try:
-        if workers == 1:
-            _run_serial(jobs, max_retries, record)
-        else:
-            _run_parallel(jobs, workers, max_retries, job_timeout, record)
+        run_span = observe.span(
+            "sweep.run", n_jobs=len(jobs), workers=workers
+        )
+        with run_span:
+            if workers == 1:
+                _run_serial(jobs, max_retries, record)
+            else:
+                _run_parallel(jobs, workers, max_retries, job_timeout, record)
+            run_span.set_attrs(
+                n_ok=len(sweep.results), n_failed=len(sweep.failures)
+            )
     finally:
-        sweep.wall_seconds = time.perf_counter() - started
+        sweep.wall_seconds = monotonic() - started
         writer.close()
 
     # Stable, grid-order reporting regardless of completion order.
@@ -245,7 +336,7 @@ def _run_serial(
     record: Callable[[Union[JobResult, JobFailure]], None],
 ) -> None:
     for job in jobs:
-        job_started = time.perf_counter()
+        job_started = monotonic()
         attempt_job = job
         attempts = 0
         while True:
@@ -260,6 +351,7 @@ def _run_serial(
                     isinstance(error, RETRYABLE_ERRORS)
                     and attempts <= max_retries
                 ):
+                    _record_retry(job, attempts, error)
                     attempt_job = _retry_job(attempt_job, error)
                     continue
                 outcome = _failure_from(job, error, attempts, job_started)
@@ -275,6 +367,9 @@ def _run_parallel(
     record: Callable[[Union[JobResult, JobFailure]], None],
 ) -> None:
     executor = ProcessPoolExecutor(max_workers=workers)
+    # Captured once: every dispatch ships the same trace capsule, parented
+    # under the engine's current span (``sweep.run``).  None when off.
+    context = observe.propagation_context()
     # (job, attempts, first-dispatch time or None) cells not yet dispatched.
     ready: Deque[Tuple[SweepJob, int, Optional[float]]] = deque(
         (job, 1, None) for job in jobs
@@ -299,13 +394,13 @@ def _run_parallel(
         nonlocal executor
         while ready and len(pending) + len(zombies) < workers:
             job, attempts, started = ready.popleft()
-            now = time.perf_counter()
+            now = monotonic()
             try:
-                future = executor.submit(_execute_job, job)
+                future = executor.submit(_run_job_in_worker, job, context)
             except BrokenProcessPool:
                 # Pool died between the drain and this dispatch; rebuild.
                 rebuild_pool()
-                future = executor.submit(_execute_job, job)
+                future = executor.submit(_run_job_in_worker, job, context)
             pending[future] = _Tracked(
                 job=job,
                 attempts=attempts,
@@ -345,6 +440,7 @@ def _run_parallel(
                         isinstance(error, RETRYABLE_ERRORS)
                         and tracked.attempts <= max_retries
                     ):
+                        _record_retry(tracked.job, tracked.attempts, error)
                         ready.appendleft((
                             _retry_job(tracked.job, error),
                             tracked.attempts + 1,
@@ -372,6 +468,13 @@ def _run_parallel(
                 rebuild_pool()
                 for tracked in broken:
                     if tracked.attempts <= max_retries:
+                        _record_retry(
+                            tracked.job,
+                            tracked.attempts,
+                            BrokenProcessPool(
+                                "worker process died unexpectedly"
+                            ),
+                        )
                         ready.appendleft((
                             tracked.job,
                             tracked.attempts + 1,
@@ -410,7 +513,7 @@ def _expire_overdue(
     (discarded) result arrives — and if every slot wedges, the caller
     rebuilds the pool.
     """
-    now = time.perf_counter()
+    now = monotonic()
     for future, tracked in list(pending.items()):
         if now - tracked.submitted <= job_timeout:
             continue

@@ -40,6 +40,10 @@ class JobResult:
     """Aggregate Algorithm 1 phase timings ("sta"/"power"/"thermal")."""
     cache_key: Optional[str] = None
     """Flow-cache key of the underlying P&R, when caching was on."""
+    cache_events: Dict[str, int] = field(default_factory=dict)
+    """Flow-cache behaviour attributed to this job: counts per kind
+    ("hit"/"miss"/"quarantine"), diffed from the per-process counters
+    around the job's execution.  Zero-count kinds are omitted."""
 
     @property
     def cell(self) -> Cell:
@@ -123,6 +127,14 @@ class SweepResult:
             raise ValueError("no successful cells match the requested slice")
         return sum(picked) / len(picked)
 
+    def cache_totals(self) -> Dict[str, int]:
+        """Flow-cache hits/misses/quarantines summed over successful cells."""
+        totals = {"hit": 0, "miss": 0, "quarantine": 0}
+        for result in self.results:
+            for kind, count in result.cache_events.items():
+                totals[kind] = totals.get(kind, 0) + count
+        return totals
+
     def phase_totals(self) -> Dict[str, float]:
         """Engine-wide Algorithm 1 phase seconds, summed over cells."""
         totals: Dict[str, float] = {}
@@ -140,6 +152,7 @@ class SweepResult:
             "workers": self.workers,
             "wall_seconds": self.wall_seconds,
             "jsonl_path": self.jsonl_path,
+            "cache_totals": self.cache_totals(),
             "results": [asdict(r) for r in self.results],
             "failures": [asdict(f) for f in self.failures],
         }

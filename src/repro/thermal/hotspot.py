@@ -22,6 +22,7 @@ import numpy as np
 from scipy.sparse import csr_matrix, lil_matrix
 from scipy.sparse.linalg import splu, spsolve
 
+from repro import observe
 from repro.arch.layout import FabricLayout
 from repro.thermal.package import ThermalPackage
 
@@ -40,18 +41,19 @@ class ThermalSolver:
         g_lat = self.package.g_lateral_w_per_k
         g_vert = self.package.g_vertical_w_per_k
 
-        matrix = lil_matrix((n, n))
-        for tile in layout.tiles():
-            i = layout.tile_index(tile.x, tile.y)
-            diag = g_vert
-            for nx, ny in layout.neighbors(tile.x, tile.y):
-                j = layout.tile_index(nx, ny)
-                matrix[i, j] = -g_lat
-                diag += g_lat
-            matrix[i, i] = diag
-        self._conductance = csr_matrix(matrix)
-        # One-time LU factorization; solve() is two triangular solves.
-        self._factor = splu(self._conductance.tocsc())
+        with observe.span("thermal.factorize", n_tiles=n):
+            matrix = lil_matrix((n, n))
+            for tile in layout.tiles():
+                i = layout.tile_index(tile.x, tile.y)
+                diag = g_vert
+                for nx, ny in layout.neighbors(tile.x, tile.y):
+                    j = layout.tile_index(nx, ny)
+                    matrix[i, j] = -g_lat
+                    diag += g_lat
+                matrix[i, i] = diag
+            self._conductance = csr_matrix(matrix)
+            # One-time LU factorization; solve() is two triangular solves.
+            self._factor = splu(self._conductance.tocsc())
 
     def _check_power(self, power_w) -> np.ndarray:
         power_w = np.asarray(power_w, dtype=float)
@@ -65,6 +67,7 @@ class ThermalSolver:
 
     def solve(self, power_w: np.ndarray, t_ambient: float) -> np.ndarray:
         """Steady-state tile temperatures (Celsius) for a power vector (W)."""
+        observe.counter("thermal.solves").inc()
         power_w = self._check_power(power_w)
         rhs = power_w + self.package.g_vertical_w_per_k * t_ambient
         return np.asarray(self._factor.solve(rhs))

@@ -143,31 +143,86 @@ class TestDeterminismRule:
         assert rule_ids(report) == ["determinism", "determinism"]
         assert any("wall-clock" in f.message for f in report.findings)
 
-    def test_passes_seeded_rng_and_perf_counter(self, tmp_path):
+    def test_passes_seeded_rng_and_observe_clock(self, tmp_path):
         write_module(
             tmp_path,
             "cad/good.py",
             """
-            import time
             import numpy as np
+            from repro.observe.clock import monotonic
 
             def place(seed):
-                start = time.perf_counter()
+                start = monotonic()
                 rng = np.random.default_rng(seed)
-                return rng.random(), time.perf_counter() - start
+                return rng.random(), monotonic() - start
             """,
         )
         assert run_on(tmp_path).findings == []
 
-    def test_ignores_modules_outside_deterministic_core(self, tmp_path):
+    def test_flags_direct_monotonic_clock_in_core(self, tmp_path):
         write_module(
             tmp_path,
-            "reporting/ok.py",
+            "cad/bad.py",
+            """
+            import time
+
+            def timed():
+                return time.perf_counter()
+            """,
+        )
+        report = run_on(tmp_path)
+        assert rule_ids(report) == ["determinism"]
+        assert "repro.observe.clock" in report.findings[0].message
+
+    def test_flags_clock_reads_outside_deterministic_core(self, tmp_path):
+        write_module(
+            tmp_path,
+            "reporting/stamp.py",
             """
             import time
 
             def stamp():
+                return time.time(), time.monotonic_ns()
+            """,
+        )
+        report = run_on(tmp_path)
+        assert rule_ids(report) == ["determinism", "determinism"]
+
+    def test_rng_checks_stay_scoped_to_the_core(self, tmp_path):
+        write_module(
+            tmp_path,
+            "reporting/ok.py",
+            """
+            import numpy as np
+
+            def shade():
+                return np.random.default_rng().random()
+            """,
+        )
+        assert run_on(tmp_path).findings == []
+
+    def test_observe_and_profiling_shim_may_read_clocks(self, tmp_path):
+        write_module(
+            tmp_path,
+            "observe/clock.py",
+            """
+            import time
+
+            def wall():
                 return time.time()
+
+            def monotonic():
+                return time.perf_counter()
+            """,
+        )
+        write_module(
+            tmp_path,
+            "profiling.py",
+            """
+            import time
+
+            def legacy_stamp():
+                return time.perf_counter()
             """,
         )
         assert run_on(tmp_path).findings == []

@@ -15,7 +15,7 @@ import copy
 import numpy as np
 import pytest
 
-from repro import profiling
+from repro import observe, profiling
 from repro.activity.ace import estimate_activity
 from repro.cad.flow import run_flow
 from repro.cad.timing import TimingAnalyzer
@@ -223,26 +223,46 @@ class TestGuardbandEquivalence:
             )
 
 
-# -- profiling ----------------------------------------------------------------
+# -- phase timing (repro.observe + the deprecated profiling shim) -------------
 
 
-class TestProfiling:
+class TestPhaseTiming:
     def test_disabled_by_default(self, tiny_flow, fabric25):
         result = thermal_aware_guardband(tiny_flow, fabric25, t_ambient=25.0)
         assert all(it.phase_seconds is None for it in result.history)
 
     def test_enabled_records_phase_timings(self, tiny_flow, fabric25):
-        with profiling.enabled():
+        with observe.enabled():
             result = thermal_aware_guardband(tiny_flow, fabric25, t_ambient=25.0)
         for iteration in result.history:
             assert set(iteration.phase_seconds) == {"sta", "power", "thermal"}
             assert all(v >= 0.0 for v in iteration.phase_seconds.values())
 
     def test_nesting_restores_disabled_state(self):
-        assert not profiling.is_enabled()
-        with profiling.enabled():
-            assert profiling.is_enabled()
+        assert not observe.is_enabled()
+        with observe.enabled():
+            assert observe.is_enabled()
+            with observe.enabled():
+                assert observe.is_enabled()
+            assert observe.is_enabled()
+        assert not observe.is_enabled()
+
+    def test_profiling_shim_still_times_but_warns(self, tiny_flow, fabric25):
+        with pytest.warns(DeprecationWarning, match="repro.profiling"):
             with profiling.enabled():
                 assert profiling.is_enabled()
-            assert profiling.is_enabled()
+                assert observe.is_enabled()
+                result = thermal_aware_guardband(
+                    tiny_flow, fabric25, t_ambient=25.0
+                )
         assert not profiling.is_enabled()
+        for iteration in result.history:
+            assert set(iteration.phase_seconds) == {"sta", "power", "thermal"}
+
+    def test_profiling_iteration_timings_shapes(self):
+        assert profiling.iteration_timings().as_dict() is None
+        with observe.enabled():
+            timings = profiling.iteration_timings()
+            with timings.phase("sta"):
+                pass
+            assert set(timings.as_dict()) == {"sta"}

@@ -16,10 +16,13 @@ import time
 
 import pytest
 
+from repro import observe
 from repro.cad.flow import _disk_cache_path
 from repro.cad.route import RoutingError
 from repro.core.guardband import GuardbandConfig
 from repro.netlists.generator import NetlistSpec
+from repro.observe import report as observe_report
+from repro.observe.sinks import InMemorySink
 from repro.runner import ExperimentSpec, JobFailure, JobResult, run_sweep
 from repro.runner import engine as engine_module
 
@@ -311,3 +314,146 @@ class TestParallelSweep:
         assert len(seen) == 2
         assert {entry[2] for entry in seen} == {2}
         assert {entry[1] for entry in seen} == {1, 2}
+
+
+class TestSweepObservability:
+    def test_parallel_trace_reconstructs_single_tree(self, cache_dir, tmp_path):
+        from repro.cad import flow as flow_module
+
+        flow_module._FLOW_CACHE.clear()  # cold cache: misses are asserted
+        trace_path = tmp_path / "trace.jsonl"
+        with observe.enabled(jsonl_path=str(trace_path)):
+            sweep = run_sweep(tiny_spec(ambients=(25.0, 70.0)), workers=2)
+        assert sweep.ok
+
+        trace_file = observe_report.load_traces(str(trace_path))
+        assert trace_file.malformed_lines == 0
+        assert len(trace_file.traces) == 1
+        trace = trace_file.traces[0]
+        assert not trace.orphans
+
+        # One sweep.run root with every worker-side job span re-parented
+        # under it, plus the engine's per-cell lifecycle spans.
+        (root,) = trace.roots
+        assert root.name == "sweep.run"
+        assert root.attrs["n_jobs"] == 4
+        assert root.attrs["n_ok"] == 4
+        child_names = [c.name for c in root.children]
+        assert child_names.count("sweep.job") == 4
+        assert child_names.count("sweep.cell") == 4
+
+        # Jobs really ran in forked workers: worker pids differ from the
+        # engine pid that wrote sweep.run.
+        job_pids = {
+            node.record["pid"] for node in trace.spans
+            if node.name == "sweep.job"
+        }
+        assert root.record["pid"] not in job_pids
+
+        # Worker-side instrumentation made it into the same trace.
+        metrics = observe_report.metric_summary(trace)
+        assert metrics["counters"]["thermal.solves"] > 0
+        assert metrics["counters"]["flow.cache.miss"] >= 2
+        assert metrics["counters"]["sweep.jobs.ok"] == 4
+        assert observe_report.event_summary(trace)["job.terminal"] == 4
+
+        cells = observe_report.cell_summary(trace)
+        assert len(cells) == 4
+        assert all(row["status"] == "ok" for row in cells)
+
+    def test_timeout_leaves_terminal_records(
+        self, cache_dir, monkeypatch, tmp_path
+    ):
+        monkeypatch.setattr(engine_module, "_execute_job", _sleep_job)
+        trace_path = tmp_path / "trace.jsonl"
+        with observe.enabled(jsonl_path=str(trace_path)):
+            sweep = run_sweep(tiny_spec(), workers=2, job_timeout=0.5)
+        assert {f.error_type for f in sweep.failures} == {"TimeoutError"}
+
+        trace = observe_report.load_traces(str(trace_path)).traces[0]
+        cells = [n for n in trace.spans if n.name == "sweep.cell"]
+        assert len(cells) == 2
+        assert all(n.status == "error" for n in cells)
+        assert all(n.attrs["error_type"] == "TimeoutError" for n in cells)
+        terminals = [e for e in trace.events if e["name"] == "job.terminal"]
+        assert len(terminals) == 2
+        assert all(e["attrs"]["status"] == "TimeoutError" for e in terminals)
+
+    def test_killed_worker_leaves_terminal_and_retry_records(
+        self, cache_dir, monkeypatch, tmp_path
+    ):
+        monkeypatch.setattr(engine_module, "_execute_job", _kill_own_worker)
+        trace_path = tmp_path / "trace.jsonl"
+        with observe.enabled(jsonl_path=str(trace_path)):
+            sweep = run_sweep(tiny_spec(), workers=2, max_retries=1)
+        assert len(sweep.failures) == 2
+
+        trace = observe_report.load_traces(str(trace_path)).traces[0]
+        cells = [n for n in trace.spans if n.name == "sweep.cell"]
+        assert len(cells) == 2
+        assert all(n.attrs["error_type"] == "BrokenProcessPool" for n in cells)
+        assert all(n.attrs["attempts"] == 2 for n in cells)
+        summary = observe_report.event_summary(trace)
+        assert summary["job.terminal"] == 2
+        # Each cell burned one retry when the pool broke under it.
+        assert summary["job.retry"] == 2
+        assert (
+            observe_report.metric_summary(trace)["counters"]["sweep.retries"]
+            == 2
+        )
+
+    def test_serial_retry_emits_retry_event(self, cache_dir, monkeypatch):
+        real = engine_module._execute_job
+        calls = {"n": 0}
+
+        def congested_once(job):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RoutingError("transient congestion")
+            return real(job)
+
+        monkeypatch.setattr(engine_module, "_execute_job", congested_once)
+        sink = InMemorySink()
+        with observe.enabled(sink=sink):
+            sweep = run_sweep(
+                ExperimentSpec(benchmarks=(TINY_A,)), workers=1, max_retries=2
+            )
+        assert sweep.ok
+        (retry,) = [e for e in sink.events() if e["name"] == "job.retry"]
+        assert retry["attrs"]["attempts"] == 1
+        assert retry["attrs"]["error_type"] == "RoutingError"
+        (counter,) = [m for m in sink.metrics() if m["name"] == "sweep.retries"]
+        assert counter["value"] == 1.0
+
+    def test_cache_events_and_totals(self, cache_dir, tmp_path):
+        from repro.cad import flow as flow_module
+
+        flow_module._FLOW_CACHE.clear()  # cold cache: misses are asserted
+        jsonl = tmp_path / "sweep.jsonl"
+        sweep = run_sweep(
+            tiny_spec(ambients=(25.0, 70.0)), workers=1,
+            jsonl_path=str(jsonl),
+        )
+        assert sweep.ok
+        # Benchmark-major order: each design's first ambient computes the
+        # flow (miss), the second reuses it (hit).
+        per_job = [r.cache_events for r in sweep.results]
+        assert per_job == [{"miss": 1}, {"hit": 1}, {"miss": 1}, {"hit": 1}]
+        assert sweep.cache_totals() == {"hit": 2, "miss": 2, "quarantine": 0}
+        assert sweep.to_dict()["cache_totals"] == sweep.cache_totals()
+        records = [json.loads(line) for line in jsonl.read_text().splitlines()]
+        assert [r["cache_events"] for r in records] == per_job
+
+    def test_quarantine_attributed_to_job(self, cache_dir):
+        spec = ExperimentSpec(benchmarks=(TINY_A,))
+        job = spec.expand()[0]
+        path = _disk_cache_path(job.resolve_netlist(), job.arch, job.seed)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"definitely not a pickle")
+        from repro.cad import flow as flow_module
+
+        flow_module._FLOW_CACHE.clear()
+        sweep = run_sweep(spec, workers=1)
+        assert sweep.ok
+        assert sweep.results[0].cache_events == {"miss": 1, "quarantine": 1}
+        assert sweep.cache_totals()["quarantine"] == 1
