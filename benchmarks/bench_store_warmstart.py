@@ -1,0 +1,199 @@
+"""Result store benchmark — warm-started fixed points and sweep resume.
+
+Two acceptance gates over :mod:`repro.store` and the engine's
+checkpoint/resume path:
+
+1. **Warm start**: the same ambient sweep runs twice — cold
+   (``warm_start_policy="off"``) and warm (``"nearest"`` with a result
+   store), serially so the warm chain actually sees its neighbours.  The
+   warm sweep must spend *strictly fewer* mean Algorithm 1 iterations,
+   and every converged frequency must agree with the cold one within the
+   cell's own delta_t compensation margin (the frequency shift of the
+   final re-time at ``T + delta_t`` — any two fixed points within the
+   convergence tolerance sit inside it; see DESIGN.md §11).
+
+2. **Resume**: a recorded sweep is truncated to its first ``k`` cells
+   and resumed.  The engine must re-execute exactly ``total - k`` cells
+   (measured by ``sweep.cell`` execution spans in an observe trace) and
+   re-emit the ``k`` reloaded ones as ``sweep.cell_skipped`` events; a
+   resume from the *complete* record must execute zero.
+
+Smoke mode for CI: set ``STORE_SMOKE=1`` to shrink the grid.  Both gates
+always apply — they are correctness properties, not machine-dependent
+performance floors.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+from repro.api import (
+    ExperimentSpec,
+    GuardbandConfig,
+    build_fabric,
+    run_flow,
+    run_sweep,
+    thermal_aware_guardband,
+    vtr_benchmark,
+)
+from repro.netlists.vtr_suite import VTR_BENCHMARKS
+from repro.observe.sinks import InMemorySink
+from repro import observe
+from repro.reporting.tables import format_table
+
+SMOKE = os.environ.get("STORE_SMOKE", "") == "1"
+
+BENCHMARKS = ("sha", "mkDelayWorker32B")
+AMBIENTS = (15.0, 25.0, 35.0, 45.0, 55.0, 65.0)
+SMOKE_BENCHMARKS = ("mkPktMerge",)
+SMOKE_AMBIENTS = (25.0, 35.0, 45.0)
+
+_BY_NAME = {s.name: s for s in VTR_BENCHMARKS}
+
+
+def _grid():
+    return (
+        SMOKE_BENCHMARKS if SMOKE else BENCHMARKS,
+        SMOKE_AMBIENTS if SMOKE else AMBIENTS,
+    )
+
+
+def _delta_t_margin(benchmark: str, t_ambient: float,
+                    config: GuardbandConfig) -> float:
+    """The cell's delta_t compensation margin, in Hz.
+
+    Algorithm 1's last step re-times the design at ``T_vec + delta_t``;
+    the gap between the last iteration's frequency (timed at ``T_vec``)
+    and the final one is therefore exactly the frequency sensitivity to
+    a delta_t-sized temperature error — the bound within which any two
+    converged fixed points must agree.
+    """
+    flow = run_flow(vtr_benchmark(benchmark))
+    fabric = build_fabric(25.0)
+    result = thermal_aware_guardband(flow, fabric, t_ambient, config=config)
+    return abs(result.history[-1].frequency_hz - result.frequency_hz)
+
+
+def test_warm_start_fewer_iterations_same_frequencies():
+    benches, ambients = _grid()
+    cold_config = GuardbandConfig(warm_start_policy="off")
+    warm_config = GuardbandConfig(warm_start_policy="nearest")
+
+    cold = run_sweep(
+        ExperimentSpec(benchmarks=benches, ambients=ambients,
+                       config=cold_config),
+        workers=1,
+    )
+    assert cold.ok, cold.failures
+
+    with tempfile.TemporaryDirectory() as tmp:
+        warm = run_sweep(
+            ExperimentSpec(benchmarks=benches, ambients=ambients,
+                           config=warm_config),
+            workers=1,
+            store=os.path.join(tmp, "store"),
+        )
+    assert warm.ok, warm.failures
+
+    cold_by_cell = {r.cell: r for r in cold.results}
+    warm_by_cell = {r.cell: r for r in warm.results}
+    assert cold_by_cell.keys() == warm_by_cell.keys()
+
+    rows = []
+    for cell in sorted(cold_by_cell):
+        c, w = cold_by_cell[cell], warm_by_cell[cell]
+        margin = _delta_t_margin(cell[0], cell[1], cold_config)
+        drift = abs(w.frequency_hz - c.frequency_hz)
+        assert drift <= margin, (
+            f"{c.job_id}: warm frequency drifted {drift:.3e} Hz from cold, "
+            f"beyond the {margin:.3e} Hz delta_t compensation margin"
+        )
+        rows.append(
+            (c.job_id, c.iterations, w.iterations,
+             "yes" if w.warm_started else "no",
+             f"{drift / 1e3:.2f}", f"{margin / 1e3:.2f}")
+        )
+
+    assert any(w.warm_started for w in warm.results), (
+        "no cell was warm-started; the nearest-neighbour policy never fired"
+    )
+    mean_cold = sum(r.iterations for r in cold.results) / len(cold.results)
+    mean_warm = sum(r.iterations for r in warm.results) / len(warm.results)
+
+    print()
+    print(
+        format_table(
+            ["cell", "cold iters", "warm iters", "warm?",
+             "drift (kHz)", "margin (kHz)"],
+            rows,
+            title="Warm-started Algorithm 1 vs. cold per cell",
+        )
+    )
+    print(f"\nmean iterations: cold {mean_cold:.2f} -> warm {mean_warm:.2f}")
+
+    assert mean_warm < mean_cold, (
+        f"warm-started sweep averaged {mean_warm:.2f} iterations, not "
+        f"strictly fewer than the cold {mean_cold:.2f}"
+    )
+
+
+def _executed_and_skipped(sink: InMemorySink):
+    executed = [r for r in sink.spans() if r.get("name") == "sweep.cell"]
+    skipped = [
+        r for r in sink.events() if r.get("name") == "sweep.cell_skipped"
+    ]
+    return executed, skipped
+
+
+def test_resume_reexecutes_only_the_remainder():
+    benches, ambients = _grid()
+    spec = ExperimentSpec(benchmarks=benches, ambients=ambients)
+    total = spec.n_jobs
+
+    with tempfile.TemporaryDirectory() as tmp:
+        jsonl = os.path.join(tmp, "sweep.jsonl")
+        first = run_sweep(spec, workers=1, jsonl_path=jsonl)
+        assert first.ok and first.n_jobs == total
+
+        # Simulate a kill after k cells: keep only the first k records.
+        k = total // 2
+        with open(jsonl, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+        assert len(lines) == total
+        truncated = os.path.join(tmp, "truncated.jsonl")
+        with open(truncated, "w", encoding="utf-8") as handle:
+            handle.writelines(lines[:k])
+
+        sink = InMemorySink()
+        with observe.enabled(sink=sink):
+            partial = run_sweep(
+                spec, workers=1,
+                jsonl_path=os.path.join(tmp, "resumed.jsonl"),
+                resume_from=truncated,
+            )
+        executed, skipped = _executed_and_skipped(sink)
+        print(
+            f"\nresume after {k}/{total} cells: {len(executed)} executed, "
+            f"{len(skipped)} skipped"
+        )
+        assert partial.ok and partial.n_resumed == k
+        assert len(executed) == total - k, (
+            f"resume re-executed {len(executed)} cells, expected {total - k}"
+        )
+        assert len(skipped) == k
+        assert partial.frequencies() == first.frequencies()
+
+        # Resume from the complete record: zero re-execution.
+        sink = InMemorySink()
+        with observe.enabled(sink=sink):
+            full = run_sweep(spec, workers=1, resume_from=jsonl)
+        executed, skipped = _executed_and_skipped(sink)
+        print(f"full-record resume: {len(executed)} executed, "
+              f"{len(skipped)} skipped")
+        assert full.ok and full.n_resumed == total
+        assert len(executed) == 0, (
+            f"resume from a complete record re-executed {len(executed)} cells"
+        )
+        assert len(skipped) == total
+        assert full.frequencies() == first.frequencies()

@@ -11,7 +11,7 @@ Run:  python examples/characterize_device.py [corner_celsius]
 
 import sys
 
-from repro import ArchParams, build_fabric
+from repro.api import ArchParams, build_fabric
 from repro.coffe.characterize import TABLE2
 from repro.reporting.tables import format_table
 

@@ -14,11 +14,16 @@ Run:  python examples/corner_exploration.py
 
 import numpy as np
 
-from repro import ArchParams, corner_delay_curves
+from repro.api import (
+    ArchParams,
+    ExperimentSpec,
+    corner_delay_curves,
+    run_sweep,
+)
 from repro.core.design import fig2_normalized_delays
 from repro.reporting.figures import format_series
 from repro.reporting.tables import format_table
-from repro.runner import ExperimentSpec, run_sweep
+
 
 CORNERS = (0.0, 25.0, 100.0)
 SWEEP_BENCH = "sha"

@@ -19,10 +19,15 @@ This example:
 Run:  python examples/datacenter_accelerator.py
 """
 
-from repro import ArchParams, select_design_corner
+from repro.api import (
+    ArchParams,
+    ExperimentSpec,
+    run_sweep,
+    select_design_corner,
+)
 from repro.reporting.sweep import format_sweep_table
 from repro.reporting.tables import format_table
-from repro.runner import ExperimentSpec, run_sweep
+
 
 FIELD_RANGE = (60.0, 100.0)
 T_AMBIENT = 70.0

@@ -8,15 +8,15 @@ clock against the conventional worst-case (Tworst = 100 C) margin.
 Run:  python examples/quickstart.py
 """
 
-from repro import (
+from repro.api import (
     ArchParams,
     build_fabric,
+    guardband_gain,
     run_flow,
     thermal_aware_guardband,
     vtr_benchmark,
     worst_case_frequency,
 )
-from repro.core.margins import guardband_gain
 from repro.reporting.tables import format_table
 
 

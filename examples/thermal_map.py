@@ -14,7 +14,7 @@ import sys
 
 import numpy as np
 
-from repro import ArchParams, build_fabric, run_flow, thermal_aware_guardband, vtr_benchmark
+from repro.api import ArchParams, build_fabric, run_flow, thermal_aware_guardband, vtr_benchmark
 from repro.activity.ace import estimate_activity
 from repro.power.model import PowerModel
 from repro.reporting.heatmap import format_heatmap

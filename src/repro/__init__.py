@@ -19,14 +19,17 @@ The package is organised as a stack:
 - :mod:`repro.runner` — the parallel experiment engine that fans the
   paper's evaluation grids (benchmarks x ambients x corners) across
   worker processes with retry, per-job records and JSONL streaming.
+- :mod:`repro.store` — persistent content-addressed result store:
+  converged guardband results keyed by flow/config/operating point, the
+  substrate for sweep checkpoint/resume and warm-started fixed points.
 - :mod:`repro.observe` — unified tracing/metrics/events for the whole
   stack: hierarchical spans, counters/gauges/histograms and JSONL trace
   sinks, zero-cost when disabled (``repro.profiling`` is now a
   deprecated shim over it).
 
-Typical single-design use::
+**Import from** :mod:`repro.api` — the one blessed, flat entry surface::
 
-    from repro import (
+    from repro.api import (
         ArchParams, GuardbandConfig, build_fabric, vtr_benchmark,
         run_flow, thermal_aware_guardband, worst_case_frequency,
     )
@@ -40,37 +43,32 @@ Typical single-design use::
     )
     print(result.frequency_hz, result.iterations)
 
-Whole-evaluation sweeps go through the engine instead::
+Whole-evaluation sweeps go through the engine (also on the facade)::
 
-    from repro.runner import ExperimentSpec, run_sweep
+    from repro.api import ExperimentSpec, run_sweep
 
     sweep = run_sweep(
         ExperimentSpec(benchmarks=("sha", "bgm"), ambients=(25.0, 70.0)),
-        workers=4,
+        workers=4, store="run/store", jsonl_path="run/sweep.jsonl",
     )
     print(sweep.mean_gain(t_ambient=25.0))
+
+The historical top-level re-exports (``from repro import run_flow``)
+still resolve, but lazily and with a :class:`DeprecationWarning` — they
+will be removed once nothing imports them.
 """
+
+import warnings
+from typing import TYPE_CHECKING, Any, List
 
 from repro import observe
 from repro import profiling
-from repro.arch.params import ArchParams
-from repro.cad.flow import FlowResult, run_flow
-from repro.coffe.characterize import characterize_fabric
-from repro.coffe.fabric import Fabric, build_fabric
-from repro.core.architecture import expected_delay, select_design_corner
-from repro.core.design import corner_delay_curves
-from repro.core.guardband import (
-    GuardbandConfig,
-    GuardbandResult,
-    thermal_aware_guardband,
-)
-from repro.core.margins import worst_case_frequency
-from repro.netlists.generator import generate_netlist
-from repro.netlists.vtr_suite import VTR_BENCHMARKS, vtr_benchmark
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
-__all__ = [
+#: Legacy top-level re-exports, now served through :mod:`repro.api`.
+#: Kept importable for one deprecation cycle; each access warns.
+_DEPRECATED_EXPORTS = (
     "ArchParams",
     "Fabric",
     "FlowResult",
@@ -82,11 +80,48 @@ __all__ = [
     "corner_delay_curves",
     "expected_delay",
     "generate_netlist",
-    "observe",
-    "profiling",
     "run_flow",
     "select_design_corner",
     "thermal_aware_guardband",
     "vtr_benchmark",
     "worst_case_frequency",
-]
+)
+
+__all__ = sorted(("observe", "profiling") + _DEPRECATED_EXPORTS)
+
+
+def __getattr__(name: str) -> Any:
+    if name in _DEPRECATED_EXPORTS:
+        warnings.warn(
+            f"importing {name!r} from the top-level 'repro' package is "
+            f"deprecated; use 'from repro.api import {name}' instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        # Deliberately NOT cached in globals(): every legacy access must
+        # keep warning, or callers never learn to migrate.
+        from repro import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+def __dir__() -> List[str]:
+    return sorted(set(globals()) | set(_DEPRECATED_EXPORTS))
+
+
+if TYPE_CHECKING:  # Static surface for mypy/IDEs; runtime warns instead.
+    from repro.arch.params import ArchParams
+    from repro.cad.flow import FlowResult, run_flow
+    from repro.coffe.characterize import characterize_fabric
+    from repro.coffe.fabric import Fabric, build_fabric
+    from repro.core.architecture import expected_delay, select_design_corner
+    from repro.core.design import corner_delay_curves
+    from repro.core.guardband import (
+        GuardbandConfig,
+        GuardbandResult,
+        thermal_aware_guardband,
+    )
+    from repro.core.margins import worst_case_frequency
+    from repro.netlists.generator import generate_netlist
+    from repro.netlists.vtr_suite import VTR_BENCHMARKS, vtr_benchmark

@@ -12,7 +12,14 @@ Commands:
 - ``suite [--ambient T] [--workers N]`` — Fig. 6/7-style per-benchmark
   gains over the whole VTR-19 suite on the parallel sweep engine;
 - ``sweep --benchmarks A,B --ambients T1,T2 [--corners C1,C2]`` — an
-  arbitrary benchmarks x ambients x corners grid on the engine.
+  arbitrary benchmarks x ambients x corners grid on the engine;
+- ``report PATH`` — render a previously recorded sweep from its JSONL
+  stream (or a ``--run-dir`` directory) without re-running anything.
+
+``suite`` and ``sweep`` checkpoint with ``--run-dir DIR`` (per-cell JSONL
+stream plus a persistent result store under ``DIR``) and pick an
+interrupted run back up with ``--resume DIR``, re-executing only the
+cells that never finished.
 
 CLI contract: every subcommand accepts ``--json`` (machine-readable
 result on stdout) and exits non-zero on failure — errors are reported as
@@ -26,28 +33,32 @@ from __future__ import annotations
 import argparse
 import contextlib
 import json
+import os
 import sys
 from typing import Dict, Optional, Sequence
 
 import numpy as np
 
-from repro import (
+from repro.api import (
     ArchParams,
+    ExperimentSpec,
+    GuardbandConfig,
+    JobResult,
+    SweepResult,
     build_fabric,
+    corner_delay_curves,
+    guardband_gain,
     observe,
     run_flow,
+    run_sweep,
     thermal_aware_guardband,
     vtr_benchmark,
     worst_case_frequency,
 )
-from repro.core.design import corner_delay_curves
 from repro.core.grades import plan_temperature_grades
-from repro.core.guardband import GuardbandConfig
-from repro.core.margins import guardband_gain
 from repro.netlists.vtr_suite import benchmark_names
 from repro.reporting.sweep import format_sweep_gains_chart, format_sweep_table
 from repro.reporting.tables import format_table
-from repro.runner import ExperimentSpec, JobResult, run_sweep
 
 
 def _emit(args: argparse.Namespace, payload: Dict[str, object], text: str) -> None:
@@ -189,6 +200,27 @@ def _run_engine(
     """Shared suite/sweep driver: engine run + report + exit code."""
     quiet = getattr(args, "json", False)
 
+    # --resume DIR implies --run-dir DIR; a run dir lays out the
+    # checkpointable artefacts (JSONL stream + result store) together.
+    run_dir = getattr(args, "resume", None) or getattr(args, "run_dir", None)
+    jsonl_path = getattr(args, "jsonl", None)
+    store_path = None
+    resume_from = None
+    if run_dir is not None:
+        os.makedirs(run_dir, exist_ok=True)
+        if jsonl_path is None:
+            jsonl_path = os.path.join(run_dir, "sweep.jsonl")
+        store_path = os.path.join(run_dir, "store")
+    if getattr(args, "resume", None) is not None:
+        if jsonl_path is not None and os.path.exists(jsonl_path):
+            resume_from = jsonl_path
+        else:
+            print(
+                f"warning: nothing to resume at {jsonl_path!r}; "
+                f"running the sweep from scratch",
+                file=sys.stderr,
+            )
+
     def progress(outcome, done, total):
         if quiet:
             return
@@ -215,9 +247,11 @@ def _run_engine(
         sweep = run_sweep(
             spec,
             workers=args.workers,
-            jsonl_path=getattr(args, "jsonl", None),
+            jsonl_path=jsonl_path,
             job_timeout=getattr(args, "timeout", None),
             progress=progress,
+            store=store_path,
+            resume_from=resume_from,
         )
     if quiet:
         print(sweep.to_json())
@@ -271,6 +305,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return _run_engine(args, spec, chart_ambient=chart)
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    path = args.jsonl
+    if os.path.isdir(path):
+        path = os.path.join(path, "sweep.jsonl")
+    if not os.path.exists(path):
+        raise FileNotFoundError(f"no sweep records at {path!r}")
+    sweep = SweepResult.from_jsonl(path)
+    _emit(
+        args,
+        sweep.to_dict(),
+        format_sweep_table(sweep, title=f"recorded sweep: {path}"),
+    )
+    return 0 if not sweep.failures else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -321,6 +370,18 @@ def main(argv=None) -> int:
         help="write a repro.observe span/event trace (JSONL) to this file; "
              "summarise it with 'python -m repro.observe report PATH'",
     )
+    engine.add_argument(
+        "--run-dir", type=str, default=None, metavar="DIR",
+        help="checkpoint the run under DIR: per-cell records in "
+             "DIR/sweep.jsonl and converged results in DIR/store "
+             "(overridden by an explicit --jsonl)",
+    )
+    engine.add_argument(
+        "--resume", type=str, default=None, metavar="DIR",
+        help="resume an interrupted run from DIR (implies --run-dir DIR): "
+             "completed cells are reloaded from DIR/sweep.jsonl and only "
+             "the remainder is executed",
+    )
 
     p = sub.add_parser("suite", parents=[common, engine],
                        help="Fig. 6/7-style suite gains on the sweep engine")
@@ -336,6 +397,14 @@ def main(argv=None) -> int:
     p.add_argument("--ambients", type=str, default="25")
     p.add_argument("--corners", type=str, default="25")
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("report", parents=[common],
+                       help="render a recorded sweep (JSONL or run dir)")
+    p.add_argument(
+        "jsonl", type=str,
+        help="path to a sweep JSONL stream, or a --run-dir directory",
+    )
+    p.set_defaults(func=_cmd_report)
 
     args = parser.parse_args(argv)
     try:

@@ -20,12 +20,16 @@ from repro.analysis.engine import (
     default_baseline_path,
     default_manifest_path,
     default_scan_root,
+    default_store_manifest_path,
     load_modules,
     run_analysis,
 )
 from repro.analysis.findings import Severity
 from repro.analysis.rules import all_rules
-from repro.analysis.rules.cache_key import current_manifest
+from repro.analysis.rules.cache_key import (
+    current_manifest,
+    current_store_manifest,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -58,6 +62,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="ArchParams manifest file for the cache-key rule",
     )
     parser.add_argument(
+        "--store-manifest",
+        type=Path,
+        default=None,
+        help="GuardbandConfig store manifest file for the cache-key rule",
+    )
+    parser.add_argument(
         "--update-baseline",
         action="store_true",
         help="accept every current finding into the baseline and exit 0",
@@ -66,7 +76,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--update-manifest",
         action="store_true",
         help="record the current (ArchParams fields, FLOW_CACHE_VERSION) "
-        "pair and exit 0",
+        "and (GuardbandConfig fields, STORE_SCHEMA_VERSION) pairs and "
+        "exit 0",
     )
     parser.add_argument(
         "--list-rules", action="store_true", help="describe every rule and exit"
@@ -109,6 +120,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     manifest_path = (
         args.manifest if args.manifest is not None else default_manifest_path()
     )
+    store_manifest_path = (
+        args.store_manifest
+        if args.store_manifest is not None
+        else default_store_manifest_path()
+    )
     baseline_path = (
         args.baseline if args.baseline is not None else default_baseline_path()
     )
@@ -120,7 +136,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 print(finding.format(), file=sys.stderr)
             return 1
         project = Project(
-            root=Path(root), modules=modules, manifest_path=manifest_path
+            root=Path(root),
+            modules=modules,
+            manifest_path=manifest_path,
+            store_manifest_path=store_manifest_path,
         )
         manifest = current_manifest(project)
         if manifest is None:
@@ -136,6 +155,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"FLOW_CACHE_VERSION={manifest.flow_cache_version} -> "
             f"{manifest_path}"
         )
+        store_manifest = current_store_manifest(project)
+        if store_manifest is None:
+            # A tree without a result store (e.g. a fixture project) has
+            # nothing to record; the arch manifest alone is complete.
+            print(
+                f"no GuardbandConfig / STORE_SCHEMA_VERSION under {root}; "
+                "store manifest left untouched",
+                file=sys.stderr,
+            )
+            return 0
+        store_manifest.save(store_manifest_path)
+        print(
+            f"recorded {len(store_manifest.fields)} GuardbandConfig fields "
+            f"at STORE_SCHEMA_VERSION={store_manifest.store_schema_version} "
+            f"-> {store_manifest_path}"
+        )
         return 0
 
     try:
@@ -149,6 +184,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         rules=all_rules(),
         baseline=baseline,
         manifest_path=manifest_path,
+        store_manifest_path=store_manifest_path,
     )
 
     if args.update_baseline:

@@ -32,6 +32,7 @@ PARSE_ERROR_RULE = "parse-error"
 SUPPRESS_ERROR_RULE = "unknown-suppression"
 
 DEFAULT_MANIFEST_NAME = "archparams_manifest.json"
+DEFAULT_STORE_MANIFEST_NAME = "store_manifest.json"
 DEFAULT_BASELINE_NAME = "baseline.json"
 
 _ANALYSIS_DIR = Path(__file__).resolve().parent
@@ -39,6 +40,10 @@ _ANALYSIS_DIR = Path(__file__).resolve().parent
 
 def default_manifest_path() -> Path:
     return _ANALYSIS_DIR / DEFAULT_MANIFEST_NAME
+
+
+def default_store_manifest_path() -> Path:
+    return _ANALYSIS_DIR / DEFAULT_STORE_MANIFEST_NAME
 
 
 def default_baseline_path() -> Path:
@@ -84,6 +89,7 @@ class Project:
     root: Path
     modules: List[ModuleInfo]
     manifest_path: Path
+    store_manifest_path: Path = field(default_factory=default_store_manifest_path)
 
     def module(self, rel: str) -> Optional[ModuleInfo]:
         for info in self.modules:
@@ -192,6 +198,7 @@ def run_analysis(
     rules: Optional[Sequence[Rule]] = None,
     baseline: Optional[Baseline] = None,
     manifest_path: Optional[Path] = None,
+    store_manifest_path: Optional[Path] = None,
 ) -> AnalysisReport:
     """Run every rule over the tree under ``root`` and partition findings.
 
@@ -207,6 +214,8 @@ def run_analysis(
         rules = all_rules()
     if manifest_path is None:
         manifest_path = default_manifest_path()
+    if store_manifest_path is None:
+        store_manifest_path = default_store_manifest_path()
     if baseline is None:
         baseline = Baseline()
 
@@ -220,7 +229,12 @@ def run_analysis(
         for rule in rules:
             raw.extend(rule.check_module(module))
 
-    project = Project(root=root, modules=modules, manifest_path=manifest_path)
+    project = Project(
+        root=root,
+        modules=modules,
+        manifest_path=manifest_path,
+        store_manifest_path=store_manifest_path,
+    )
     for rule in rules:
         raw.extend(rule.finalize(project))
 

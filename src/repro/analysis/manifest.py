@@ -1,15 +1,23 @@
-"""ArchParams field manifest — the cache-key rule's recorded state.
+"""Keying manifests — the cache-key rule's recorded state.
 
-The flow cache keys on a digest of *every* ``ArchParams`` field plus
-``FLOW_CACHE_VERSION``.  Adding/removing/renaming a field changes what a
-cache entry means, so it must come with a version bump — we have bumped
-the version twice in two PRs because this drifted silently.  The
-committed manifest records the last reviewed ``(field set, version)``
-pair; :mod:`repro.analysis.rules.cache_key` compares the live code
-against it and fails when the fields changed but the version did not.
+Two digests in the codebase key persistent artefacts on dataclass field
+sets, and both fail the same way when the field set drifts:
 
-Regenerate with ``python -m repro.analysis --update-manifest`` after
-bumping ``FLOW_CACHE_VERSION``.
+- the flow cache keys on a digest of *every* ``ArchParams`` field plus
+  ``FLOW_CACHE_VERSION`` (:class:`ArchManifest`) — we have bumped the
+  version twice in two PRs because this drifted silently;
+- the result store (:mod:`repro.store`) keys on every ``GuardbandConfig``
+  field plus ``STORE_SCHEMA_VERSION`` (:class:`StoreManifest`) — a field
+  change without a schema bump would serve stale converged guardbands
+  computed under different semantics.
+
+Each committed manifest records the last reviewed ``(field set,
+version)`` pair; :mod:`repro.analysis.rules.cache_key` compares the live
+code against it and fails when the fields changed but the version did
+not.
+
+Regenerate both with ``python -m repro.analysis --update-manifest``
+after bumping the relevant version.
 """
 
 from __future__ import annotations
@@ -48,6 +56,40 @@ class ArchManifest:
             "version": MANIFEST_FORMAT_VERSION,
             "archparams_fields": sorted(self.fields),
             "flow_cache_version": self.flow_cache_version,
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+
+@dataclass(frozen=True)
+class StoreManifest:
+    """Recorded (GuardbandConfig fields, STORE_SCHEMA_VERSION) pair."""
+
+    fields: tuple
+    store_schema_version: int
+
+    @classmethod
+    def load(cls, path: Path) -> Optional["StoreManifest"]:
+        if not path.exists():
+            return None
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("version") != MANIFEST_FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: unsupported manifest version {data.get('version')!r}"
+            )
+        return cls(
+            fields=tuple(data["guardbandconfig_fields"]),
+            store_schema_version=int(data["store_schema_version"]),
+        )
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": MANIFEST_FORMAT_VERSION,
+            "guardbandconfig_fields": sorted(self.fields),
+            "store_schema_version": self.store_schema_version,
         }
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(

@@ -1,7 +1,9 @@
-"""cache-key — arch_digest / FLOW_CACHE_VERSION / ArchParams coherence.
+"""cache-key — keying digests vs. the field sets they must cover.
 
-Three things must move together or the flow cache silently serves stale
-place-and-route results:
+Two persistent artefacts key on dataclass digests, and each triple must
+move together or stale entries are silently served:
+
+Flow cache (``repro.cad.flow``):
 
 1. every ``ArchParams`` field must be consumed by ``arch_digest`` (a
    field the digest ignores means two different architectures share a
@@ -13,9 +15,15 @@ place-and-route results:
    the live ``(field set, version)`` pair, so (2) is checkable across
    commits.
 
+Result store (``repro.store``): the same three invariants over
+``GuardbandConfig`` / ``store_digest`` / ``STORE_SCHEMA_VERSION``,
+tracked by the committed store manifest — a config field the digest
+ignores would serve a converged guardband computed under different
+Algorithm 1 semantics.
+
 This is a cross-module rule: it runs in :meth:`finalize` over the parsed
-project, locating ``ArchParams``, ``arch_digest`` and
-``FLOW_CACHE_VERSION`` wherever they are defined.
+project, locating the classes, digest functions and version constants
+wherever they are defined.
 """
 
 from __future__ import annotations
@@ -25,7 +33,11 @@ from typing import Iterable, List, Optional, Set, Tuple
 
 from repro.analysis.engine import ModuleInfo, Project, Rule
 from repro.analysis.findings import Finding, Severity
-from repro.analysis.manifest import ArchManifest, dataclass_field_names
+from repro.analysis.manifest import (
+    ArchManifest,
+    StoreManifest,
+    dataclass_field_names,
+)
 
 
 def _find_assignment(
@@ -95,12 +107,19 @@ class CacheKeyRule(Rule):
     rule_id = "cache-key"
     severity = Severity.ERROR
     description = (
-        "arch_digest must consume every ArchParams field, and ArchParams "
-        "field-set changes must bump FLOW_CACHE_VERSION (tracked via the "
-        "committed manifest)"
+        "keying digests must consume every field of the dataclass they "
+        "key on (arch_digest/ArchParams, store_digest/GuardbandConfig), "
+        "and field-set changes must bump the paired version constant "
+        "(FLOW_CACHE_VERSION / STORE_SCHEMA_VERSION, tracked via the "
+        "committed manifests)"
     )
 
     def finalize(self, project: Project) -> Iterable[Finding]:
+        findings = list(self._check_flow_cache(project))
+        findings.extend(self._check_store(project))
+        return findings
+
+    def _check_flow_cache(self, project: Project) -> Iterable[Finding]:
         located = project.find_class("ArchParams")
         version = _find_assignment(project, "FLOW_CACHE_VERSION")
         digest = _find_function(project, "arch_digest")
@@ -189,6 +208,107 @@ class CacheKeyRule(Rule):
                 )
             )
         return findings
+
+    def _check_store(self, project: Project) -> Iterable[Finding]:
+        located = project.find_class("GuardbandConfig")
+        version = _find_assignment(project, "STORE_SCHEMA_VERSION")
+        digest = _find_function(project, "store_digest")
+        if located is None or version is None or digest is None:
+            # No result store in this project (e.g. rule fixtures).
+            return ()
+        config_module, config_cls = located
+        version_module, version_stmt, version_value = version
+        digest_module, digest_func = digest
+        findings: List[Finding] = []
+
+        field_names = set(dataclass_field_names(config_cls.body))
+        iterates, explicit = _digest_consumption(digest_func)
+        if not iterates:
+            for name in sorted(field_names - explicit):
+                findings.append(
+                    digest_module.finding(
+                        self,
+                        digest_func,
+                        f"store_digest does not consume GuardbandConfig."
+                        f"{name}; two configs differing only in that field "
+                        "would share a stored guardband result",
+                    )
+                )
+
+        manifest = StoreManifest.load(project.store_manifest_path)
+        if manifest is None:
+            findings.append(
+                config_module.finding(
+                    self,
+                    config_cls,
+                    "no GuardbandConfig store manifest recorded; run "
+                    "`python -m repro.analysis --update-manifest` and "
+                    f"commit {project.store_manifest_path.name}",
+                    severity=Severity.WARNING,
+                )
+            )
+            return findings
+
+        recorded = set(manifest.fields)
+        if field_names != recorded:
+            added = sorted(field_names - recorded)
+            removed = sorted(recorded - field_names)
+            change = "; ".join(
+                part
+                for part in (
+                    f"added: {', '.join(added)}" if added else "",
+                    f"removed: {', '.join(removed)}" if removed else "",
+                )
+                if part
+            )
+            if version_value == manifest.store_schema_version:
+                findings.append(
+                    config_module.finding(
+                        self,
+                        config_cls,
+                        f"GuardbandConfig field set changed ({change}) "
+                        "without a STORE_SCHEMA_VERSION bump; stored "
+                        "guardband results computed under the old config "
+                        "semantics would be served — bump the version, then "
+                        "refresh the manifest with --update-manifest",
+                    )
+                )
+            else:
+                findings.append(
+                    config_module.finding(
+                        self,
+                        config_cls,
+                        f"GuardbandConfig field set changed ({change}) and "
+                        "STORE_SCHEMA_VERSION was bumped; refresh the "
+                        "manifest with --update-manifest to record the new "
+                        "reviewed state",
+                    )
+                )
+        elif version_value != manifest.store_schema_version:
+            findings.append(
+                version_module.finding(
+                    self,
+                    version_stmt,
+                    f"STORE_SCHEMA_VERSION is {version_value} but the "
+                    f"manifest records {manifest.store_schema_version}; "
+                    "refresh the manifest with --update-manifest",
+                    severity=Severity.WARNING,
+                )
+            )
+        return findings
+
+
+def current_store_manifest(project: Project) -> Optional[StoreManifest]:
+    """The live (GuardbandConfig fields, schema version) pair."""
+    located = project.find_class("GuardbandConfig")
+    version = _find_assignment(project, "STORE_SCHEMA_VERSION")
+    if located is None or version is None:
+        return None
+    _, config_cls = located
+    return StoreManifest(
+        fields=tuple(sorted(dataclass_field_names(config_cls.body))),
+        store_schema_version=version[2],
+    )
 
 
 def current_manifest(project: Project) -> Optional[ArchManifest]:

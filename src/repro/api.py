@@ -1,0 +1,126 @@
+"""The blessed import surface: ``from repro.api import ...``.
+
+Every supported entry point of the reproduction is re-exported here under
+one flat namespace, so user code (examples, notebooks, CI scripts) names
+exactly one module instead of memorising which subpackage owns what::
+
+    from repro.api import (
+        ArchParams, GuardbandConfig, build_fabric, vtr_benchmark,
+        run_flow, thermal_aware_guardband,
+        ExperimentSpec, run_sweep, open_store,
+    )
+
+Imports are lazy: touching ``repro.api.run_sweep`` loads ``repro.runner``
+on first access, so ``import repro.api`` itself stays cheap (no numpy
+solver warm-up, no process-pool machinery) for CLI ``--help`` paths and
+tooling that only introspects names.
+
+The historical re-exports on the top-level ``repro`` package still work
+but emit :class:`DeprecationWarning`; new code should import from here
+(or from the owning submodule directly).
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import TYPE_CHECKING, Any, List
+
+#: name -> defining module.  The facade resolves each attribute lazily
+#: from this table; ``__all__`` is derived from it so the two can never
+#: drift apart.
+_EXPORTS = {
+    # Architecture + fabric characterization.
+    "ArchParams": "repro.arch.params",
+    "Fabric": "repro.coffe.fabric",
+    "build_fabric": "repro.coffe.fabric",
+    "characterize_fabric": "repro.coffe.characterize",
+    # Benchmarks.
+    "NetlistSpec": "repro.netlists.generator",
+    "generate_netlist": "repro.netlists.generator",
+    "VTR_BENCHMARKS": "repro.netlists.vtr_suite",
+    "vtr_benchmark": "repro.netlists.vtr_suite",
+    # CAD flow.
+    "FlowResult": "repro.cad.flow",
+    "flow_cache_key": "repro.cad.flow",
+    "run_flow": "repro.cad.flow",
+    # Algorithm 1 and the margin model.
+    "GuardbandConfig": "repro.core.guardband",
+    "GuardbandError": "repro.core.guardband",
+    "GuardbandResult": "repro.core.guardband",
+    "thermal_aware_guardband": "repro.core.guardband",
+    "guardband_gain": "repro.core.margins",
+    "worst_case_frequency": "repro.core.margins",
+    # Thermal-aware design / architecture selection.
+    "corner_delay_curves": "repro.core.design",
+    "expected_delay": "repro.core.architecture",
+    "select_design_corner": "repro.core.architecture",
+    # Sweep engine.
+    "ExperimentSpec": "repro.runner",
+    "SweepJob": "repro.runner",
+    "run_sweep": "repro.runner",
+    "SweepResult": "repro.runner",
+    "JobResult": "repro.runner",
+    "JobFailure": "repro.runner",
+    "outcome_from_record": "repro.runner",
+    # Persistent result store.
+    "ResultStore": "repro.store",
+    "open_store": "repro.store",
+    "store_digest": "repro.store",
+    "STORE_SCHEMA_VERSION": "repro.store",
+    # Observability (exported as the module itself).
+    "observe": "repro.observe",
+}
+
+__all__: List[str] = sorted(_EXPORTS)
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module 'repro.api' has no attribute {name!r}"
+        ) from None
+    module = importlib.import_module(module_name)
+    value: Any = module if name == "observe" else getattr(module, name)
+    # Cache on the module so subsequent accesses skip __getattr__.
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> List[str]:
+    return sorted(set(globals()) | set(_EXPORTS))
+
+
+if TYPE_CHECKING:  # Static surface for mypy/IDEs; runtime stays lazy.
+    from repro import observe
+    from repro.arch.params import ArchParams
+    from repro.cad.flow import FlowResult, flow_cache_key, run_flow
+    from repro.coffe.characterize import characterize_fabric
+    from repro.coffe.fabric import Fabric, build_fabric
+    from repro.core.architecture import expected_delay, select_design_corner
+    from repro.core.design import corner_delay_curves
+    from repro.core.guardband import (
+        GuardbandConfig,
+        GuardbandError,
+        GuardbandResult,
+        thermal_aware_guardband,
+    )
+    from repro.core.margins import guardband_gain, worst_case_frequency
+    from repro.netlists.generator import NetlistSpec, generate_netlist
+    from repro.netlists.vtr_suite import VTR_BENCHMARKS, vtr_benchmark
+    from repro.runner import (
+        ExperimentSpec,
+        JobFailure,
+        JobResult,
+        SweepJob,
+        SweepResult,
+        outcome_from_record,
+        run_sweep,
+    )
+    from repro.store import (
+        STORE_SCHEMA_VERSION,
+        ResultStore,
+        open_store,
+        store_digest,
+    )

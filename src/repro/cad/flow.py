@@ -47,8 +47,10 @@ class FlowResult:
     routing: RoutingResult
     timing: TimingAnalyzer
     cache_key: Optional[str] = None
-    """Deterministic disk-cache key this result is stored under, or ``None``
-    when caching was disabled for the run."""
+    """Deterministic flow-cache key for this (netlist, arch, seed) —
+    always set by :func:`run_flow`, even with disk caching disabled, so
+    downstream keying (e.g. the :mod:`repro.store` result digest) works
+    regardless of cache configuration.  ``None`` only on legacy pickles."""
 
     @property
     def n_tiles(self) -> int:
@@ -226,7 +228,6 @@ def run_flow(
                 netlist, arch, seed, placement_effort, timing_driven,
                 memory_key=None,
             )
-            result.cache_key = flow_cache_key(netlist, arch, cache_seed)
             _atomic_store(result, disk_path)
     _FLOW_CACHE[key] = result
     return result
@@ -298,7 +299,11 @@ def _compute_flow(
         with observe.span("flow.sta_build"):
             timing = TimingAnalyzer(packed, placement, routing, layout)
         compute_span.set_attrs(n_tiles=layout.n_tiles)
-    result = FlowResult(netlist, arch, layout, packed, placement, routing, timing)
+    cache_seed = seed + (1_000_003 if timing_driven else 0)
+    result = FlowResult(
+        netlist, arch, layout, packed, placement, routing, timing,
+        cache_key=flow_cache_key(netlist, arch, cache_seed),
+    )
     if memory_key is not None:
         _FLOW_CACHE[memory_key] = result
     return result

@@ -60,6 +60,13 @@ class GuardbandConfig:
     """Mean primary-input activity for the default ACE estimate."""
     package: Optional[ThermalPackage] = None
     """Thermal package override; ``None`` uses the solver default."""
+    warm_start_policy: str = "off"
+    """Fixed-point seeding policy for sweeps: ``"off"`` starts every cell
+    from ambient (Algorithm 1 line 1); ``"nearest"`` lets the sweep
+    engine seed each cell with the converged per-tile profile of the
+    nearest completed neighbour from the result store (falling back to
+    ambient when none exists).  Warm starts converge to the same fixed
+    point within the ``delta_t`` tolerance — see DESIGN.md §11."""
 
     def __post_init__(self) -> None:
         if self.delta_t <= 0.0:
@@ -71,6 +78,11 @@ class GuardbandConfig:
         if not (0.0 < self.base_activity <= 1.0):
             raise ValueError(
                 f"base_activity must be in (0, 1], got {self.base_activity}"
+            )
+        if self.warm_start_policy not in ("off", "nearest"):
+            raise ValueError(
+                'warm_start_policy must be "off" or "nearest", '
+                f"got {self.warm_start_policy!r}"
             )
 
     def with_changes(self, **changes: object) -> "GuardbandConfig":
@@ -107,6 +119,10 @@ class GuardbandResult:
     delta_t: float
     total_power_w: float
     history: List[GuardbandIteration] = field(default_factory=list)
+    warm_started: bool = False
+    """Whether the fixed point was seeded from a neighbouring converged
+    profile instead of the flat ambient vector; compare ``iterations``
+    against a cold run to measure the iterations saved."""
 
     @property
     def mean_rise_celsius(self) -> float:
@@ -132,8 +148,8 @@ def _coerce_config(
         )
     warnings.warn(
         "thermal_aware_guardband(delta_t=..., max_iterations=..., "
-        "base_activity=..., package=...) is deprecated; pass "
-        "config=GuardbandConfig(...) instead",
+        "base_activity=..., package=..., warm_start_policy=...) is "
+        "deprecated; pass config=GuardbandConfig(...) instead",
         DeprecationWarning,
         stacklevel=3,
     )
@@ -147,18 +163,25 @@ def thermal_aware_guardband(
     activity: Optional[ActivityEstimate] = None,
     config: Optional[GuardbandConfig] = None,
     *,
+    warm_start: Optional[np.ndarray] = None,
     delta_t: Optional[float] = None,
     max_iterations: Optional[int] = None,
     package: Optional[ThermalPackage] = None,
     base_activity: Optional[float] = None,
+    warm_start_policy: Optional[str] = None,
 ) -> GuardbandResult:
     """Run Algorithm 1 on a placed-and-routed design.
 
     ``t_ambient`` is the junction base temperature ``Tamb`` every tile
-    starts from (Algorithm 1 line 1).  ``activity`` defaults to the ACE
-    estimate with ``config.base_activity``.  The loose ``delta_t`` /
-    ``max_iterations`` / ``package`` / ``base_activity`` kwargs are a
-    deprecated spelling of :class:`GuardbandConfig` and will be removed.
+    starts from (Algorithm 1 line 1).  ``warm_start`` optionally replaces
+    that flat start with an initial per-tile temperature vector — e.g.
+    the converged profile of a neighbouring sweep cell — clamped to at
+    least ambient; the fixed point is the same, it is just reached in
+    fewer iterations.  ``activity`` defaults to the ACE estimate with
+    ``config.base_activity``.  The loose ``delta_t`` /
+    ``max_iterations`` / ``package`` / ``base_activity`` /
+    ``warm_start_policy`` kwargs are a deprecated spelling of
+    :class:`GuardbandConfig` and will be removed.
     """
     config = _coerce_config(
         config,
@@ -167,6 +190,7 @@ def thermal_aware_guardband(
             "max_iterations": max_iterations,
             "package": package,
             "base_activity": base_activity,
+            "warm_start_policy": warm_start_policy,
         },
     )
     delta_t = config.delta_t
@@ -178,7 +202,23 @@ def thermal_aware_guardband(
     solver = ThermalSolver(flow.layout, config.package)
     n_tiles = flow.layout.n_tiles
 
-    t_tiles = np.full(n_tiles, float(t_ambient))  # line 1
+    if warm_start is not None:
+        seed_vec = np.asarray(warm_start, dtype=float)
+        if seed_vec.shape != (n_tiles,):
+            raise ValueError(
+                f"warm_start must have shape ({n_tiles},) to match the "
+                f"layout, got {seed_vec.shape}"
+            )
+        if not np.all(np.isfinite(seed_vec)):
+            raise ValueError("warm_start contains non-finite temperatures")
+        # Tiles cannot sit below the junction base temperature at steady
+        # state; clamping keeps a neighbour profile from a cooler ambient
+        # physically sensible.
+        t_tiles = np.maximum(seed_vec, float(t_ambient))
+        warm_started = True
+    else:
+        t_tiles = np.full(n_tiles, float(t_ambient))  # line 1
+        warm_started = False
     history: List[GuardbandIteration] = []
     converged = False
     iterations = 0
@@ -190,6 +230,7 @@ def thermal_aware_guardband(
         t_ambient=float(t_ambient),
         delta_t=delta_t,
         max_iterations=max_iterations,
+        warm_started=warm_started,
     )
     with run_span:
         for _ in range(max_iterations):
@@ -263,4 +304,5 @@ def thermal_aware_guardband(
         delta_t=delta_t,
         total_power_w=history[-1].total_power_w,
         history=history,
+        warm_started=warm_started,
     )

@@ -46,8 +46,9 @@ def format_sweep_table(sweep: "SweepResult", title: str = "") -> str:
                 f"{f.wall_seconds:.2f}",
             )
         )
+    resumed = f", {sweep.n_resumed} resumed" if sweep.n_resumed else ""
     header = title or (
-        f"sweep: {len(sweep.results)}/{sweep.n_jobs} cells ok, "
+        f"sweep: {len(sweep.results)}/{sweep.n_jobs} cells ok{resumed}, "
         f"{sweep.workers} worker(s), {sweep.wall_seconds:.1f}s"
     )
     return format_table(

@@ -14,6 +14,13 @@ The public surface is three names::
 
 Failed cells are recorded in ``sweep.failures`` rather than aborting the
 run; serial (``workers=1``) and parallel execution are bit-identical.
+
+Long sweeps checkpoint and resume through the persistent result store
+(:mod:`repro.store`)::
+
+    sweep = run_sweep(spec, workers=4, store="run/store",
+                      jsonl_path="run/sweep.jsonl",
+                      resume_from="run/sweep.jsonl")  # skips completed cells
 """
 
 from repro.runner.engine import (
@@ -21,7 +28,12 @@ from repro.runner.engine import (
     RETRYABLE_ERRORS,
     run_sweep,
 )
-from repro.runner.results import JobFailure, JobResult, SweepResult
+from repro.runner.results import (
+    JobFailure,
+    JobResult,
+    SweepResult,
+    outcome_from_record,
+)
 from repro.runner.spec import ExperimentSpec, SweepJob
 
 __all__ = [
@@ -30,6 +42,7 @@ __all__ = [
     "JobFailure",
     "JobResult",
     "RETRYABLE_ERRORS",
+    "outcome_from_record",
     "run_sweep",
     "SweepJob",
     "SweepResult",

@@ -38,6 +38,24 @@ into jobs and executes them either in-process (``workers=1``) or on a
   arrives and is discarded, and if every slot wedges the pool is
   rebuilt.  (Ignored on the serial path.)
 
+- **Persistence and resume** — with a :class:`~repro.store.ResultStore`
+  attached, every converged cell is persisted under its content digest
+  (flow cache key x config x ambient x corner x schema version); a
+  digest hit in any later sweep serves the stored fixed point without
+  re-running Algorithm 1.  ``resume_from`` reloads a prior run's JSONL:
+  recorded successes are re-emitted as ``sweep.cell_skipped`` events
+  (never ``sweep.cell`` execution spans) and only the remainder is
+  dispatched.
+- **Warm starts** — for configs with ``warm_start_policy="nearest"``
+  and a store attached, each cell's fixed point is seeded with the
+  converged per-tile profile of the nearest completed same-benchmark
+  neighbour (re-based onto the cell's ambient), cutting iterations; the
+  converged frequency agrees with a cold start within the ``delta_t``
+  compensation tolerance (DESIGN.md §11), which also means a
+  warm-started parallel sweep is *tolerance-identical* — not
+  bit-identical — to a serial one, since completion order picks the
+  neighbours.
+
 The shared on-disk flow cache (:mod:`repro.cad.flow`) is safe under this
 fan-out: per-entry file locks serialise place-and-route so concurrent
 workers needing the same mapping share one computation.
@@ -48,6 +66,8 @@ from __future__ import annotations
 import json
 import os
 from collections import deque
+
+import numpy as np
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
@@ -55,15 +75,16 @@ from typing import Callable, Deque, Dict, List, Optional, Set, Tuple, Union
 
 from repro import observe
 from repro.arch.params import ArchParams
-from repro.cad.flow import cache_counters, run_flow
+from repro.cad.flow import FlowResult, cache_counters, run_flow
 from repro.cad.route import RoutingError
 from repro.observe.clock import monotonic
 from repro.observe.context import TraceContext
 from repro.coffe.fabric import Fabric, build_fabric
-from repro.core.guardband import thermal_aware_guardband
+from repro.core.guardband import GuardbandResult, thermal_aware_guardband
 from repro.core.margins import guardband_gain, worst_case_frequency
 from repro.runner.results import JobFailure, JobResult, SweepResult
 from repro.runner.spec import ExperimentSpec, SweepJob
+from repro.store import ResultStore, store_digest
 
 ProgressCallback = Callable[[Union[JobResult, JobFailure], int, int], None]
 
@@ -93,8 +114,44 @@ def _fabric_for(corner: float, arch: ArchParams) -> Fabric:
     return _FABRIC_MEMO[key]
 
 
-def _execute_job(job: SweepJob) -> JobResult:
-    """Run one grid cell end-to-end.  Pure: deterministic in ``job``.
+def _warm_start_vector(
+    store: Optional[ResultStore], flow: FlowResult, job: SweepJob
+) -> Optional["np.ndarray"]:
+    """Seed vector from the nearest stored neighbour, or ``None``.
+
+    ``job.warm_start_cells`` holds completed same-benchmark grid
+    coordinates (nearest first); the neighbour's converged profile is
+    re-based onto this cell's ambient (the *rise* over ambient is what
+    transfers between operating points).  Any unusable candidate —
+    evicted entry, layout mismatch from a retry's perturbed seed — just
+    falls through to the next, and ultimately to the cold ambient start.
+    """
+    if (
+        store is None
+        or job.config.warm_start_policy != "nearest"
+        or not job.warm_start_cells
+        or flow.cache_key is None
+    ):
+        return None
+    for t_ambient, corner in job.warm_start_cells:
+        neighbour = store.get(
+            store_digest(flow.cache_key, job.config, t_ambient, corner)
+        )
+        if (
+            neighbour is not None
+            and neighbour.tile_temperatures.shape == (flow.layout.n_tiles,)
+        ):
+            return (
+                neighbour.tile_temperatures
+                - neighbour.t_ambient
+                + job.t_ambient
+            )
+    return None
+
+
+def _execute_job(job: SweepJob, store: Optional[str] = None) -> JobResult:
+    """Run one grid cell end-to-end.  Pure: deterministic in ``job``
+    (with a ``store``, up to the warm-start tolerance — see DESIGN.md §11).
 
     Module-level so the process pool can pickle it by reference; the
     serial path calls it directly, guaranteeing identical numerics.
@@ -104,8 +161,15 @@ def _execute_job(job: SweepJob) -> JobResult:
     the old ``profiling.enabled()`` wrapper did), nested into the
     surrounding session when the CLI enabled tracing or a worker attached
     a :class:`TraceContext`.
+
+    ``store`` is the result-store root (a path, so it crosses the pool
+    boundary cheaply).  A store hit serves the converged
+    :class:`GuardbandResult` without re-running Algorithm 1; a miss
+    computes (warm-started from the nearest stored neighbour when the
+    job's config asks for it) and persists the converged result.
     """
     start = monotonic()
+    result_store = ResultStore(store) if store is not None else None
     with observe.enabled():
         job_span = observe.span(
             "sweep.job",
@@ -122,9 +186,23 @@ def _execute_job(job: SweepJob) -> JobResult:
             )
             fabric = _fabric_for(job.corner, job.arch)
             worst_case_hz = worst_case_frequency(flow, fabric)
-            result = thermal_aware_guardband(
-                flow, fabric, job.t_ambient, config=job.config
-            )
+            store_event: Optional[str] = None
+            result: Optional[GuardbandResult] = None
+            digest: Optional[str] = None
+            if result_store is not None and flow.cache_key is not None:
+                digest = store_digest(
+                    flow.cache_key, job.config, job.t_ambient, job.corner
+                )
+                result = result_store.get(digest)
+                store_event = "hit" if result is not None else "miss"
+            if result is None:
+                warm = _warm_start_vector(result_store, flow, job)
+                result = thermal_aware_guardband(
+                    flow, fabric, job.t_ambient, config=job.config,
+                    warm_start=warm,
+                )
+                if result_store is not None and digest is not None:
+                    result_store.put(digest, result)
             cache_after = cache_counters()
             cache_events = {
                 kind: cache_after[kind] - cache_before[kind]
@@ -134,9 +212,17 @@ def _execute_job(job: SweepJob) -> JobResult:
             job_span.set_attrs(
                 frequency_hz=result.frequency_hz,
                 iterations=result.iterations,
+                warm_started=result.warm_started,
+                **({"store": store_event} if store_event else {}),
             )
-        phase_seconds = observe.total_phase_seconds(
-            iteration.phase_seconds for iteration in result.history
+        # A store hit did no Algorithm 1 work in this process; claiming
+        # the stored run's phase timings here would double-count them.
+        phase_seconds = (
+            {}
+            if store_event == "hit"
+            else observe.total_phase_seconds(
+                iteration.phase_seconds for iteration in result.history
+            )
         )
     return JobResult(
         job_id=job.job_id,
@@ -154,11 +240,15 @@ def _execute_job(job: SweepJob) -> JobResult:
         phase_seconds=phase_seconds,
         cache_key=flow.cache_key,
         cache_events=cache_events,
+        warm_started=result.warm_started,
+        store_event=store_event,
     )
 
 
 def _run_job_in_worker(
-    job: SweepJob, context: Optional[TraceContext]
+    job: SweepJob,
+    context: Optional[TraceContext],
+    store: Optional[str] = None,
 ) -> JobResult:
     """Pool-worker entry point: join the dispatching sweep's trace.
 
@@ -168,7 +258,7 @@ def _run_job_in_worker(
     and flushing its metric deltas on detach.
     """
     with observe.attach(context):
-        return _execute_job(job)
+        return _execute_job(job, store=store)
 
 
 class _JsonlWriter:
@@ -252,6 +342,8 @@ def run_sweep(
     job_timeout: Optional[float] = None,
     jsonl_path: Optional[str] = None,
     progress: Optional[ProgressCallback] = None,
+    store: Union[ResultStore, str, None] = None,
+    resume_from: Optional[str] = None,
 ) -> SweepResult:
     """Execute an experiment grid; never raises for a failing cell.
 
@@ -259,19 +351,84 @@ def run_sweep(
     serially in-process (same numerics, no pool overhead).  Returns a
     :class:`SweepResult` whose ``results``/``failures`` partition the
     grid.
+
+    ``store`` (a :class:`~repro.store.ResultStore` or its root path)
+    persists every converged cell keyed by its content digest, so an
+    identical cell in any later sweep is served without re-running
+    Algorithm 1 — and, for configs with ``warm_start_policy="nearest"``,
+    seeds each cell's fixed point from the nearest completed
+    same-benchmark neighbour in the grid.
+
+    ``resume_from`` points at a prior run's per-cell JSONL stream
+    (typically the same path as ``jsonl_path``): cells it records as
+    successful are reloaded and re-recorded — with ``sweep.cell_skipped``
+    events and the ``sweep.cells.skipped`` counter, never a
+    ``sweep.cell`` execution span — and only the remainder (failures and
+    never-started cells) is dispatched.  ``resume_from`` is read in full
+    before ``jsonl_path`` is truncated, so resuming a run dir in place
+    is safe.
     """
     jobs = spec.expand() if isinstance(spec, ExperimentSpec) else list(spec)
+    grid_order = {job.job_id: i for i, job in enumerate(jobs)}
     if workers is None:
         workers = max(1, os.cpu_count() or 1)
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     if max_retries < 0:
         raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+
+    store_path: Optional[str] = None
+    if isinstance(store, ResultStore):
+        store_path = str(store.root)
+    elif store is not None:
+        store_path = str(store)
+
+    # Checkpoint reload — before the writer below truncates jsonl_path.
+    resumed: List[JobResult] = []
+    if resume_from is not None:
+        prior = SweepResult.from_jsonl(resume_from)
+        completed = {r.job_id: r for r in prior.results}
+        remaining: List[SweepJob] = []
+        for job in jobs:
+            if job.job_id in completed:
+                resumed.append(completed[job.job_id])
+            else:
+                remaining.append(job)
+        total_jobs = len(jobs)
+        jobs = remaining
+    else:
+        total_jobs = len(jobs)
     workers = min(workers, max(1, len(jobs)))
 
     writer = _JsonlWriter(jsonl_path)
     sweep = SweepResult(workers=workers, jsonl_path=jsonl_path)
     started = monotonic()
+
+    # Completed grid coordinates per benchmark, for warm-start seeding;
+    # resumed cells count (their converged profiles are in the store).
+    completed_cells: Dict[str, List[Tuple[float, float]]] = {}
+
+    def note_completed(result: JobResult) -> None:
+        completed_cells.setdefault(result.benchmark, []).append(
+            (result.t_ambient, result.corner)
+        )
+
+    def prepare(job: SweepJob) -> SweepJob:
+        """Attach the nearest completed neighbours at dispatch time."""
+        if store_path is None or job.config.warm_start_policy != "nearest":
+            return job
+        cells = completed_cells.get(job.benchmark)
+        if not cells:
+            return job
+        ranked = sorted(
+            cells,
+            key=lambda c: (
+                abs(c[0] - job.t_ambient) + abs(c[1] - job.corner),
+                c[0],
+                c[1],
+            ),
+        )
+        return replace(job, warm_start_cells=tuple(ranked[:3]))
 
     def record(outcome: Union[JobResult, JobFailure]) -> None:
         bucket = sweep.results if isinstance(outcome, JobResult) else sweep.failures
@@ -285,6 +442,7 @@ def run_sweep(
             status = "ok"
             extra["cache_hits"] = outcome.cache_events.get("hit", 0)
             observe.counter("sweep.jobs.ok").inc()
+            note_completed(outcome)
         else:
             status = outcome.error_type
             extra["error_type"] = outcome.error_type
@@ -305,17 +463,38 @@ def run_sweep(
             **extra,
         )
         if progress is not None:
-            progress(outcome, sweep.n_jobs, len(jobs))
+            progress(outcome, sweep.n_jobs, total_jobs)
+
+    def record_skipped(result: JobResult) -> None:
+        """A reloaded checkpoint cell: re-recorded, never re-executed."""
+        sweep.results.append(result)
+        sweep.n_resumed += 1
+        writer.write(result.to_record())
+        observe.counter("sweep.cells.skipped").inc()
+        observe.event(
+            "sweep.cell_skipped", job_id=result.job_id, source="resume"
+        )
+        note_completed(result)
+        if progress is not None:
+            progress(result, sweep.n_jobs, total_jobs)
 
     try:
         run_span = observe.span(
-            "sweep.run", n_jobs=len(jobs), workers=workers
+            "sweep.run",
+            n_jobs=total_jobs,
+            workers=workers,
+            n_resumed=len(resumed),
         )
         with run_span:
+            for reloaded in resumed:
+                record_skipped(reloaded)
             if workers == 1:
-                _run_serial(jobs, max_retries, record)
+                _run_serial(jobs, max_retries, record, prepare, store_path)
             else:
-                _run_parallel(jobs, workers, max_retries, job_timeout, record)
+                _run_parallel(
+                    jobs, workers, max_retries, job_timeout, record,
+                    prepare, store_path,
+                )
             run_span.set_attrs(
                 n_ok=len(sweep.results), n_failed=len(sweep.failures)
             )
@@ -324,9 +503,8 @@ def run_sweep(
         writer.close()
 
     # Stable, grid-order reporting regardless of completion order.
-    order = {job.job_id: i for i, job in enumerate(jobs)}
-    sweep.results.sort(key=lambda r: order.get(r.job_id, len(order)))
-    sweep.failures.sort(key=lambda f: order.get(f.job_id, len(order)))
+    sweep.results.sort(key=lambda r: grid_order.get(r.job_id, len(grid_order)))
+    sweep.failures.sort(key=lambda f: grid_order.get(f.job_id, len(grid_order)))
     return sweep
 
 
@@ -334,16 +512,18 @@ def _run_serial(
     jobs: List[SweepJob],
     max_retries: int,
     record: Callable[[Union[JobResult, JobFailure]], None],
+    prepare: Callable[[SweepJob], SweepJob] = lambda job: job,
+    store: Optional[str] = None,
 ) -> None:
     for job in jobs:
         job_started = monotonic()
-        attempt_job = job
+        attempt_job = prepare(job)
         attempts = 0
         while True:
             attempts += 1
             try:
                 outcome: Union[JobResult, JobFailure] = replace(
-                    _execute_job(attempt_job), attempts=attempts
+                    _execute_job(attempt_job, store=store), attempts=attempts
                 )
                 break
             except Exception as error:  # degrade, never abort the sweep
@@ -365,6 +545,8 @@ def _run_parallel(
     max_retries: int,
     job_timeout: Optional[float],
     record: Callable[[Union[JobResult, JobFailure]], None],
+    prepare: Callable[[SweepJob], SweepJob] = lambda job: job,
+    store: Optional[str] = None,
 ) -> None:
     executor = ProcessPoolExecutor(max_workers=workers)
     # Captured once: every dispatch ships the same trace capsule, parented
@@ -394,13 +576,23 @@ def _run_parallel(
         nonlocal executor
         while ready and len(pending) + len(zombies) < workers:
             job, attempts, started = ready.popleft()
+            # Warm-start neighbours are attached here, not at enqueue:
+            # cells that completed while this one waited are candidates.
+            # Retries keep the neighbours from their first dispatch
+            # (attempts > 1), so a re-run stays reproducible.
+            if attempts == 1:
+                job = prepare(job)
             now = monotonic()
             try:
-                future = executor.submit(_run_job_in_worker, job, context)
+                future = executor.submit(
+                    _run_job_in_worker, job, context, store
+                )
             except BrokenProcessPool:
                 # Pool died between the drain and this dispatch; rebuild.
                 rebuild_pool()
-                future = executor.submit(_run_job_in_worker, job, context)
+                future = executor.submit(
+                    _run_job_in_worker, job, context, store
+                )
             pending[future] = _Tracked(
                 job=job,
                 attempts=attempts,

@@ -4,13 +4,20 @@ Every record is flat (floats, strings, dicts of floats) so it pickles
 cheaply across the process pool and serialises 1:1 to a JSONL line.  The
 aggregate :class:`SweepResult` is what ``repro.reporting`` renders and
 what the CLI's ``--json`` mode emits via :meth:`SweepResult.to_dict`.
+
+:meth:`SweepResult.to_jsonl` / :meth:`SweepResult.from_jsonl` are the
+one serialization path shared by the engine's streaming writer, sweep
+resume (``run_sweep(resume_from=...)``) and offline reporting
+(``python -m repro report``) — a record written by any of them reloads
+through :func:`outcome_from_record`.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import asdict, dataclass, field, fields
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
 
 Cell = Tuple[str, float, float]
 """Grid coordinate: (benchmark, t_ambient, corner)."""
@@ -44,6 +51,13 @@ class JobResult:
     """Flow-cache behaviour attributed to this job: counts per kind
     ("hit"/"miss"/"quarantine"), diffed from the per-process counters
     around the job's execution.  Zero-count kinds are omitted."""
+    warm_started: bool = False
+    """Whether Algorithm 1 was seeded from a neighbouring converged
+    profile (result-store warm start) instead of the flat ambient."""
+    store_event: Optional[str] = None
+    """Result-store outcome for this cell: "hit" (converged result
+    served without re-running Algorithm 1), "miss" (computed and
+    persisted), or ``None`` when the sweep ran without a store."""
 
     @property
     def cell(self) -> Cell:
@@ -76,6 +90,30 @@ class JobFailure:
         return {"type": "failure", **asdict(self)}
 
 
+_RESULT_FIELDS = frozenset(f.name for f in fields(JobResult))
+_FAILURE_FIELDS = frozenset(f.name for f in fields(JobFailure))
+
+
+def outcome_from_record(
+    record: Dict[str, object]
+) -> Union[JobResult, JobFailure]:
+    """Rebuild one streamed record (inverse of ``to_record``).
+
+    Unknown keys are dropped and missing optional fields take their
+    defaults, so JSONL written by older engine versions still reloads.
+    """
+    kind = record.get("type")
+    if kind == "result":
+        return JobResult(
+            **{k: v for k, v in record.items() if k in _RESULT_FIELDS}  # type: ignore[arg-type]
+        )
+    if kind == "failure":
+        return JobFailure(
+            **{k: v for k, v in record.items() if k in _FAILURE_FIELDS}  # type: ignore[arg-type]
+        )
+    raise ValueError(f"record has unknown type {kind!r}")
+
+
 @dataclass
 class SweepResult:
     """Aggregate of one engine run over an experiment grid."""
@@ -85,6 +123,9 @@ class SweepResult:
     wall_seconds: float = 0.0
     workers: int = 1
     jsonl_path: Optional[str] = None
+    n_resumed: int = 0
+    """Cells reloaded from a prior run's records instead of re-executed
+    (``run_sweep(resume_from=...)``); counted within ``results``."""
 
     @property
     def n_jobs(self) -> int:
@@ -143,19 +184,68 @@ class SweepResult:
                 totals[name] = totals.get(name, 0.0) + seconds
         return totals
 
+    def store_totals(self) -> Dict[str, int]:
+        """Result-store hits/misses summed over successful cells."""
+        totals = {"hit": 0, "miss": 0}
+        for result in self.results:
+            if result.store_event is not None:
+                totals[result.store_event] = (
+                    totals.get(result.store_event, 0) + 1
+                )
+        return totals
+
     def to_dict(self) -> Dict[str, object]:
         """Machine-readable summary (the CLI's ``--json`` payload)."""
         return {
             "n_jobs": self.n_jobs,
             "n_ok": len(self.results),
             "n_failed": len(self.failures),
+            "n_resumed": self.n_resumed,
             "workers": self.workers,
             "wall_seconds": self.wall_seconds,
             "jsonl_path": self.jsonl_path,
             "cache_totals": self.cache_totals(),
+            "store_totals": self.store_totals(),
             "results": [asdict(r) for r in self.results],
             "failures": [asdict(f) for f in self.failures],
         }
 
     def to_json(self, indent: Optional[int] = None) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def to_jsonl(self, path: Union[str, Path]) -> None:
+        """Write one record per cell — the engine's streaming format."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for result in self.results:
+                handle.write(json.dumps(result.to_record()) + "\n")
+            for failure in self.failures:
+                handle.write(json.dumps(failure.to_record()) + "\n")
+
+    @classmethod
+    def from_jsonl(cls, path: Union[str, Path]) -> "SweepResult":
+        """Reload a run from its per-cell JSONL stream.
+
+        Tolerant of interrupted runs: a torn trailing line (the writer
+        was killed mid-write) is skipped, and when a ``job_id`` appears
+        more than once — a resumed run re-records reloaded cells, and a
+        cell that failed once may succeed later — the *last* record
+        wins.
+        """
+        latest: Dict[str, Union[JobResult, JobFailure]] = {}
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    outcome = outcome_from_record(json.loads(line))
+                except (json.JSONDecodeError, TypeError, ValueError):
+                    continue
+                latest[outcome.job_id] = outcome
+        sweep = cls(jsonl_path=str(path))
+        for outcome in latest.values():
+            if isinstance(outcome, JobResult):
+                sweep.results.append(outcome)
+            else:
+                sweep.failures.append(outcome)
+        return sweep

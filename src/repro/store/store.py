@@ -1,0 +1,197 @@
+"""Content-addressed, on-disk guardband result store.
+
+Algorithm 1's fixed point is deterministic in its inputs: the
+placed-and-routed design (identified by the flow cache key), the
+:class:`~repro.core.guardband.GuardbandConfig`, the ambient temperature
+and the fabric corner.  :func:`store_digest` folds exactly those — plus
+:data:`STORE_SCHEMA_VERSION` — into one SHA-256 digest, and
+:class:`ResultStore` persists each converged
+:class:`~repro.core.guardband.GuardbandResult` under it.
+
+The on-disk discipline matches the flow cache (:mod:`repro.cad.flow`):
+
+- writes go to a tmp file then ``os.replace`` into place, so readers only
+  ever observe complete pickles;
+- a per-entry ``fcntl`` advisory lock serialises concurrent writers of
+  the same digest (degrading to a no-op where ``fcntl`` is unavailable —
+  atomic rename still prevents torn files);
+- anything unreadable is quarantined to ``<digest>.pkl.corrupt`` for
+  post-mortem and treated as a miss, never retried in place.
+
+Store behaviour is mirrored into :mod:`repro.observe` (``store.hit`` /
+``store.miss`` / ``store.put`` / ``store.quarantine`` counters and
+events) and into an always-on process-lifetime tally
+(:func:`store_counters`) the sweep engine can diff per job.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from contextlib import contextmanager
+from dataclasses import fields
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+try:  # POSIX advisory locks; absent on some platforms.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
+from repro import observe
+from repro.core.guardband import GuardbandConfig, GuardbandResult
+
+STORE_SCHEMA_VERSION = 1
+"""Bump when the digest inputs or the stored payload change meaning.
+
+The schema version is folded into every digest, so old-schema entries
+simply stop matching (no in-place migration).  A ``GuardbandConfig``
+field-set change MUST come with a bump — enforced by the ``cache-key``
+lint rule against the committed store manifest
+(``repro/analysis/store_manifest.json``).
+"""
+
+_STORE_COUNTS = {"hit": 0, "miss": 0, "put": 0, "quarantine": 0}
+"""Process-lifetime store behaviour; always on, mirrored into
+``store.*`` observe counters when a session is active."""
+
+
+def store_counters() -> Dict[str, int]:
+    """Snapshot of this process's store hit/miss/put/quarantine counts."""
+    return dict(_STORE_COUNTS)
+
+
+def _count(kind: str, **attrs: object) -> None:
+    _STORE_COUNTS[kind] += 1
+    observe.counter(f"store.{kind}").inc()
+    observe.event(f"store.{kind}", **attrs)
+
+
+def store_digest(
+    flow_cache_key: str,
+    config: GuardbandConfig,
+    t_ambient: float,
+    corner: float,
+) -> str:
+    """The content address of one converged guardband fixed point.
+
+    SHA-256 over ``(schema version, flow cache key, every GuardbandConfig
+    field, ambient, corner)`` — deterministic across processes and
+    interpreter restarts.  The flow cache key already encodes netlist,
+    architecture digest, seed and ``FLOW_CACHE_VERSION``, so a P&R change
+    invalidates store entries transitively.
+    """
+    if not flow_cache_key:
+        raise ValueError("store_digest needs a non-empty flow cache key")
+    payload = repr(
+        (
+            STORE_SCHEMA_VERSION,
+            flow_cache_key,
+            tuple((f.name, getattr(config, f.name)) for f in fields(config)),
+            float(t_ambient),
+            float(corner),
+        )
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@contextmanager
+def _entry_lock(path: Path) -> Iterator[None]:
+    """Exclusive advisory lock serialising writers of one store entry."""
+    if fcntl is None:
+        yield
+        return
+    lock_path = path.with_name(path.name + ".lock")
+    lock_path.parent.mkdir(parents=True, exist_ok=True)
+    with open(lock_path, "w") as handle:
+        fcntl.flock(handle, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(handle, fcntl.LOCK_UN)
+
+
+class ResultStore:
+    """Keyed persistence for converged :class:`GuardbandResult` values.
+
+    Cheap to construct (holds only the root path), so worker processes
+    open their own handle onto a shared directory.  All methods are safe
+    under concurrent multi-process use.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    def path_for(self, digest: str) -> Path:
+        return self.root / f"{digest}.pkl"
+
+    def get(self, digest: str) -> Optional[GuardbandResult]:
+        """The stored result, or ``None`` on miss (corrupt ⇒ quarantine)."""
+        path = self.path_for(digest)
+        if not path.exists():
+            _count("miss", digest=digest)
+            return None
+        try:
+            with open(path, "rb") as handle:
+                result = pickle.load(handle)
+            if not isinstance(result, GuardbandResult):
+                raise TypeError(
+                    f"expected GuardbandResult, got {type(result)!r}"
+                )
+        except Exception:
+            self._quarantine(path)
+            return None
+        _count("hit", digest=digest)
+        return result
+
+    def put(self, digest: str, result: GuardbandResult) -> None:
+        """Persist ``result`` under ``digest`` (atomic tmp + rename)."""
+        if not isinstance(result, GuardbandResult):
+            raise TypeError(
+                f"ResultStore stores GuardbandResult, got {type(result)!r}"
+            )
+        path = self.path_for(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with _entry_lock(path):
+            tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+            try:
+                with open(tmp, "wb") as handle:
+                    pickle.dump(result, handle)
+                os.replace(tmp, path)
+            finally:
+                tmp.unlink(missing_ok=True)
+        _count("put", digest=digest)
+
+    def _quarantine(self, path: Path) -> None:
+        _count("quarantine", path=path.name)
+        try:
+            os.replace(path, path.with_name(path.name + ".corrupt"))
+        except OSError:
+            path.unlink(missing_ok=True)
+
+    def __contains__(self, digest: str) -> bool:
+        return self.path_for(digest).exists()
+
+    def digests(self) -> List[str]:
+        """Every digest currently stored (sorted, excludes quarantined)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            p.name[: -len(".pkl")]
+            for p in self.root.iterdir()
+            if p.name.endswith(".pkl") and not p.name.startswith(".")
+        )
+
+    def __len__(self) -> int:
+        return len(self.digests())
+
+    def __repr__(self) -> str:
+        return f"ResultStore({str(self.root)!r})"
+
+
+def open_store(root: Union[str, Path]) -> ResultStore:
+    """Open (creating if needed) the result store rooted at ``root``."""
+    store = ResultStore(root)
+    store.root.mkdir(parents=True, exist_ok=True)
+    return store

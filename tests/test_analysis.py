@@ -23,8 +23,11 @@ from repro.analysis import (
 )
 from repro.analysis.cli import main as cli_main
 from repro.analysis.engine import Project, default_scan_root, load_modules
-from repro.analysis.manifest import ArchManifest
-from repro.analysis.rules.cache_key import current_manifest
+from repro.analysis.manifest import ArchManifest, StoreManifest
+from repro.analysis.rules.cache_key import (
+    current_manifest,
+    current_store_manifest,
+)
 from repro.analysis.suppress import suppressions_for
 
 SRC_REPRO = Path(__file__).resolve().parents[1] / "src" / "repro"
@@ -42,6 +45,9 @@ def run_on(tmp_path: Path, **kwargs):
         root=tmp_path,
         rules=all_rules(),
         manifest_path=kwargs.pop("manifest_path", tmp_path / "manifest.json"),
+        store_manifest_path=kwargs.pop(
+            "store_manifest_path", tmp_path / "store_manifest.json"
+        ),
         **kwargs,
     )
 
@@ -401,6 +407,143 @@ class TestCacheKeyRule:
         assert run_on(tmp_path).findings == []
 
 
+STORE_FIXTURE_CONFIG = """
+    from dataclasses import dataclass
+
+    @dataclass(frozen=True)
+    class GuardbandConfig:
+        delta_t: float = 2.0
+        max_iterations: int = 20
+"""
+
+STORE_FIXTURE_STORE = """
+    import hashlib
+    from dataclasses import fields
+
+    STORE_SCHEMA_VERSION = 1
+
+    def store_digest(flow_cache_key, config, t_ambient, corner):
+        payload = repr(
+            tuple((f.name, getattr(config, f.name)) for f in fields(config))
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+"""
+
+
+class TestStoreKeyRule:
+    """The cache-key rule's result-store half: GuardbandConfig /
+    store_digest / STORE_SCHEMA_VERSION must move together."""
+
+    def _project(self, tmp_path, config=STORE_FIXTURE_CONFIG,
+                 store=STORE_FIXTURE_STORE):
+        write_module(tmp_path, "core/guardband.py", config)
+        write_module(tmp_path, "store/store.py", store)
+
+    def _manifest(self, tmp_path, fields=("delta_t", "max_iterations"),
+                  version=1):
+        path = tmp_path / "store_manifest.json"
+        StoreManifest(
+            fields=tuple(fields), store_schema_version=version
+        ).save(path)
+        return path
+
+    def test_passes_when_manifest_matches(self, tmp_path):
+        self._project(tmp_path)
+        path = self._manifest(tmp_path)
+        report = run_on(tmp_path, store_manifest_path=path)
+        assert report.findings == []
+
+    def test_missing_manifest_is_a_warning(self, tmp_path):
+        self._project(tmp_path)
+        report = run_on(tmp_path)
+        assert rule_ids(report) == ["cache-key"]
+        assert report.findings[0].severity is Severity.WARNING
+        assert "store manifest" in report.findings[0].message
+        assert report.ok
+
+    def test_field_change_without_schema_bump_is_an_error(self, tmp_path):
+        self._project(tmp_path)
+        path = self._manifest(tmp_path, fields=("delta_t",), version=1)
+        report = run_on(tmp_path, store_manifest_path=path)
+        assert rule_ids(report) == ["cache-key"]
+        assert report.findings[0].severity is Severity.ERROR
+        assert "STORE_SCHEMA_VERSION bump" in report.findings[0].message
+
+    def test_field_change_with_bump_requests_manifest_refresh(self, tmp_path):
+        self._project(tmp_path)
+        path = self._manifest(tmp_path, fields=("delta_t",), version=0)
+        report = run_on(tmp_path, store_manifest_path=path)
+        assert rule_ids(report) == ["cache-key"]
+        assert "refresh the manifest" in report.findings[0].message
+
+    def test_version_drift_alone_is_a_warning(self, tmp_path):
+        self._project(tmp_path)
+        path = self._manifest(tmp_path, version=2)
+        report = run_on(tmp_path, store_manifest_path=path)
+        assert rule_ids(report) == ["cache-key"]
+        assert report.findings[0].severity is Severity.WARNING
+
+    def test_digest_missing_a_field_is_an_error(self, tmp_path):
+        store = """
+            import hashlib
+
+            STORE_SCHEMA_VERSION = 1
+
+            def store_digest(flow_cache_key, config, t_ambient, corner):
+                payload = f"{config.delta_t}"
+                return hashlib.sha256(payload.encode()).hexdigest()
+        """
+        self._project(tmp_path, store=store)
+        path = self._manifest(tmp_path)
+        report = run_on(tmp_path, store_manifest_path=path)
+        assert rule_ids(report) == ["cache-key"]
+        assert "max_iterations" in report.findings[0].message
+
+    def test_store_manifest_round_trip(self, tmp_path):
+        path = tmp_path / "m.json"
+        saved = StoreManifest(fields=("a", "b"), store_schema_version=3)
+        saved.save(path)
+        loaded = StoreManifest.load(path)
+        assert loaded is not None
+        assert set(loaded.fields) == {"a", "b"}
+        assert loaded.store_schema_version == 3
+
+    def test_current_store_manifest_matches_real_repo(self):
+        from dataclasses import fields as dc_fields
+
+        from repro.core.guardband import GuardbandConfig
+        from repro.store import STORE_SCHEMA_VERSION
+
+        modules, errors = load_modules(SRC_REPRO)
+        assert errors == []
+        project = Project(
+            root=SRC_REPRO, modules=modules, manifest_path=Path("unused")
+        )
+        manifest = current_store_manifest(project)
+        assert manifest is not None
+        assert set(manifest.fields) == {
+            f.name for f in dc_fields(GuardbandConfig)
+        }
+        assert manifest.store_schema_version == STORE_SCHEMA_VERSION
+
+    def test_committed_store_manifest_is_current(self):
+        from repro.analysis.engine import default_store_manifest_path
+
+        committed = StoreManifest.load(default_store_manifest_path())
+        assert committed is not None, (
+            "store manifest missing; run python -m repro.analysis "
+            "--update-manifest"
+        )
+        modules, _ = load_modules(SRC_REPRO)
+        project = Project(
+            root=SRC_REPRO, modules=modules, manifest_path=Path("unused")
+        )
+        live = current_store_manifest(project)
+        assert live is not None
+        assert sorted(committed.fields) == sorted(live.fields)
+        assert committed.store_schema_version == live.store_schema_version
+
+
 class TestFrozenMutationRule:
     def test_flags_setattr_outside_post_init(self, tmp_path):
         write_module(
@@ -729,6 +872,25 @@ class TestCli:
             [str(tmp_path), "--manifest", str(manifest), "--update-manifest"]
         ) == 0
         assert cli_main([str(tmp_path), "--manifest", str(manifest)]) == 0
+
+    def test_update_manifest_writes_store_manifest_too(self, tmp_path):
+        write_module(tmp_path, "arch/params.py", CACHE_FIXTURE_PARAMS)
+        write_module(tmp_path, "cad/flow.py", CACHE_FIXTURE_FLOW_FIELDS)
+        write_module(tmp_path, "core/guardband.py", STORE_FIXTURE_CONFIG)
+        write_module(tmp_path, "store/store.py", STORE_FIXTURE_STORE)
+        manifest = tmp_path / "manifest.json"
+        store_manifest = tmp_path / "store_manifest.json"
+        assert cli_main(
+            [str(tmp_path), "--manifest", str(manifest),
+             "--store-manifest", str(store_manifest), "--update-manifest"]
+        ) == 0
+        loaded = StoreManifest.load(store_manifest)
+        assert loaded is not None
+        assert set(loaded.fields) == {"delta_t", "max_iterations"}
+        assert cli_main(
+            [str(tmp_path), "--manifest", str(manifest),
+             "--store-manifest", str(store_manifest)]
+        ) == 0
 
     def test_list_rules(self, capsys):
         assert cli_main(["--list-rules"]) == 0

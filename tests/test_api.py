@@ -1,0 +1,93 @@
+"""Tests for the ``repro.api`` facade and the top-level deprecation shim."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import warnings
+from pathlib import Path
+
+import pytest
+
+import repro
+import repro.api as api
+
+SRC_DIR = str(Path(__file__).resolve().parents[1] / "src")
+
+
+class TestFacade:
+    def test_all_matches_export_table(self):
+        assert api.__all__ == sorted(api._EXPORTS)
+
+    def test_every_export_resolves(self):
+        for name in api.__all__:
+            assert getattr(api, name) is not None, name
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError, match="no attribute 'nope'"):
+            api.nope
+
+    def test_dir_lists_exports(self):
+        listed = dir(api)
+        for name in api.__all__:
+            assert name in listed
+
+    def test_observe_export_is_the_module(self):
+        from repro import observe
+
+        assert api.observe is observe
+
+    def test_resolves_to_the_owning_modules(self):
+        from repro.core.guardband import thermal_aware_guardband
+        from repro.runner import run_sweep
+        from repro.store import open_store
+
+        assert api.thermal_aware_guardband is thermal_aware_guardband
+        assert api.run_sweep is run_sweep
+        assert api.open_store is open_store
+
+    def test_import_is_lazy(self):
+        # A fresh interpreter importing repro.api must not pull in the
+        # heavyweight engine/flow modules until an attribute is touched.
+        code = (
+            "import sys; import repro.api; "
+            "assert 'repro.runner' not in sys.modules, 'runner loaded'; "
+            "assert 'repro.cad.flow' not in sys.modules, 'flow loaded'; "
+            "import repro.api as a; a.run_sweep; "
+            "assert 'repro.runner' in sys.modules"
+        )
+        subprocess.run(
+            [sys.executable, "-c", code],
+            check=True, env={"PYTHONPATH": SRC_DIR, "PATH": ""},
+        )
+
+
+class TestTopLevelDeprecation:
+    def test_legacy_access_warns_and_resolves(self):
+        with pytest.warns(DeprecationWarning, match="repro.api"):
+            legacy = repro.run_flow
+        assert legacy is api.run_flow
+
+    def test_warns_on_every_access(self):
+        # The shim must not cache: each legacy use keeps nudging.
+        for _ in range(2):
+            with pytest.warns(DeprecationWarning):
+                repro.GuardbandConfig
+
+    def test_eager_module_exports_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert repro.observe is not None
+            assert repro.profiling is not None
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError, match="no attribute"):
+            repro.not_a_thing
+
+    def test_all_names_still_resolve(self):
+        with pytest.warns(DeprecationWarning):
+            for name in repro._DEPRECATED_EXPORTS:
+                assert getattr(repro, name) is not None, name
+
+    def test_version_bumped(self):
+        assert repro.__version__ >= "1.3.0"

@@ -8,17 +8,18 @@ of the paper's headline claims.
 import numpy as np
 import pytest
 
-from repro import (
+from repro.api import (
     ArchParams,
     GuardbandConfig,
+    NetlistSpec,
     build_fabric,
+    generate_netlist,
+    guardband_gain,
     run_flow,
     thermal_aware_guardband,
     vtr_benchmark,
     worst_case_frequency,
 )
-from repro.core.margins import guardband_gain
-from repro.netlists.generator import NetlistSpec, generate_netlist
 from repro.thermal.hotspot import xpe_cross_validation
 
 

@@ -46,15 +46,15 @@ def tiny_spec(**overrides) -> ExperimentSpec:
 
 # Module-level so the process pool can pickle them by reference (the
 # forked workers share this module's in-memory state).
-def _kill_own_worker(job):
+def _kill_own_worker(job, store=None):
     os.kill(os.getpid(), signal.SIGKILL)
 
 
-def _sleep_job(job):
+def _sleep_job(job, store=None):
     time.sleep(3.0)
 
 
-def _slow_ok_job(job):
+def _slow_ok_job(job, store=None):
     time.sleep(0.4)
     return JobResult(
         job_id=job.job_id, benchmark=job.benchmark,
@@ -65,7 +65,7 @@ def _slow_ok_job(job):
     )
 
 
-def _kill_worker_on_tiny_a(job):
+def _kill_worker_on_tiny_a(job, store=None):
     if job.benchmark == "runner_tiny_a":
         os.kill(os.getpid(), signal.SIGKILL)
     return _slow_ok_job(job)
@@ -137,7 +137,7 @@ class TestSerialSweep:
     def test_worker_exception_recorded_not_fatal(self, cache_dir, monkeypatch):
         real = engine_module._execute_job
 
-        def flaky(job):
+        def flaky(job, store=None):
             if job.benchmark == "runner_tiny_a":
                 raise RuntimeError("synthetic job explosion")
             return real(job)
@@ -157,7 +157,7 @@ class TestSerialSweep:
         real = engine_module._execute_job
         calls = {"n": 0}
 
-        def congested_once(job):
+        def congested_once(job, store=None):
             calls["n"] += 1
             if calls["n"] == 1:
                 raise RoutingError("transient congestion")
@@ -171,7 +171,7 @@ class TestSerialSweep:
         assert sweep.results[0].attempts == 2
 
     def test_retry_exhaustion_recorded(self, cache_dir, monkeypatch):
-        def always_congested(job):
+        def always_congested(job, store=None):
             raise RoutingError("permanent congestion")
 
         monkeypatch.setattr(engine_module, "_execute_job", always_congested)
@@ -192,7 +192,7 @@ class TestSerialSweep:
         real = engine_module._execute_job
         seeds = []
 
-        def congested_once(job):
+        def congested_once(job, store=None):
             seeds.append(job.seed)
             if len(seeds) == 1:
                 raise RoutingError("congested at this placement seed")
@@ -406,7 +406,7 @@ class TestSweepObservability:
         real = engine_module._execute_job
         calls = {"n": 0}
 
-        def congested_once(job):
+        def congested_once(job, store=None):
             calls["n"] += 1
             if calls["n"] == 1:
                 raise RoutingError("transient congestion")
