@@ -1,0 +1,114 @@
+"""Batched Algorithm 1 benchmark — joint fixed point vs per-cell loop.
+
+Runs an ambient sweep (20 same-flow cells) on one placed VTR netlist
+twice — once through the looped single-cell path and once through
+:func:`thermal_aware_guardband_batch`, which stacks the cells into
+``(n_cells, n_tiles)`` arrays and amortises the thermal factorization,
+STA delay interpolation and power model across the batch — and asserts
+the batched wall time beats the loop by the acceptance floor while every
+cell's frequency stays within its ``delta_t`` compensation margin
+(DESIGN.md §12).
+
+Smoke mode for CI: set ``BATCH_SMOKE=1`` to run one netlist once and
+only assert completion + equivalence (no speedup threshold — CI machines
+are noisy).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.cad.flow import run_flow
+from repro.core.guardband import (
+    thermal_aware_guardband,
+    thermal_aware_guardband_batch,
+)
+from repro.netlists.vtr_suite import vtr_benchmark
+from repro.reporting.tables import format_table
+
+SMOKE = os.environ.get("BATCH_SMOKE", "") == "1"
+NETLISTS = ("sha",) if SMOKE else ("sha", "or1200")
+N_CELLS = 20
+"""Cells per batch: one ambient sweep over the same placed flow."""
+AMBIENTS = tuple(float(t) for t in np.linspace(5.0, 80.0, N_CELLS))
+REPEATS = 1 if SMOKE else 3
+SPEEDUP_FLOOR = 3.0
+"""Acceptance floor: the batched sweep must beat the loop >= 3x."""
+
+
+def _best_of(fn, repeats):
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def test_guardband_batch_speedup(arch, fabric25):
+    rows = []
+    loop_total = batch_total = 0.0
+    for name in NETLISTS:
+        flow = run_flow(vtr_benchmark(name), arch)
+        # Warm the per-flow memos so both paths time pure solver work.
+        thermal_aware_guardband(flow, fabric25, AMBIENTS[0])
+        thermal_aware_guardband_batch(flow, fabric25, AMBIENTS[:2])
+
+        loop_s, looped = _best_of(
+            lambda: [
+                thermal_aware_guardband(flow, fabric25, t) for t in AMBIENTS
+            ],
+            REPEATS,
+        )
+        batch_s, batched = _best_of(
+            lambda: thermal_aware_guardband_batch(flow, fabric25, AMBIENTS),
+            REPEATS,
+        )
+
+        # Equivalence gate: per-cell agreement within the delta_t
+        # compensation margin, identical iteration trajectories.
+        assert len(batched) == N_CELLS
+        for reference, outcome in zip(looped, batched):
+            margin = abs(
+                reference.history[-1].frequency_hz - reference.frequency_hz
+            )
+            drift = abs(outcome.frequency_hz - reference.frequency_hz)
+            assert drift <= max(margin, 1e-9), name
+            assert outcome.iterations == reference.iterations, name
+
+        loop_total += loop_s
+        batch_total += batch_s
+        rows.append(
+            (
+                name,
+                N_CELLS,
+                f"{loop_s * 1e3:.1f}",
+                f"{batch_s * 1e3:.1f}",
+                f"{loop_s / batch_s:.2f}x",
+            )
+        )
+
+    speedup = loop_total / batch_total
+    print()
+    print(
+        format_table(
+            ["netlist", "cells", "looped ms", "batched ms", "speedup"],
+            rows,
+            title=f"Batched Algorithm 1 — {N_CELLS}-cell ambient sweep",
+        )
+    )
+    print(
+        f"\ntotal: looped {loop_total * 1e3:.1f} ms, "
+        f"batched {batch_total * 1e3:.1f} ms -> {speedup:.2f}x speedup"
+    )
+
+    assert loop_total > 0.0 and batch_total > 0.0
+    if not SMOKE:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"batched sweep speedup {speedup:.2f}x below the "
+            f"{SPEEDUP_FLOOR:.0f}x acceptance floor on {N_CELLS} cells"
+        )

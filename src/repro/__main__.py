@@ -252,6 +252,7 @@ def _run_engine(
             progress=progress,
             store=store_path,
             resume_from=resume_from,
+            batch=getattr(args, "batch", False),
         )
     if quiet:
         print(sweep.to_json())
@@ -381,6 +382,12 @@ def main(argv=None) -> int:
         help="resume an interrupted run from DIR (implies --run-dir DIR): "
              "completed cells are reloaded from DIR/sweep.jsonl and only "
              "the remainder is executed",
+    )
+    engine.add_argument(
+        "--batch", action="store_true",
+        help="solve same-flow cells (an ambient sweep over one placed "
+             "benchmark) as one joint batched fixed point; per-cell "
+             "records and store/resume semantics are unchanged",
     )
 
     p = sub.add_parser("suite", parents=[common, engine],

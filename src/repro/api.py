@@ -44,10 +44,12 @@ _EXPORTS = {
     "flow_cache_key": "repro.cad.flow",
     "run_flow": "repro.cad.flow",
     # Algorithm 1 and the margin model.
+    "BatchCell": "repro.core.guardband",
     "GuardbandConfig": "repro.core.guardband",
     "GuardbandError": "repro.core.guardband",
     "GuardbandResult": "repro.core.guardband",
     "thermal_aware_guardband": "repro.core.guardband",
+    "thermal_aware_guardband_batch": "repro.core.guardband",
     "guardband_gain": "repro.core.margins",
     "worst_case_frequency": "repro.core.margins",
     # Thermal-aware design / architecture selection.
@@ -101,10 +103,12 @@ if TYPE_CHECKING:  # Static surface for mypy/IDEs; runtime stays lazy.
     from repro.core.architecture import expected_delay, select_design_corner
     from repro.core.design import corner_delay_curves
     from repro.core.guardband import (
+        BatchCell,
         GuardbandConfig,
         GuardbandError,
         GuardbandResult,
         thermal_aware_guardband,
+        thermal_aware_guardband_batch,
     )
     from repro.core.margins import guardband_gain, worst_case_frequency
     from repro.netlists.generator import NetlistSpec, generate_netlist

@@ -17,19 +17,28 @@ from repro.core.architecture import (
 )
 from repro.core.design import CornerCurves, corner_delay_curves
 from repro.core.grades import GradeBand, GradePlan, plan_temperature_grades
-from repro.core.guardband import GuardbandResult, thermal_aware_guardband
+from repro.core.guardband import (
+    BatchCell,
+    GuardbandError,
+    GuardbandResult,
+    thermal_aware_guardband,
+    thermal_aware_guardband_batch,
+)
 from repro.core.margins import worst_case_frequency
 
 __all__ = [
+    "BatchCell",
     "CornerChoice",
     "CornerCurves",
     "GradeBand",
     "GradePlan",
+    "GuardbandError",
     "GuardbandResult",
     "corner_delay_curves",
     "expected_delay",
     "plan_temperature_grades",
     "select_design_corner",
     "thermal_aware_guardband",
+    "thermal_aware_guardband_batch",
     "worst_case_frequency",
 ]

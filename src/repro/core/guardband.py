@@ -18,13 +18,14 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro import observe
 from repro.activity.ace import ActivityEstimate, estimate_activity
 from repro.cad.flow import FlowResult
+from repro.cad.timing import TimingReport
 from repro.coffe.fabric import Fabric
 from repro.power.model import PowerModel
 from repro.thermal.hotspot import ThermalSolver
@@ -41,7 +42,36 @@ BASE_ACTIVITY_DEFAULT = 0.15
 
 
 class GuardbandError(RuntimeError):
-    """Raised when the temperature-power fixed point does not converge."""
+    """Raised when the temperature-power fixed point does not converge.
+
+    Carries the partial fixed-point state so a diverging sweep cell is
+    debuggable without a re-run: the per-iteration ``history`` telemetry,
+    the ``last_temperatures`` vector the loop stopped at, and the
+    ``iterations`` spent.  All diagnostics default to empty so the
+    exception still constructs from a bare message.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        history: Optional[List["GuardbandIteration"]] = None,
+        last_temperatures: Optional[np.ndarray] = None,
+        iterations: int = 0,
+        t_ambient: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        self.history: List["GuardbandIteration"] = list(history or [])
+        self.last_temperatures = last_temperatures
+        self.iterations = iterations
+        self.t_ambient = t_ambient
+
+    @property
+    def last_max_delta_celsius(self) -> Optional[float]:
+        """The final iteration's ``||dT||_inf``, when any iteration ran."""
+        if not self.history:
+            return None
+        return self.history[-1].max_delta_celsius
 
 
 @dataclass(frozen=True)
@@ -287,7 +317,11 @@ def thermal_aware_guardband(
             )
             raise GuardbandError(
                 f"{flow.netlist.name}: temperature did not converge within "
-                f"{max_iterations} iterations{last}"
+                f"{max_iterations} iterations{last}",
+                history=history,
+                last_temperatures=t_tiles,
+                iterations=iterations,
+                t_ambient=float(t_ambient),
             )
 
         observe.histogram("guardband.iterations").observe(float(iterations))
@@ -306,3 +340,239 @@ def thermal_aware_guardband(
         history=history,
         warm_started=warm_started,
     )
+
+
+@dataclass(frozen=True)
+class BatchCell:
+    """One sweep cell of a batched Algorithm 1 run.
+
+    All cells of a batch share the placed netlist, fabric corner and
+    :class:`GuardbandConfig`; what varies per cell is the ambient and,
+    optionally, a warm-start profile (the converged temperatures of a
+    neighbouring cell, re-based onto this ambient by the caller).
+    """
+
+    t_ambient: float
+    warm_start: Optional[np.ndarray] = None
+
+
+BatchOutcome = Union[GuardbandResult, "GuardbandError"]
+"""Per-cell outcome of a batched run: the converged result, or — for a
+cell that exhausted the iteration budget — a :class:`GuardbandError`
+carrying its partial diagnostics.  A diverging cell never poisons its
+batch-mates."""
+
+
+def _coerce_cells(
+    cells: Sequence[Union[float, BatchCell]], n_tiles: int
+) -> List[BatchCell]:
+    coerced: List[BatchCell] = []
+    for cell in cells:
+        if not isinstance(cell, BatchCell):
+            cell = BatchCell(t_ambient=float(cell))
+        if cell.warm_start is not None:
+            seed_vec = np.asarray(cell.warm_start, dtype=float)
+            if seed_vec.shape != (n_tiles,):
+                raise ValueError(
+                    f"warm_start must have shape ({n_tiles},) to match the "
+                    f"layout, got {seed_vec.shape}"
+                )
+            if not np.all(np.isfinite(seed_vec)):
+                raise ValueError("warm_start contains non-finite temperatures")
+        coerced.append(cell)
+    return coerced
+
+
+def thermal_aware_guardband_batch(
+    flow: FlowResult,
+    fabric: Fabric,
+    cells: Sequence[Union[float, BatchCell]],
+    config: Optional[GuardbandConfig] = None,
+    activity: Optional[ActivityEstimate] = None,
+) -> List[BatchOutcome]:
+    """Run Algorithm 1 jointly over many cells sharing one placed netlist.
+
+    Every cell of an ambient sweep over the same ``flow`` shares the
+    thermal conductance factorization and the STA delay tables; stacking
+    their temperature/power state into ``(n_cells, n_tiles)`` arrays
+    amortises all of it:
+
+    - one :class:`~repro.thermal.hotspot.ThermalSolver` (one ``splu``
+      factorization) back-substitutes the whole batch as a matrix RHS;
+    - one :class:`~repro.power.model.PowerModel` evaluates dynamic and
+      leakage power across the cell axis;
+    - the STA delay interpolation runs once per iteration for all cells
+      (:meth:`~repro.cad.timing.TimingAnalyzer.critical_path_batch`).
+
+    Cells iterate jointly under an *active mask*: a cell whose
+    ``||dT||_inf`` drops under ``config.delta_t`` converges and leaves
+    the batch (it stops paying for slower batch-mates' iterations only
+    in telemetry — the arrays shrink to the active rows each step), and
+    each converged cell gets its own final re-time at ``T + delta_t``.
+    A cell that exhausts ``config.max_iterations`` yields a
+    :class:`GuardbandError` (with partial history and last temperatures
+    attached) in its slot of the returned list without affecting any
+    other cell.
+
+    ``cells`` entries are ambients (floats) or :class:`BatchCell` values
+    (ambient + optional warm-start profile).  Results are returned in
+    input order and agree with the looped single-cell path within the
+    ``delta_t`` compensation margin (DESIGN.md §12); per-iteration
+    ``phase_seconds`` telemetry attributes each batch iteration's phase
+    cost evenly across the cells active in it.
+    """
+    config = config if config is not None else GuardbandConfig()
+    batch_cells = _coerce_cells(cells, flow.layout.n_tiles)
+    if not batch_cells:
+        return []
+    if activity is None:
+        activity = estimate_activity(flow.netlist, config.base_activity)
+
+    power_model = PowerModel(flow, fabric, activity)
+    solver = ThermalSolver(flow.layout, config.package)
+    n_cells = len(batch_cells)
+    n_tiles = flow.layout.n_tiles
+    delta_t = config.delta_t
+    max_iterations = config.max_iterations
+
+    ambients = np.array([cell.t_ambient for cell in batch_cells], dtype=float)
+    t_tiles = np.empty((n_cells, n_tiles))
+    warm_started = np.zeros(n_cells, dtype=bool)
+    for i, cell in enumerate(batch_cells):
+        if cell.warm_start is not None:
+            # Clamped like the single-cell path: tiles cannot sit below
+            # the junction base temperature at steady state.
+            t_tiles[i] = np.maximum(
+                np.asarray(cell.warm_start, dtype=float), ambients[i]
+            )
+            warm_started[i] = True
+        else:
+            t_tiles[i] = ambients[i]  # line 1, per cell
+
+    active = np.ones(n_cells, dtype=bool)
+    iterations = np.zeros(n_cells, dtype=int)
+    histories: List[List[GuardbandIteration]] = [[] for _ in range(n_cells)]
+
+    run_span = observe.span(
+        "guardband.batch",
+        benchmark=flow.netlist.name,
+        n_cells=n_cells,
+        delta_t=delta_t,
+        max_iterations=max_iterations,
+        n_warm_started=int(warm_started.sum()),
+    )
+    with run_span:
+        for step in range(max_iterations):
+            index = np.flatnonzero(active)
+            if index.size == 0:
+                break
+            iterations[index] += 1
+            it_span = observe.span(
+                "guardband.batch.iteration",
+                index=step + 1,
+                n_active=int(index.size),
+            )
+            with it_span:
+                # Line 4, batched: per-cell STA at the current profiles.
+                with observe.span("guardband.sta") as sta_span:
+                    reports = flow.timing.critical_path_batch(
+                        fabric, t_tiles[index]
+                    )
+                frequencies = np.array(
+                    [report.frequency_hz for report in reports]
+                )
+                # Line 5, batched: dynamic + leakage across the cell axis.
+                with observe.span("guardband.power") as power_span:
+                    power = power_model.evaluate_batch(
+                        frequencies, t_tiles[index]
+                    )
+                # Line 7: one matrix-RHS back-substitution for all cells.
+                with observe.span("guardband.thermal") as thermal_span:
+                    t_new = solver.solve(power.total_w, ambients[index])
+                max_delta = np.max(np.abs(t_new - t_tiles[index]), axis=1)
+                t_tiles[index] = t_new
+                it_span.set_attrs(
+                    max_delta_celsius=float(max_delta.max()),
+                    n_converging=int(np.sum(max_delta <= delta_t)),
+                )
+            phase = observe.phase_seconds(
+                sta=sta_span, power=power_span, thermal=thermal_span
+            )
+            totals = power.total_watts_per_cell()
+            for j, cell_index in enumerate(index):
+                histories[cell_index].append(
+                    GuardbandIteration(
+                        frequency_hz=float(frequencies[j]),
+                        total_power_w=float(totals[j]),
+                        max_tile_celsius=float(t_tiles[cell_index].max()),
+                        mean_tile_celsius=float(t_tiles[cell_index].mean()),
+                        max_delta_celsius=float(max_delta[j]),
+                        phase_seconds=(
+                            {k: v / index.size for k, v in phase.items()}
+                            if phase is not None
+                            else None
+                        ),
+                    )
+                )
+            # Line 8, per cell: converged cells drop out of the batch.
+            active[index[max_delta <= delta_t]] = False
+
+        diverged = active.copy()
+        converged_index = np.flatnonzero(~diverged)
+        run_span.set_attrs(
+            n_converged=int(converged_index.size),
+            n_diverged=int(diverged.sum()),
+            iterations=int(iterations.max(initial=0)),
+        )
+
+        finals: List[TimingReport] = []
+        if converged_index.size:
+            # Line 9, batched: one re-time of every converged cell at its
+            # own converged profile + the delta_t compensation margin.
+            with observe.span(
+                "guardband.batch.final_sta", n_cells=int(converged_index.size)
+            ):
+                finals = flow.timing.critical_path_batch(
+                    fabric, t_tiles[converged_index] + delta_t
+                )
+
+        outcomes: List[BatchOutcome] = []
+        final_iter = iter(finals)
+        for i in range(n_cells):
+            if diverged[i]:
+                observe.counter("guardband.diverged").inc()
+                history = histories[i]
+                last = (
+                    f" (last |dT| = {history[-1].max_delta_celsius:.2f} C)"
+                    if history
+                    else ""
+                )
+                outcomes.append(
+                    GuardbandError(
+                        f"{flow.netlist.name}: temperature did not converge "
+                        f"within {max_iterations} iterations{last}",
+                        history=history,
+                        last_temperatures=t_tiles[i].copy(),
+                        iterations=int(iterations[i]),
+                        t_ambient=float(ambients[i]),
+                    )
+                )
+                continue
+            observe.histogram("guardband.iterations").observe(
+                float(iterations[i])
+            )
+            final = next(final_iter)
+            outcomes.append(
+                GuardbandResult(
+                    frequency_hz=final.frequency_hz,
+                    critical_path_s=final.critical_path_s,
+                    tile_temperatures=t_tiles[i].copy(),
+                    iterations=int(iterations[i]),
+                    t_ambient=float(ambients[i]),
+                    delta_t=delta_t,
+                    total_power_w=histories[i][-1].total_power_w,
+                    history=histories[i],
+                    warm_started=bool(warm_started[i]),
+                )
+            )
+    return outcomes

@@ -14,8 +14,8 @@ Implements Algorithm 1 line 5: ``p = p_dyn(netlist, alpha, f) + p_lkg(T)``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -62,18 +62,43 @@ def tile_inventory(arch: ArchParams, tile_type: TileType) -> Dict[str, float]:
 
 @dataclass
 class PowerBreakdown:
-    """Per-tile power split at one operating point."""
+    """Per-tile power split at one operating point.
+
+    ``dynamic_w``/``leakage_w`` are ``(n_tiles,)`` vectors for one
+    operating point, or ``(n_cells, n_tiles)`` arrays for a batched
+    evaluation (one row per cell).  The derived totals are computed once
+    per breakdown and cached — Algorithm 1's hot loop reads them several
+    times per iteration, and the inputs are never mutated after
+    :meth:`PowerModel.evaluate` returns.
+    """
 
     dynamic_w: np.ndarray
     leakage_w: np.ndarray
+    _total_w: Optional[np.ndarray] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _total_watts: Optional[float] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def total_w(self) -> np.ndarray:
-        return self.dynamic_w + self.leakage_w
+        if self._total_w is None:
+            self._total_w = self.dynamic_w + self.leakage_w
+        return self._total_w
 
     @property
     def total_watts(self) -> float:
-        return float(self.total_w.sum())
+        """Whole-die total, watts (summed over every axis)."""
+        if self._total_watts is None:
+            self._total_watts = float(self.total_w.sum())
+        return self._total_watts
+
+    def total_watts_per_cell(self) -> np.ndarray:
+        """Per-cell totals of a batched ``(n_cells, n_tiles)`` breakdown."""
+        if self.total_w.ndim != 2:
+            raise ValueError("per-cell totals need a batched breakdown")
+        return self.total_w.sum(axis=1)
 
 
 class PowerModel:
@@ -184,6 +209,23 @@ class PowerModel:
             raise ValueError(f"negative frequency: {frequency_hz}")
         return (self._pdyn_base * frequency_hz) @ self._alpha_matrix
 
+    def dynamic_power_batch(self, frequencies_hz: np.ndarray) -> np.ndarray:
+        """Per-tile dynamic power for a vector of clocks: ``(n_cells, n_tiles)``.
+
+        Row ``c`` equals ``dynamic_power(frequencies_hz[c])`` up to BLAS
+        summation order — the whole batch is one matrix product.
+        """
+        frequencies_hz = np.asarray(frequencies_hz, dtype=float)
+        if frequencies_hz.ndim != 1:
+            raise ValueError(
+                f"frequencies must be a 1-D vector, got shape "
+                f"{frequencies_hz.shape}"
+            )
+        if np.any(frequencies_hz < 0.0):
+            raise ValueError("negative frequency in batch")
+        scaled = frequencies_hz[:, None] * self._pdyn_base[None, :]
+        return scaled @ self._alpha_matrix
+
     def dynamic_power_reference(self, frequency_hz: float) -> np.ndarray:
         """Seed per-resource-loop dynamic power (see repro.core.reference)."""
         if frequency_hz < 0.0:
@@ -229,6 +271,28 @@ class PowerModel:
         )
         return np.einsum("rt,rt->t", self._counts[self._leaky_rows], leaks)
 
+    def leakage_power_batch(self, t_batch: np.ndarray) -> np.ndarray:
+        """Per-tile leakage for an ``(n_cells, n_tiles)`` temperature batch.
+
+        One gathered linear interpolation over all cells on the canonical
+        grid; row ``c`` is bit-identical to ``leakage_power(t_batch[c])``.
+        """
+        t_batch = np.asarray(t_batch, dtype=float)
+        if t_batch.ndim != 2 or t_batch.shape[1] != self.n_tiles:
+            raise ValueError(
+                f"temperature batch shape {t_batch.shape} != "
+                f"(n_cells, {self.n_tiles})"
+            )
+        if self._leak_table is not None:
+            table = self._leak_table
+            t = np.clip(t_batch, T_MIN_CELSIUS, T_MAX_CELSIUS)
+            i0 = t.astype(np.intp)
+            frac = t - i0
+            i1 = np.minimum(i0 + 1, table.shape[1] - 1)
+            rows = np.arange(self.n_tiles)
+            return table[rows, i0] * (1.0 - frac) + table[rows, i1] * frac
+        return np.stack([self.leakage_power(t) for t in t_batch])
+
     def leakage_power_reference(self, t_tiles: np.ndarray) -> np.ndarray:
         """Seed per-resource-loop leakage power (see repro.core.reference)."""
         t_tiles = self._check_temps(t_tiles)
@@ -247,4 +311,25 @@ class PowerModel:
         return PowerBreakdown(
             dynamic_w=self.dynamic_power(frequency_hz),
             leakage_w=self.leakage_power(t_tiles),
+        )
+
+    def evaluate_batch(
+        self, frequencies_hz: np.ndarray, t_batch: np.ndarray
+    ) -> PowerBreakdown:
+        """Batched Algorithm 1 line 5: one breakdown row per sweep cell.
+
+        ``frequencies_hz`` is ``(n_cells,)`` and ``t_batch`` is
+        ``(n_cells, n_tiles)``; the returned breakdown holds
+        ``(n_cells, n_tiles)`` arrays.
+        """
+        frequencies_hz = np.asarray(frequencies_hz, dtype=float)
+        t_batch = np.asarray(t_batch, dtype=float)
+        if frequencies_hz.shape != (t_batch.shape[0],):
+            raise ValueError(
+                f"frequency vector shape {frequencies_hz.shape} does not "
+                f"match the {t_batch.shape[0]}-row temperature batch"
+            )
+        return PowerBreakdown(
+            dynamic_w=self.dynamic_power_batch(frequencies_hz),
+            leakage_w=self.leakage_power_batch(t_batch),
         )

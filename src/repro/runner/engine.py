@@ -80,7 +80,13 @@ from repro.cad.route import RoutingError
 from repro.observe.clock import monotonic
 from repro.observe.context import TraceContext
 from repro.coffe.fabric import Fabric, build_fabric
-from repro.core.guardband import GuardbandResult, thermal_aware_guardband
+from repro.core.guardband import (
+    BatchCell,
+    GuardbandError,
+    GuardbandResult,
+    thermal_aware_guardband,
+    thermal_aware_guardband_batch,
+)
 from repro.core.margins import guardband_gain, worst_case_frequency
 from repro.runner.results import JobFailure, JobResult, SweepResult
 from repro.runner.spec import ExperimentSpec, SweepJob
@@ -114,6 +120,19 @@ def _fabric_for(corner: float, arch: ArchParams) -> Fabric:
     return _FABRIC_MEMO[key]
 
 
+def _warm_start_miss(job: SweepJob, reason: str) -> None:
+    """An attached neighbour existed but could not seed the fixed point.
+
+    Distinguished from "no neighbour was attached" (which is silent):
+    these misses measure warm-start *efficacy* — a stored entry that was
+    quarantined as unreadable, or whose profile no longer matches the
+    layout — and surface in ``python -m repro.observe report`` via the
+    ``store.warm_start_miss`` counter/event.
+    """
+    observe.counter("store.warm_start_miss").inc()
+    observe.event("store.warm_start_miss", job_id=job.job_id, reason=reason)
+
+
 def _warm_start_vector(
     store: Optional[ResultStore], flow: FlowResult, job: SweepJob
 ) -> Optional["np.ndarray"]:
@@ -123,8 +142,10 @@ def _warm_start_vector(
     coordinates (nearest first); the neighbour's converged profile is
     re-based onto this cell's ambient (the *rise* over ambient is what
     transfers between operating points).  Any unusable candidate —
-    evicted entry, layout mismatch from a retry's perturbed seed — just
-    falls through to the next, and ultimately to the cold ambient start.
+    quarantined entry, layout mismatch from a retry's perturbed seed —
+    is counted as a ``store.warm_start_miss`` (unusable is not the same
+    as absent) and falls through to the next, ultimately to the cold
+    ambient start.
     """
     if (
         store is None
@@ -134,18 +155,24 @@ def _warm_start_vector(
     ):
         return None
     for t_ambient, corner in job.warm_start_cells:
-        neighbour = store.get(
-            store_digest(flow.cache_key, job.config, t_ambient, corner)
+        digest = store_digest(flow.cache_key, job.config, t_ambient, corner)
+        existed = digest in store
+        neighbour = store.get(digest)
+        if neighbour is None:
+            if existed:
+                # The entry was on disk but unreadable (now quarantined)
+                # — without the counter this would be indistinguishable
+                # from "no neighbour exists".
+                _warm_start_miss(job, "quarantined")
+            continue
+        if neighbour.tile_temperatures.shape != (flow.layout.n_tiles,):
+            _warm_start_miss(job, "layout_mismatch")
+            continue
+        return (
+            neighbour.tile_temperatures
+            - neighbour.t_ambient
+            + job.t_ambient
         )
-        if (
-            neighbour is not None
-            and neighbour.tile_temperatures.shape == (flow.layout.n_tiles,)
-        ):
-            return (
-                neighbour.tile_temperatures
-                - neighbour.t_ambient
-                + job.t_ambient
-            )
     return None
 
 
@@ -245,20 +272,197 @@ def _execute_job(job: SweepJob, store: Optional[str] = None) -> JobResult:
     )
 
 
-def _run_job_in_worker(
-    job: SweepJob,
+def _batch_key(job: SweepJob) -> Tuple[object, ...]:
+    """Everything a batch must share: one flow, one fabric, one config.
+
+    Jobs agreeing on this key resolve to the same flow cache key (the
+    netlist/arch/seed triple determines it) and differ only in ambient —
+    exactly the axis :func:`thermal_aware_guardband_batch` vectorizes.
+    """
+    return (
+        job.benchmark,
+        job.netlist_spec,
+        job.arch,
+        job.seed,
+        job.timing_driven,
+        job.corner,
+        job.config,
+    )
+
+
+def _batch_units(jobs: List[SweepJob]) -> List[List[SweepJob]]:
+    """Group same-flow jobs into batched work units, grid order preserved.
+
+    Each unit is dispatched (and retried, and timed out) as one work
+    item; its cells still record individually — one JSONL line, one
+    ``sweep.cell`` span and one store write per cell.
+    """
+    grouped: Dict[Tuple[object, ...], List[SweepJob]] = {}
+    order: List[Tuple[object, ...]] = []
+    for job in jobs:
+        key = _batch_key(job)
+        if key not in grouped:
+            grouped[key] = []
+            order.append(key)
+        grouped[key].append(job)
+    return [grouped[key] for key in order]
+
+
+def _execute_batch(
+    jobs: List[SweepJob], store: Optional[str] = None
+) -> List[Union[JobResult, JobFailure]]:
+    """Run one batched unit of same-flow cells end-to-end.
+
+    The placed netlist, fabric and worst-case baseline are resolved
+    once; cells already persisted in the result store are served as
+    per-cell hits, and only the remainder enters the joint fixed point.
+    Per-cell semantics match :func:`_execute_job`: one
+    :class:`JobResult` (or, for a diverged cell, :class:`JobFailure`)
+    per input job, in input order, each with its own store write.  Wall
+    clock is attributed evenly across the unit's cells.
+    """
+    start = monotonic()
+    result_store = ResultStore(store) if store is not None else None
+    n_jobs = len(jobs)
+    lead = jobs[0]
+    with observe.enabled():
+        batch_span = observe.span(
+            "sweep.batch",
+            benchmark=lead.benchmark,
+            corner=lead.corner,
+            n_cells=n_jobs,
+        )
+        with batch_span:
+            cache_before = cache_counters()
+            netlist = lead.resolve_netlist()
+            flow = run_flow(
+                netlist, lead.arch, seed=lead.seed,
+                timing_driven=lead.timing_driven,
+            )
+            fabric = _fabric_for(lead.corner, lead.arch)
+            worst_case_hz = worst_case_frequency(flow, fabric)
+
+            results: List[Optional[GuardbandResult]] = [None] * n_jobs
+            errors: Dict[int, GuardbandError] = {}
+            digests: Dict[int, str] = {}
+            store_events: Dict[int, str] = {}
+            if result_store is not None and flow.cache_key is not None:
+                for i, job in enumerate(jobs):
+                    digests[i] = store_digest(
+                        flow.cache_key, job.config, job.t_ambient, job.corner
+                    )
+                    results[i] = result_store.get(digests[i])
+                    store_events[i] = (
+                        "hit" if results[i] is not None else "miss"
+                    )
+            pending = [i for i in range(n_jobs) if results[i] is None]
+            if pending:
+                cells = [
+                    BatchCell(
+                        t_ambient=jobs[i].t_ambient,
+                        warm_start=_warm_start_vector(
+                            result_store, flow, jobs[i]
+                        ),
+                    )
+                    for i in pending
+                ]
+                outcomes = thermal_aware_guardband_batch(
+                    flow, fabric, cells, config=lead.config
+                )
+                for i, outcome in zip(pending, outcomes):
+                    if isinstance(outcome, GuardbandError):
+                        errors[i] = outcome
+                    else:
+                        results[i] = outcome
+                        if result_store is not None and i in digests:
+                            result_store.put(digests[i], outcome)
+            cache_after = cache_counters()
+            cache_events = {
+                kind: cache_after[kind] - cache_before[kind]
+                for kind in cache_after
+                if cache_after[kind] > cache_before[kind]
+            }
+            batch_span.set_attrs(
+                n_computed=len(pending), n_failed=len(errors)
+            )
+
+    wall_share = (monotonic() - start) / n_jobs
+    records: List[Union[JobResult, JobFailure]] = []
+    for i, job in enumerate(jobs):
+        store_event = store_events.get(i)
+        error = errors.get(i)
+        if error is not None:
+            records.append(
+                JobFailure(
+                    job_id=job.job_id,
+                    benchmark=job.benchmark,
+                    t_ambient=job.t_ambient,
+                    corner=job.corner,
+                    error_type=type(error).__name__,
+                    message=str(error) or type(error).__name__,
+                    attempts=1,
+                    wall_seconds=wall_share,
+                    retryable=isinstance(error, RETRYABLE_ERRORS),
+                    diagnostics=_failure_diagnostics(error),
+                )
+            )
+            continue
+        result = results[i]
+        assert result is not None  # every index is a result or an error
+        phase_seconds = (
+            {}
+            if store_event == "hit"
+            else observe.total_phase_seconds(
+                iteration.phase_seconds for iteration in result.history
+            )
+        )
+        records.append(
+            JobResult(
+                job_id=job.job_id,
+                benchmark=job.benchmark,
+                t_ambient=job.t_ambient,
+                corner=job.corner,
+                frequency_hz=result.frequency_hz,
+                worst_case_hz=worst_case_hz,
+                gain=guardband_gain(result.frequency_hz, worst_case_hz),
+                iterations=result.iterations,
+                total_power_w=result.total_power_w,
+                max_tile_celsius=float(result.tile_temperatures.max()),
+                mean_tile_celsius=float(result.tile_temperatures.mean()),
+                wall_seconds=wall_share,
+                phase_seconds=phase_seconds,
+                cache_key=flow.cache_key,
+                cache_events=cache_events if i == 0 else {},
+                warm_started=result.warm_started,
+                store_event=store_event,
+            )
+        )
+    return records
+
+
+def _execute_unit(
+    unit: List[SweepJob], store: Optional[str] = None
+) -> List[Union[JobResult, JobFailure]]:
+    """Run one work unit: a single cell, or a batched same-flow group."""
+    if len(unit) == 1:
+        return [_execute_job(unit[0], store=store)]
+    return _execute_batch(unit, store=store)
+
+
+def _run_unit_in_worker(
+    unit: List[SweepJob],
     context: Optional[TraceContext],
     store: Optional[str] = None,
-) -> JobResult:
+) -> List[Union[JobResult, JobFailure]]:
     """Pool-worker entry point: join the dispatching sweep's trace.
 
     ``context`` is the engine's :func:`repro.observe.propagation_context`
     at dispatch time (``None`` when tracing is off).  The worker attaches
-    for exactly this job, appending its spans to the sweep's JSONL file
+    for exactly this unit, appending its spans to the sweep's JSONL file
     and flushing its metric deltas on detach.
     """
     with observe.attach(context):
-        return _execute_job(job, store=store)
+        return _execute_unit(unit, store=store)
 
 
 class _JsonlWriter:
@@ -298,6 +502,22 @@ def _retry_job(job: SweepJob, error: BaseException) -> SweepJob:
     return job
 
 
+def _failure_diagnostics(error: BaseException) -> Dict[str, object]:
+    """Structured forensics to record alongside a failure, when available.
+
+    A diverged Algorithm 1 cell carries its partial fixed point on the
+    :class:`GuardbandError`; surfacing the iteration count and the last
+    ``||dT||_inf`` in the JSONL record makes divergence debuggable
+    without re-running the cell.
+    """
+    if isinstance(error, GuardbandError) and error.history:
+        return {
+            "iterations": error.iterations,
+            "last_max_delta_celsius": error.last_max_delta_celsius,
+        }
+    return {}
+
+
 def _failure_from(
     job: SweepJob, error: BaseException, attempts: int, started: float
 ) -> JobFailure:
@@ -311,6 +531,7 @@ def _failure_from(
         attempts=attempts,
         wall_seconds=monotonic() - started,
         retryable=isinstance(error, RETRYABLE_ERRORS),
+        diagnostics=_failure_diagnostics(error),
     )
 
 
@@ -327,9 +548,9 @@ def _record_retry(job: SweepJob, attempts: int, error: BaseException) -> None:
 
 @dataclass
 class _Tracked:
-    """Book-keeping for one in-flight parallel job."""
+    """Book-keeping for one in-flight parallel work unit."""
 
-    job: SweepJob
+    unit: List[SweepJob]
     attempts: int
     started: float
     submitted: float
@@ -344,6 +565,7 @@ def run_sweep(
     progress: Optional[ProgressCallback] = None,
     store: Union[ResultStore, str, None] = None,
     resume_from: Optional[str] = None,
+    batch: bool = False,
 ) -> SweepResult:
     """Execute an experiment grid; never raises for a failing cell.
 
@@ -367,6 +589,17 @@ def run_sweep(
     never-started cells) is dispatched.  ``resume_from`` is read in full
     before ``jsonl_path`` is truncated, so resuming a run dir in place
     is safe.
+
+    ``batch=True`` groups cells sharing one placed flow (same benchmark,
+    arch, seed and fabric corner under one config — an ambient sweep)
+    into single batched work items solved as one joint fixed point
+    (:func:`~repro.core.guardband.thermal_aware_guardband_batch`): the
+    thermal factorization, STA delay tables and power model are built
+    once per group instead of once per cell.  Per-cell records, store
+    writes, ``sweep.cell`` spans and resume semantics are unchanged;
+    frequencies agree with the looped path within the ``delta_t``
+    compensation margin (DESIGN.md §12), and retries/``job_timeout``
+    apply per work item (i.e. per batch group when batching).
     """
     jobs = spec.expand() if isinstance(spec, ExperimentSpec) else list(spec)
     grid_order = {job.job_id: i for i, job in enumerate(jobs)}
@@ -398,7 +631,8 @@ def run_sweep(
         jobs = remaining
     else:
         total_jobs = len(jobs)
-    workers = min(workers, max(1, len(jobs)))
+    units = _batch_units(jobs) if batch else [[job] for job in jobs]
+    workers = min(workers, max(1, len(units)))
 
     writer = _JsonlWriter(jsonl_path)
     sweep = SweepResult(workers=workers, jsonl_path=jsonl_path)
@@ -489,10 +723,10 @@ def run_sweep(
             for reloaded in resumed:
                 record_skipped(reloaded)
             if workers == 1:
-                _run_serial(jobs, max_retries, record, prepare, store_path)
+                _run_serial(units, max_retries, record, prepare, store_path)
             else:
                 _run_parallel(
-                    jobs, workers, max_retries, job_timeout, record,
+                    units, workers, max_retries, job_timeout, record,
                     prepare, store_path,
                 )
             run_span.set_attrs(
@@ -509,38 +743,46 @@ def run_sweep(
 
 
 def _run_serial(
-    jobs: List[SweepJob],
+    units: List[List[SweepJob]],
     max_retries: int,
     record: Callable[[Union[JobResult, JobFailure]], None],
     prepare: Callable[[SweepJob], SweepJob] = lambda job: job,
     store: Optional[str] = None,
 ) -> None:
-    for job in jobs:
-        job_started = monotonic()
-        attempt_job = prepare(job)
+    for unit in units:
+        unit_started = monotonic()
+        attempt_unit = [prepare(job) for job in unit]
         attempts = 0
         while True:
             attempts += 1
             try:
-                outcome: Union[JobResult, JobFailure] = replace(
-                    _execute_job(attempt_job, store=store), attempts=attempts
-                )
+                outcomes: List[Union[JobResult, JobFailure]] = [
+                    replace(outcome, attempts=attempts)
+                    for outcome in _execute_unit(attempt_unit, store=store)
+                ]
                 break
             except Exception as error:  # degrade, never abort the sweep
                 if (
                     isinstance(error, RETRYABLE_ERRORS)
                     and attempts <= max_retries
                 ):
-                    _record_retry(job, attempts, error)
-                    attempt_job = _retry_job(attempt_job, error)
+                    for job in unit:
+                        _record_retry(job, attempts, error)
+                    attempt_unit = [
+                        _retry_job(job, error) for job in attempt_unit
+                    ]
                     continue
-                outcome = _failure_from(job, error, attempts, job_started)
+                outcomes = [
+                    _failure_from(job, error, attempts, unit_started)
+                    for job in unit
+                ]
                 break
-        record(outcome)
+        for outcome in outcomes:
+            record(outcome)
 
 
 def _run_parallel(
-    jobs: List[SweepJob],
+    units: List[List[SweepJob]],
     workers: int,
     max_retries: int,
     job_timeout: Optional[float],
@@ -552,9 +794,9 @@ def _run_parallel(
     # Captured once: every dispatch ships the same trace capsule, parented
     # under the engine's current span (``sweep.run``).  None when off.
     context = observe.propagation_context()
-    # (job, attempts, first-dispatch time or None) cells not yet dispatched.
-    ready: Deque[Tuple[SweepJob, int, Optional[float]]] = deque(
-        (job, 1, None) for job in jobs
+    # (unit, attempts, first-dispatch time or None) units not yet dispatched.
+    ready: Deque[Tuple[List[SweepJob], int, Optional[float]]] = deque(
+        (unit, 1, None) for unit in units
     )
     pending: Dict[Future, _Tracked] = {}
     zombies: Set[Future] = set()
@@ -575,26 +817,26 @@ def _run_parallel(
         # future really had a worker slot.
         nonlocal executor
         while ready and len(pending) + len(zombies) < workers:
-            job, attempts, started = ready.popleft()
+            unit, attempts, started = ready.popleft()
             # Warm-start neighbours are attached here, not at enqueue:
             # cells that completed while this one waited are candidates.
             # Retries keep the neighbours from their first dispatch
             # (attempts > 1), so a re-run stays reproducible.
             if attempts == 1:
-                job = prepare(job)
+                unit = [prepare(job) for job in unit]
             now = monotonic()
             try:
                 future = executor.submit(
-                    _run_job_in_worker, job, context, store
+                    _run_unit_in_worker, unit, context, store
                 )
             except BrokenProcessPool:
                 # Pool died between the drain and this dispatch; rebuild.
                 rebuild_pool()
                 future = executor.submit(
-                    _run_job_in_worker, job, context, store
+                    _run_unit_in_worker, unit, context, store
                 )
             pending[future] = _Tracked(
-                job=job,
+                unit=unit,
                 attempts=attempts,
                 started=started if started is not None else now,
                 submitted=now,
@@ -624,7 +866,7 @@ def _run_parallel(
                     continue
                 tracked = pending.pop(future)
                 try:
-                    result = future.result()
+                    results = future.result()
                 except BrokenProcessPool:
                     broken.append(tracked)
                 except Exception as error:
@@ -632,21 +874,27 @@ def _run_parallel(
                         isinstance(error, RETRYABLE_ERRORS)
                         and tracked.attempts <= max_retries
                     ):
-                        _record_retry(tracked.job, tracked.attempts, error)
+                        for job in tracked.unit:
+                            _record_retry(job, tracked.attempts, error)
                         ready.appendleft((
-                            _retry_job(tracked.job, error),
+                            [
+                                _retry_job(job, error)
+                                for job in tracked.unit
+                            ],
                             tracked.attempts + 1,
                             tracked.started,
                         ))
                     else:
-                        record(
-                            _failure_from(
-                                tracked.job, error,
-                                tracked.attempts, tracked.started,
+                        for job in tracked.unit:
+                            record(
+                                _failure_from(
+                                    job, error,
+                                    tracked.attempts, tracked.started,
+                                )
                             )
-                        )
                 else:
-                    record(replace(result, attempts=tracked.attempts))
+                    for result in results:
+                        record(replace(result, attempts=tracked.attempts))
             if broken:
                 # A dead worker poisons the whole pool: every in-flight
                 # future fails with BrokenProcessPool.  In-flight is
@@ -660,29 +908,31 @@ def _run_parallel(
                 rebuild_pool()
                 for tracked in broken:
                     if tracked.attempts <= max_retries:
-                        _record_retry(
-                            tracked.job,
-                            tracked.attempts,
-                            BrokenProcessPool(
-                                "worker process died unexpectedly"
-                            ),
-                        )
+                        for job in tracked.unit:
+                            _record_retry(
+                                job,
+                                tracked.attempts,
+                                BrokenProcessPool(
+                                    "worker process died unexpectedly"
+                                ),
+                            )
                         ready.appendleft((
-                            tracked.job,
+                            tracked.unit,
                             tracked.attempts + 1,
                             tracked.started,
                         ))
                     else:
-                        record(
-                            _failure_from(
-                                tracked.job,
-                                BrokenProcessPool(
-                                    "worker process died unexpectedly"
-                                ),
-                                tracked.attempts,
-                                tracked.started,
+                        for job in tracked.unit:
+                            record(
+                                _failure_from(
+                                    job,
+                                    BrokenProcessPool(
+                                        "worker process died unexpectedly"
+                                    ),
+                                    tracked.attempts,
+                                    tracked.started,
+                                )
                             )
-                        )
             if job_timeout is not None:
                 _expire_overdue(pending, zombies, job_timeout, record)
             dispatch()
@@ -712,13 +962,14 @@ def _expire_overdue(
         del pending[future]
         if not future.cancel():
             zombies.add(future)
-        record(
-            _failure_from(
-                tracked.job,
-                TimeoutError(
-                    f"job exceeded the {job_timeout:g}s timeout"
-                ),
-                tracked.attempts,
-                tracked.started,
+        for job in tracked.unit:
+            record(
+                _failure_from(
+                    job,
+                    TimeoutError(
+                        f"job exceeded the {job_timeout:g}s timeout"
+                    ),
+                    tracked.attempts,
+                    tracked.started,
+                )
             )
-        )

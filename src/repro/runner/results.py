@@ -81,6 +81,12 @@ class JobFailure:
     wall_seconds: float
     retryable: bool = False
     """Whether the final error was of a retryable class (budget exhausted)."""
+    diagnostics: Dict[str, object] = field(default_factory=dict)
+    """Structured failure forensics, when the error carried any.  A
+    diverged Algorithm 1 cell records ``iterations`` and
+    ``last_max_delta_celsius`` from the partial fixed point
+    (:class:`~repro.core.guardband.GuardbandError` diagnostics), so a
+    non-converging cell is debuggable straight from the JSONL stream."""
 
     @property
     def cell(self) -> Cell:

@@ -1,0 +1,696 @@
+"""Equivalence tests for batched Algorithm 1 and the batched sweep engine.
+
+The batched kernel (:func:`thermal_aware_guardband_batch`) must agree
+with the looped single-cell path within the ``delta_t`` compensation
+margin (DESIGN.md §12), isolate diverging cells from their batch-mates,
+and preserve the engine's per-cell record/store/resume semantics when
+enabled through ``run_sweep(batch=True)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import observe
+from repro.core.guardband import (
+    BatchCell,
+    GuardbandConfig,
+    GuardbandError,
+    GuardbandResult,
+    thermal_aware_guardband,
+    thermal_aware_guardband_batch,
+)
+from repro.netlists.generator import NetlistSpec
+from repro.observe.sinks import InMemorySink
+from repro.runner import ExperimentSpec, JobFailure, JobResult, run_sweep
+from repro.runner import engine as engine_module
+from repro.store import open_store, store_digest
+
+AMBIENTS = (5.0, 25.0, 45.0, 65.0)
+
+BATCH_A = NetlistSpec("batch_tiny_a", n_luts=10, depth=3, seed=71,
+                      base_activity=0.2)
+BATCH_B = NetlistSpec("batch_tiny_b", n_luts=12, depth=3, seed=72,
+                      base_activity=0.18)
+
+
+@pytest.fixture()
+def cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "flows"))
+    return tmp_path
+
+
+@pytest.fixture(scope="module")
+def looped(tiny_flow, fabric25):
+    """Single-cell reference runs, one per ambient."""
+    return {
+        t: thermal_aware_guardband(tiny_flow, fabric25, t_ambient=t)
+        for t in AMBIENTS
+    }
+
+
+def _margin(reference: GuardbandResult) -> float:
+    """The delta_t compensation margin: the frequency step the final
+    re-time at ``T + delta_t`` absorbs (same tolerance the warm-start
+    equivalence uses, DESIGN.md §11)."""
+    return abs(reference.history[-1].frequency_hz - reference.frequency_hz)
+
+
+class TestBatchEquivalence:
+    def test_matches_looped_within_margin(self, tiny_flow, fabric25, looped):
+        outcomes = thermal_aware_guardband_batch(
+            tiny_flow, fabric25, list(AMBIENTS)
+        )
+        assert len(outcomes) == len(AMBIENTS)
+        for t_ambient, outcome in zip(AMBIENTS, outcomes):
+            reference = looped[t_ambient]
+            assert isinstance(outcome, GuardbandResult)
+            assert outcome.t_ambient == t_ambient
+            drift = abs(outcome.frequency_hz - reference.frequency_hz)
+            assert drift <= max(_margin(reference), 1e-9)
+            # The joint iteration takes the same trajectory per cell.
+            assert outcome.iterations == reference.iterations
+            np.testing.assert_allclose(
+                outcome.tile_temperatures,
+                reference.tile_temperatures,
+                atol=reference.delta_t,
+            )
+
+    def test_randomized_ambients_and_activity(self, tiny_flow, fabric25):
+        """Satellite 5: randomized operating points under a non-default
+        activity still agree with the looped path per cell."""
+        rng = np.random.default_rng(17)
+        ambients = sorted(float(t) for t in rng.uniform(0.0, 80.0, size=6))
+        config = GuardbandConfig(base_activity=0.45)
+        outcomes = thermal_aware_guardband_batch(
+            tiny_flow, fabric25, ambients, config=config
+        )
+        for t_ambient, outcome in zip(ambients, outcomes):
+            reference = thermal_aware_guardband(
+                tiny_flow, fabric25, t_ambient, config=config
+            )
+            assert isinstance(outcome, GuardbandResult)
+            drift = abs(outcome.frequency_hz - reference.frequency_hz)
+            assert drift <= max(_margin(reference), 1e-9)
+            assert outcome.iterations == reference.iterations
+
+    def test_other_corner_fabric(self, tiny_flow, fabric70):
+        """The batch is generic in the fabric corner it runs against."""
+        outcomes = thermal_aware_guardband_batch(
+            tiny_flow, fabric70, [25.0, 55.0]
+        )
+        for t_ambient, outcome in zip((25.0, 55.0), outcomes):
+            reference = thermal_aware_guardband(
+                tiny_flow, fabric70, t_ambient
+            )
+            assert isinstance(outcome, GuardbandResult)
+            drift = abs(outcome.frequency_hz - reference.frequency_hz)
+            assert drift <= max(_margin(reference), 1e-9)
+
+    def test_histories_match_looped_trajectories(
+        self, tiny_flow, fabric25, looped
+    ):
+        outcomes = thermal_aware_guardband_batch(
+            tiny_flow, fabric25, list(AMBIENTS)
+        )
+        for t_ambient, outcome in zip(AMBIENTS, outcomes):
+            reference = looped[t_ambient]
+            assert len(outcome.history) == len(reference.history)
+            for got, want in zip(outcome.history, reference.history):
+                assert got.frequency_hz == pytest.approx(
+                    want.frequency_hz, rel=1e-9
+                )
+                assert got.total_power_w == pytest.approx(
+                    want.total_power_w, rel=1e-9
+                )
+                assert got.max_delta_celsius == pytest.approx(
+                    want.max_delta_celsius, abs=1e-6
+                )
+
+    def test_single_cell_batch_matches_single_run(
+        self, tiny_flow, fabric25, looped
+    ):
+        (outcome,) = thermal_aware_guardband_batch(
+            tiny_flow, fabric25, [25.0]
+        )
+        reference = looped[25.0]
+        assert isinstance(outcome, GuardbandResult)
+        assert abs(outcome.frequency_hz - reference.frequency_hz) <= max(
+            _margin(reference), 1e-9
+        )
+        assert outcome.iterations == reference.iterations
+
+    def test_empty_batch(self, tiny_flow, fabric25):
+        assert thermal_aware_guardband_batch(tiny_flow, fabric25, []) == []
+
+    def test_results_do_not_alias_each_other(self, tiny_flow, fabric25):
+        outcomes = thermal_aware_guardband_batch(
+            tiny_flow, fabric25, [25.0, 45.0]
+        )
+        a, b = outcomes
+        assert isinstance(a, GuardbandResult)
+        assert isinstance(b, GuardbandResult)
+        assert not np.shares_memory(a.tile_temperatures, b.tile_temperatures)
+
+    def test_mixed_convergence_speeds(self, tiny_flow, fabric25, looped):
+        """A warm-started cell drops out of the batch early; the slower
+        cold batch-mates still converge to their own fixed points."""
+        reference = looped[25.0]
+        outcomes = thermal_aware_guardband_batch(
+            tiny_flow, fabric25,
+            [
+                BatchCell(25.0, warm_start=reference.tile_temperatures),
+                BatchCell(25.0),
+                BatchCell(65.0),
+            ],
+        )
+        warm, cold, hot = outcomes
+        assert isinstance(warm, GuardbandResult)
+        assert isinstance(cold, GuardbandResult)
+        assert isinstance(hot, GuardbandResult)
+        assert warm.warm_started and not cold.warm_started
+        assert warm.iterations < cold.iterations
+        assert cold.iterations == reference.iterations
+        assert hot.iterations == looped[65.0].iterations
+        # Every cell lands on its own fixed point within the margin.
+        assert abs(warm.frequency_hz - reference.frequency_hz) <= _margin(
+            reference
+        )
+        assert abs(cold.frequency_hz - reference.frequency_hz) <= max(
+            _margin(reference), 1e-9
+        )
+        assert abs(hot.frequency_hz - looped[65.0].frequency_hz) <= max(
+            _margin(looped[65.0]), 1e-9
+        )
+
+    def test_diverging_cell_does_not_poison_batch_mates(
+        self, tiny_flow, fabric25, looped
+    ):
+        """With the budget set below the cold iteration count, the cold
+        cell diverges while its warm-started batch-mate still converges
+        and returns the correct fixed point."""
+        reference = looped[25.0]
+        assert reference.iterations >= 2, "fixture no longer exercises this"
+        config = GuardbandConfig(max_iterations=reference.iterations - 1)
+        outcomes = thermal_aware_guardband_batch(
+            tiny_flow, fabric25,
+            [
+                BatchCell(25.0),
+                BatchCell(25.0, warm_start=reference.tile_temperatures),
+            ],
+            config=config,
+        )
+        diverged, converged = outcomes
+        assert isinstance(diverged, GuardbandError)
+        assert isinstance(converged, GuardbandResult)
+        assert "did not converge" in str(diverged)
+        assert abs(converged.frequency_hz - reference.frequency_hz) <= _margin(
+            reference
+        )
+
+    def test_diverged_cell_carries_diagnostics(
+        self, tiny_flow, fabric25, looped
+    ):
+        reference = looped[25.0]
+        budget = reference.iterations - 1
+        config = GuardbandConfig(max_iterations=budget)
+        (outcome,) = thermal_aware_guardband_batch(
+            tiny_flow, fabric25, [25.0], config=config
+        )
+        assert isinstance(outcome, GuardbandError)
+        assert outcome.iterations == budget
+        assert len(outcome.history) == budget
+        assert outcome.t_ambient == 25.0
+        assert outcome.last_temperatures is not None
+        assert outcome.last_temperatures.shape == (tiny_flow.n_tiles,)
+        assert outcome.last_max_delta_celsius is not None
+        assert outcome.last_max_delta_celsius > config.delta_t
+
+    def test_all_cells_diverge_like_looped_path(self, tiny_flow, fabric25):
+        from repro.thermal.package import ThermalPackage
+
+        weak = ThermalPackage(g_vertical_w_per_k=1e-6, g_lateral_w_per_k=1e-5)
+        config = GuardbandConfig(delta_t=0.05, max_iterations=2, package=weak)
+        outcomes = thermal_aware_guardband_batch(
+            tiny_flow, fabric25, [25.0, 45.0], config=config
+        )
+        assert all(isinstance(o, GuardbandError) for o in outcomes)
+
+    def test_warm_start_validation(self, tiny_flow, fabric25):
+        with pytest.raises(ValueError, match="shape"):
+            thermal_aware_guardband_batch(
+                tiny_flow, fabric25,
+                [BatchCell(25.0, warm_start=np.zeros(tiny_flow.n_tiles + 1))],
+            )
+        seed = np.full(tiny_flow.n_tiles, 30.0)
+        seed[0] = np.nan
+        with pytest.raises(ValueError, match="finite"):
+            thermal_aware_guardband_batch(
+                tiny_flow, fabric25, [BatchCell(25.0, warm_start=seed)]
+            )
+
+
+class TestLoopedErrorDiagnostics:
+    def test_looped_raise_carries_partial_state(self, tiny_flow, fabric25):
+        from repro.thermal.package import ThermalPackage
+
+        weak = ThermalPackage(g_vertical_w_per_k=1e-6, g_lateral_w_per_k=1e-5)
+        with pytest.raises(GuardbandError) as info:
+            thermal_aware_guardband(
+                tiny_flow, fabric25, 25.0,
+                config=GuardbandConfig(
+                    delta_t=0.05, max_iterations=2, package=weak
+                ),
+            )
+        error = info.value
+        assert error.iterations == 2
+        assert len(error.history) == 2
+        assert error.t_ambient == 25.0
+        assert error.last_temperatures is not None
+        assert error.last_temperatures.shape == (tiny_flow.n_tiles,)
+        assert error.last_max_delta_celsius == pytest.approx(
+            error.history[-1].max_delta_celsius
+        )
+
+    def test_bare_message_still_constructs(self):
+        error = GuardbandError("nope")
+        assert error.history == []
+        assert error.last_temperatures is None
+        assert error.iterations == 0
+        assert error.last_max_delta_celsius is None
+
+
+class TestBatchedPowerModel:
+    @pytest.fixture(scope="class")
+    def model(self, tiny_flow, fabric25):
+        from repro.activity.ace import estimate_activity
+        from repro.power.model import PowerModel
+
+        activity = estimate_activity(tiny_flow.netlist, 0.2)
+        return PowerModel(tiny_flow, fabric25, activity)
+
+    def test_leakage_batch_bitwise_matches_rows(self, model, tiny_flow):
+        rng = np.random.default_rng(3)
+        t_batch = 25.0 + 40.0 * rng.random((5, tiny_flow.n_tiles))
+        batched = model.leakage_power_batch(t_batch)
+        for c in range(5):
+            np.testing.assert_array_equal(
+                batched[c], model.leakage_power(t_batch[c])
+            )
+
+    def test_dynamic_batch_matches_rows(self, model):
+        freqs = np.array([1e8, 3e8, 7.5e8])
+        batched = model.dynamic_power_batch(freqs)
+        for c, f in enumerate(freqs):
+            np.testing.assert_allclose(
+                batched[c], model.dynamic_power(float(f)), rtol=1e-12
+            )
+
+    def test_dynamic_batch_rejects_bad_input(self, model):
+        with pytest.raises(ValueError, match="1-D"):
+            model.dynamic_power_batch(np.ones((2, 2)))
+        with pytest.raises(ValueError, match="negative"):
+            model.dynamic_power_batch(np.array([1e8, -1.0]))
+
+    def test_evaluate_batch_shape_checks(self, model, tiny_flow):
+        with pytest.raises(ValueError, match="match"):
+            model.evaluate_batch(
+                np.array([1e8]), np.full((2, tiny_flow.n_tiles), 25.0)
+            )
+        with pytest.raises(ValueError, match="batch shape"):
+            model.evaluate_batch(
+                np.array([1e8, 2e8]), np.full((2, 3), 25.0)
+            )
+
+    def test_breakdown_totals_cached(self, model, tiny_flow):
+        breakdown = model.evaluate(2e8, np.full(tiny_flow.n_tiles, 30.0))
+        assert breakdown.total_w is breakdown.total_w
+        np.testing.assert_array_equal(
+            breakdown.total_w, breakdown.dynamic_w + breakdown.leakage_w
+        )
+        assert breakdown.total_watts == breakdown.total_watts
+        assert breakdown.total_watts == float(breakdown.total_w.sum())
+
+    def test_caches_do_not_leak_between_breakdowns(self, model, tiny_flow):
+        cool = model.evaluate(2e8, np.full(tiny_flow.n_tiles, 25.0))
+        hot = model.evaluate(2e8, np.full(tiny_flow.n_tiles, 80.0))
+        assert cool.total_watts < hot.total_watts
+        assert cool.total_w is not hot.total_w
+
+    def test_per_cell_totals(self, model, tiny_flow):
+        t_batch = np.full((3, tiny_flow.n_tiles), 30.0)
+        freqs = np.array([1e8, 2e8, 3e8])
+        breakdown = model.evaluate_batch(freqs, t_batch)
+        per_cell = breakdown.total_watts_per_cell()
+        assert per_cell.shape == (3,)
+        assert breakdown.total_watts == pytest.approx(per_cell.sum())
+        single = model.evaluate(2e8, t_batch[1])
+        assert per_cell[1] == pytest.approx(single.total_watts, rel=1e-12)
+
+    def test_per_cell_totals_reject_single(self, model, tiny_flow):
+        single = model.evaluate(2e8, np.full(tiny_flow.n_tiles, 30.0))
+        with pytest.raises(ValueError, match="batched"):
+            single.total_watts_per_cell()
+
+    def test_iteration_telemetry_bit_identical_across_runs(
+        self, tiny_flow, fabric25
+    ):
+        """Regression for the total-power caching: the looped path's
+        per-iteration telemetry must stay deterministic bit for bit."""
+        first = thermal_aware_guardband(tiny_flow, fabric25, t_ambient=25.0)
+        second = thermal_aware_guardband(tiny_flow, fabric25, t_ambient=25.0)
+        assert first.frequency_hz == second.frequency_hz
+        assert first.total_power_w == second.total_power_w
+        assert len(first.history) == len(second.history)
+        for a, b in zip(first.history, second.history):
+            assert a.frequency_hz == b.frequency_hz
+            assert a.total_power_w == b.total_power_w
+            assert a.max_tile_celsius == b.max_tile_celsius
+            assert a.mean_tile_celsius == b.mean_tile_celsius
+            assert a.max_delta_celsius == b.max_delta_celsius
+
+
+def _batch_spec(**overrides) -> ExperimentSpec:
+    defaults = dict(
+        benchmarks=(BATCH_A, BATCH_B), ambients=(15.0, 30.0, 45.0)
+    )
+    defaults.update(overrides)
+    return ExperimentSpec(**defaults)
+
+
+class TestBatchedSweep:
+    def test_groups_same_flow_cells(self):
+        jobs = _batch_spec().expand()
+        units = engine_module._batch_units(jobs)
+        # One unit per (benchmark, corner) pair, holding every ambient.
+        assert [len(unit) for unit in units] == [3, 3]
+        for unit in units:
+            assert len({job.benchmark for job in unit}) == 1
+            assert len({job.t_ambient for job in unit}) == 3
+
+    def test_different_corners_not_grouped(self):
+        jobs = _batch_spec(corners=(25.0, 70.0)).expand()
+        units = engine_module._batch_units(jobs)
+        for unit in units:
+            assert len({(job.benchmark, job.corner) for job in unit}) == 1
+
+    def test_batched_matches_looped_sweep(self, cache_dir):
+        spec = _batch_spec()
+        loop = run_sweep(spec, workers=1)
+        batch = run_sweep(spec, workers=1, batch=True)
+        assert loop.ok and batch.ok
+        assert [r.job_id for r in batch.results] == [
+            r.job_id for r in loop.results
+        ]
+        for a, b in zip(loop.results, batch.results):
+            # Tolerance-identical (DESIGN.md §12); in practice the batch
+            # numerics only differ in BLAS summation order.
+            assert b.frequency_hz == pytest.approx(a.frequency_hz, rel=1e-9)
+            assert b.iterations == a.iterations
+            assert b.worst_case_hz == a.worst_case_hz
+
+    def test_parallel_batched_matches_serial_batched(self, cache_dir):
+        spec = _batch_spec()
+        serial = run_sweep(spec, workers=1, batch=True)
+        parallel = run_sweep(spec, workers=2, batch=True)
+        assert serial.ok and parallel.ok
+        assert parallel.frequencies() == serial.frequencies()
+
+    def test_per_cell_records_and_store_writes(self, cache_dir, tmp_path):
+        spec = _batch_spec()
+        store_root = tmp_path / "store"
+        jsonl = tmp_path / "sweep.jsonl"
+        sink = InMemorySink()
+        with observe.enabled(sink=sink):
+            sweep = run_sweep(
+                spec, workers=1, batch=True,
+                store=str(store_root), jsonl_path=str(jsonl),
+            )
+        assert sweep.ok
+        # One JSONL line and one sweep.cell span per cell, not per batch.
+        lines = [l for l in jsonl.read_text().splitlines() if l.strip()]
+        assert len(lines) == spec.n_jobs
+        cells = [s for s in sink.spans() if s["name"] == "sweep.cell"]
+        assert len(cells) == spec.n_jobs
+        # One store entry per cell.
+        assert len(open_store(store_root).digests()) == spec.n_jobs
+        assert sweep.store_totals() == {"hit": 0, "miss": spec.n_jobs}
+
+    def test_store_hits_served_per_cell(self, cache_dir, tmp_path):
+        spec = _batch_spec()
+        store_root = str(tmp_path / "store")
+        first = run_sweep(spec, workers=1, batch=True, store=store_root)
+        again = run_sweep(spec, workers=1, batch=True, store=store_root)
+        assert first.ok and again.ok
+        assert again.store_totals() == {"hit": spec.n_jobs, "miss": 0}
+        assert again.frequencies() == first.frequencies()
+        assert all(r.phase_seconds == {} for r in again.results)
+
+    def test_partial_store_hits_batch_only_remainder(
+        self, cache_dir, tmp_path
+    ):
+        spec = _batch_spec(benchmarks=(BATCH_A,))
+        store_root = str(tmp_path / "store")
+        # Pre-populate exactly one cell through the looped path.
+        one = ExperimentSpec(benchmarks=(BATCH_A,), ambients=(30.0,))
+        assert run_sweep(one, workers=1, store=store_root).ok
+        sweep = run_sweep(spec, workers=1, batch=True, store=store_root)
+        assert sweep.ok
+        assert sweep.store_totals() == {"hit": 1, "miss": spec.n_jobs - 1}
+        hit = sweep.result_for(BATCH_A.name, 30.0, 25.0)
+        assert hit is not None and hit.store_event == "hit"
+
+    def test_resume_skips_batched_cells(self, cache_dir, tmp_path):
+        spec = _batch_spec()
+        jsonl = tmp_path / "sweep.jsonl"
+        first = run_sweep(spec, workers=1, batch=True, jsonl_path=str(jsonl))
+        assert first.ok
+        resumed = run_sweep(
+            spec, workers=1, batch=True, resume_from=str(jsonl),
+        )
+        assert resumed.ok and resumed.n_resumed == spec.n_jobs
+        assert resumed.frequencies() == first.frequencies()
+
+    def test_diverged_cell_recorded_with_diagnostics(self, cache_dir):
+        # A one-iteration budget with a tight threshold: every cell
+        # diverges, and each failure record carries the partial state.
+        spec = _batch_spec(
+            benchmarks=(BATCH_A,),
+            config=GuardbandConfig(delta_t=0.01, max_iterations=1),
+        )
+        sweep = run_sweep(spec, workers=1, batch=True)
+        assert len(sweep.failures) == spec.n_jobs
+        for failure in sweep.failures:
+            assert failure.error_type == "GuardbandError"
+            assert failure.diagnostics["iterations"] == 1
+            assert failure.diagnostics["last_max_delta_celsius"] > 0.01
+
+    def test_looped_failure_records_diagnostics_in_jsonl(
+        self, cache_dir, tmp_path
+    ):
+        spec = ExperimentSpec(
+            benchmarks=(BATCH_A,), ambients=(25.0,),
+            config=GuardbandConfig(delta_t=0.01, max_iterations=1),
+        )
+        jsonl = tmp_path / "sweep.jsonl"
+        sweep = run_sweep(spec, workers=1, jsonl_path=str(jsonl))
+        assert len(sweep.failures) == 1
+        import json
+
+        (record,) = [
+            json.loads(line)
+            for line in jsonl.read_text().splitlines()
+            if line.strip()
+        ]
+        assert record["type"] == "failure"
+        assert record["diagnostics"]["iterations"] == 1
+        assert record["diagnostics"]["last_max_delta_celsius"] > 0.01
+
+    def test_mixed_success_and_failure_in_one_batch(self, cache_dir, tmp_path):
+        """Per-cell isolation end-to-end: one batched work unit records
+        JobResults and JobFailures side by side — a store-served cell
+        succeeds while its batch-mates exhaust a one-iteration budget."""
+        tight = GuardbandConfig(delta_t=0.01, max_iterations=1)
+        store_root = str(tmp_path / "store")
+        # Converge one cell outside the budget constraint and persist it
+        # under the digest the tight-config sweep will look up.
+        from repro.cad.flow import run_flow
+
+        (job,) = ExperimentSpec(
+            benchmarks=(BATCH_A,), ambients=(30.0,), config=tight
+        ).expand()
+        flow = run_flow(job.resolve_netlist(), job.arch, seed=job.seed)
+        converged = thermal_aware_guardband(
+            flow, engine_module._fabric_for(job.corner, job.arch),
+            t_ambient=30.0,
+        )
+        store = open_store(store_root)
+        store.put(
+            store_digest(flow.cache_key, tight, 30.0, job.corner), converged
+        )
+        sweep = run_sweep(
+            _batch_spec(benchmarks=(BATCH_A,), config=tight),
+            workers=1, batch=True, store=store_root,
+        )
+        assert [r.t_ambient for r in sweep.results] == [30.0]
+        assert sweep.results[0].store_event == "hit"
+        assert {f.t_ambient for f in sweep.failures} == {15.0, 45.0}
+        assert all(
+            f.error_type == "GuardbandError" for f in sweep.failures
+        )
+
+
+class TestWarmStartMissObservability:
+    def _job(self, spec=BATCH_A, **overrides):
+        defaults = dict(
+            benchmarks=(spec,), ambients=(40.0,),
+            config=GuardbandConfig(warm_start_policy="nearest"),
+        )
+        defaults.update(overrides)
+        (job,) = ExperimentSpec(**defaults).expand()
+        return job
+
+    def test_quarantined_neighbour_counts_as_miss(self, cache_dir, tmp_path):
+        from dataclasses import replace
+
+        from repro.cad.flow import run_flow
+
+        job = self._job()
+        flow = run_flow(job.resolve_netlist(), job.arch, seed=job.seed)
+        store = open_store(tmp_path / "store")
+        digest = store_digest(flow.cache_key, job.config, 25.0, job.corner)
+        # A neighbour entry exists on disk but is unreadable.
+        store.put(
+            digest,
+            thermal_aware_guardband(
+                flow, engine_module._fabric_for(job.corner, job.arch),
+                t_ambient=25.0, config=job.config,
+            ),
+        )
+        store.path_for(digest).write_bytes(b"torn garbage")
+        job = replace(job, warm_start_cells=((25.0, job.corner),))
+        sink = InMemorySink()
+        with observe.enabled(sink=sink):
+            seed_vec = engine_module._warm_start_vector(store, flow, job)
+        assert seed_vec is None
+        events = [
+            e for e in sink.events() if e["name"] == "store.warm_start_miss"
+        ]
+        assert len(events) == 1
+        assert events[0]["attrs"]["reason"] == "quarantined"
+        misses = [
+            m for m in sink.metrics() if m["name"] == "store.warm_start_miss"
+        ]
+        assert misses and misses[-1]["value"] == 1
+
+    def test_layout_mismatch_counts_as_miss(self, cache_dir, tmp_path):
+        from dataclasses import replace as dc_replace
+
+        from repro.cad.flow import run_flow
+
+        job = self._job()
+        flow = run_flow(job.resolve_netlist(), job.arch, seed=job.seed)
+        fabric = engine_module._fabric_for(job.corner, job.arch)
+        good = thermal_aware_guardband(
+            flow, fabric, t_ambient=25.0, config=job.config
+        )
+        mangled = dc_replace(
+            good, tile_temperatures=np.append(good.tile_temperatures, 25.0)
+        )
+        store = open_store(tmp_path / "store")
+        digest = store_digest(flow.cache_key, job.config, 25.0, job.corner)
+        store.put(digest, mangled)
+        job = dc_replace(job, warm_start_cells=((25.0, job.corner),))
+        sink = InMemorySink()
+        with observe.enabled(sink=sink):
+            seed_vec = engine_module._warm_start_vector(store, flow, job)
+        assert seed_vec is None
+        events = [
+            e for e in sink.events() if e["name"] == "store.warm_start_miss"
+        ]
+        assert len(events) == 1
+        assert events[0]["attrs"]["reason"] == "layout_mismatch"
+
+    def test_absent_neighbour_is_silent(self, cache_dir, tmp_path):
+        from dataclasses import replace as dc_replace
+
+        from repro.cad.flow import run_flow
+
+        job = self._job()
+        flow = run_flow(job.resolve_netlist(), job.arch, seed=job.seed)
+        store = open_store(tmp_path / "store")
+        job = dc_replace(job, warm_start_cells=((25.0, job.corner),))
+        sink = InMemorySink()
+        with observe.enabled(sink=sink):
+            seed_vec = engine_module._warm_start_vector(store, flow, job)
+        assert seed_vec is None
+        assert [
+            e for e in sink.events() if e["name"] == "store.warm_start_miss"
+        ] == []
+
+    def test_usable_neighbour_still_seeds(self, cache_dir, tmp_path):
+        from dataclasses import replace as dc_replace
+
+        from repro.cad.flow import run_flow
+
+        job = self._job()
+        flow = run_flow(job.resolve_netlist(), job.arch, seed=job.seed)
+        fabric = engine_module._fabric_for(job.corner, job.arch)
+        good = thermal_aware_guardband(
+            flow, fabric, t_ambient=25.0, config=job.config
+        )
+        store = open_store(tmp_path / "store")
+        digest = store_digest(flow.cache_key, job.config, 25.0, job.corner)
+        store.put(digest, good)
+        job = dc_replace(job, warm_start_cells=((25.0, job.corner),))
+        seed_vec = engine_module._warm_start_vector(store, flow, job)
+        assert seed_vec is not None
+        np.testing.assert_allclose(
+            seed_vec, good.tile_temperatures - 25.0 + job.t_ambient
+        )
+
+
+class TestBatchedJobRouting:
+    def test_single_cell_units_route_through_execute_job(
+        self, cache_dir, monkeypatch
+    ):
+        """Monkeypatched ``_execute_job`` still intercepts unbatched
+        sweeps (and batch=True sweeps whose groups are singletons)."""
+        seen = []
+
+        def fake(job, store=None):
+            seen.append(job.job_id)
+            return JobResult(
+                job_id=job.job_id, benchmark=job.benchmark,
+                t_ambient=job.t_ambient, corner=job.corner,
+                frequency_hz=1e9, worst_case_hz=5e8, gain=1.0,
+                iterations=1, total_power_w=1.0, max_tile_celsius=50.0,
+                mean_tile_celsius=40.0, wall_seconds=0.0,
+            )
+
+        monkeypatch.setattr(engine_module, "_execute_job", fake)
+        spec = ExperimentSpec(
+            benchmarks=(BATCH_A, BATCH_B), ambients=(25.0,)
+        )
+        sweep = run_sweep(spec, workers=1, batch=True)
+        assert sweep.ok
+        assert sorted(seen) == sorted(j.job_id for j in spec.expand())
+
+    def test_batch_failure_falls_back_per_job(self, cache_dir, monkeypatch):
+        """A unit-level crash (not a per-cell divergence) records one
+        failure per member cell."""
+
+        def boom(jobs, store=None):
+            raise RuntimeError("batch infrastructure crashed")
+
+        monkeypatch.setattr(engine_module, "_execute_batch", boom)
+        spec = _batch_spec(benchmarks=(BATCH_A,))
+        sweep = run_sweep(spec, workers=1, batch=True)
+        assert len(sweep.failures) == spec.n_jobs
+        assert all(
+            f.error_type == "RuntimeError" for f in sweep.failures
+        )
+        assert {f.job_id for f in sweep.failures} == {
+            j.job_id for j in spec.expand()
+        }
