@@ -1,0 +1,122 @@
+"""Sweep service benchmark — repeat queries at store-hit latency.
+
+Acceptance gates over :mod:`repro.service` (the ISSUE 7 contract):
+
+1. **Store-served repeats**: submitting the *identical* grid twice to
+   one scheduler must execute Algorithm 1 exactly once per cell — the
+   second submission reports ``n_store_hits == n_cells`` and adds zero
+   ``sweep.cell`` execution spans to the trace (every cell is a
+   ``store.hit`` + ``sweep.cell_skipped`` pair instead).
+2. **Cache-hit latency**: the repeat submission must be strictly faster
+   than the computed one (in practice orders of magnitude — it is pure
+   store reads), and terminal the moment ``submit`` returns.
+3. **In-flight dedup**: a third, overlapping grid submitted while cells
+   are mid-computation joins them instead of recomputing (measured by
+   ``n_deduped`` and the unchanged span count).
+
+Smoke mode for CI: set ``SERVICE_SMOKE=1`` to shrink the grid.  All
+gates always apply — they are correctness properties of the service,
+not machine-dependent performance floors.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import tempfile
+
+from repro import observe
+from repro.api import ExperimentSpec
+from repro.observe.clock import monotonic
+from repro.observe.sinks import FanoutSink, InMemorySink
+from repro.reporting.tables import format_table
+from repro.service import SweepScheduler
+from repro.service.events import ObserveBridge
+from repro.store import open_store
+
+SMOKE = os.environ.get("SERVICE_SMOKE", "") == "1"
+
+BENCHMARKS = ("mkPktMerge",) if SMOKE else ("sha", "mkPktMerge")
+AMBIENTS = (25.0, 45.0) if SMOKE else (15.0, 35.0, 55.0, 75.0)
+
+
+def _cell_spans(sink: InMemorySink) -> int:
+    return sum(1 for r in sink.spans() if r.get("name") == "sweep.cell")
+
+
+def _store_hits(sink: InMemorySink) -> int:
+    return sum(1 for r in sink.events() if r.get("name") == "store.hit")
+
+
+def test_repeat_query_served_from_store_at_cache_latency():
+    spec = ExperimentSpec(benchmarks=BENCHMARKS, ambients=AMBIENTS)
+    overlap = ExperimentSpec(
+        benchmarks=BENCHMARKS[:1], ambients=AMBIENTS[:1]
+    )
+    sink = InMemorySink()
+
+    async def drive(scheduler: SweepScheduler):
+        scheduler.start()
+        try:
+            t0 = monotonic()
+            first = await scheduler.submit(spec)
+            # Submitted before yielding: every overlap cell is still
+            # in flight, so this exercises the dedup join path.
+            third = await scheduler.submit(overlap)
+            while scheduler.jobs[first].status == "running":
+                await asyncio.sleep(0.02)
+            computed_s = monotonic() - t0
+            while scheduler.jobs[third].status == "running":
+                await asyncio.sleep(0.02)
+            executed = _cell_spans(sink)
+            hits_before = _store_hits(sink)
+
+            t0 = monotonic()
+            second = await scheduler.submit(spec)
+            repeat_s = monotonic() - t0
+            return first, second, third, computed_s, repeat_s, executed, \
+                hits_before
+        finally:
+            await scheduler.close()
+
+    with tempfile.TemporaryDirectory() as root:
+        scheduler = SweepScheduler(
+            open_store(os.path.join(root, "store")), workers=2
+        )
+        bridge = ObserveBridge(scheduler.broker)
+        with observe.enabled(sink=FanoutSink([sink, bridge])):
+            (first, second, third, computed_s, repeat_s, executed,
+             hits_before) = asyncio.run(drive(scheduler))
+            jobs = dict(scheduler.jobs)
+
+    n_cells = spec.n_jobs
+
+    # Gate 1: the repeat ran nothing — all store, no new spans.
+    assert jobs[second].status == "done"
+    assert jobs[second].n_store_hits == n_cells
+    assert _cell_spans(sink) == executed
+    assert _store_hits(sink) - hits_before == n_cells
+
+    # Gate 2: terminal at submit-return, and strictly faster than the
+    # computed pass.
+    assert repeat_s < computed_s
+    assert executed == n_cells  # the overlap grid added zero executions
+
+    # Gate 3: the concurrent overlapping grid joined in-flight cells.
+    assert jobs[third].status == "done"
+    assert jobs[third].n_deduped == overlap.n_jobs
+
+    print()
+    print(format_table(
+        ("submission", "cells", "executed", "store hits", "deduped",
+         "wall s"),
+        [
+            (first, n_cells, executed, 0, 0, f"{computed_s:.2f}"),
+            (third, overlap.n_jobs, 0, 0, jobs[third].n_deduped, "-"),
+            (second, n_cells, 0, jobs[second].n_store_hits,
+             0, f"{repeat_s:.4f}"),
+        ],
+        title="sweep service: computed vs store-served vs deduped",
+    ))
+    speedup = computed_s / repeat_s if repeat_s > 0 else float("inf")
+    print(f"repeat-query speedup: {speedup:.0f}x")

@@ -1,441 +1,17 @@
-"""Command-line interface: ``python -m repro <command>``.
+"""``python -m repro`` — entry point shim.
 
-Commands:
-
-- ``characterize [--corner C]`` — print the Table II-style fabric
-  characterization for a design corner;
-- ``guardband BENCH [--ambient T]`` — run Algorithm 1 on a VTR benchmark
-  and compare against the worst-case margin;
-- ``corners`` — print the Fig. 3-style corner-crossing summary;
-- ``grades [--count K]`` — plan a temperature-grade portfolio (Sec. III-C
-  extension);
-- ``suite [--ambient T] [--workers N]`` — Fig. 6/7-style per-benchmark
-  gains over the whole VTR-19 suite on the parallel sweep engine;
-- ``sweep --benchmarks A,B --ambients T1,T2 [--corners C1,C2]`` — an
-  arbitrary benchmarks x ambients x corners grid on the engine;
-- ``report PATH`` — render a previously recorded sweep from its JSONL
-  stream (or a ``--run-dir`` directory) without re-running anything.
-
-``suite`` and ``sweep`` checkpoint with ``--run-dir DIR`` (per-cell JSONL
-stream plus a persistent result store under ``DIR``) and pick an
-interrupted run back up with ``--resume DIR``, re-executing only the
-cells that never finished.
-
-CLI contract: every subcommand accepts ``--json`` (machine-readable
-result on stdout) and exits non-zero on failure — errors are reported as
-one diagnostic line (or a JSON error object), never a raw traceback.
-Partially failed sweeps exit with code 1 and still report every
-completed cell.
+The whole CLI (parser, subcommands, exit-code conventions) lives in
+:mod:`repro.cli`; this module only makes it runnable as ``-m repro``.
+``main`` stays importable from here for callers that embed the CLI.
 """
 
 from __future__ import annotations
 
-import argparse
-import contextlib
-import json
-import os
 import sys
-from typing import Dict, Optional, Sequence
 
-import numpy as np
+from repro.cli import main
 
-from repro.api import (
-    ArchParams,
-    ExperimentSpec,
-    GuardbandConfig,
-    JobResult,
-    SweepResult,
-    build_fabric,
-    corner_delay_curves,
-    guardband_gain,
-    observe,
-    run_flow,
-    run_sweep,
-    thermal_aware_guardband,
-    vtr_benchmark,
-    worst_case_frequency,
-)
-from repro.core.grades import plan_temperature_grades
-from repro.netlists.vtr_suite import benchmark_names
-from repro.reporting.sweep import format_sweep_gains_chart, format_sweep_table
-from repro.reporting.tables import format_table
-
-
-def _emit(args: argparse.Namespace, payload: Dict[str, object], text: str) -> None:
-    """Write the command result: JSON when ``--json``, prose otherwise."""
-    if getattr(args, "json", False):
-        print(json.dumps(payload, sort_keys=False))
-    else:
-        print(text)
-
-
-def _parse_floats(raw: str, flag: str) -> tuple:
-    try:
-        return tuple(float(part) for part in raw.split(",") if part.strip())
-    except ValueError as error:
-        raise SystemExit(f"error: {flag} expects comma-separated numbers, "
-                         f"got {raw!r} ({error})")
-
-
-def _cmd_characterize(args: argparse.Namespace) -> int:
-    fabric = build_fabric(args.corner, ArchParams())
-    rows = []
-    records = []
-    for name, char in fabric.resources.items():
-        intercept, slope = char.delay_fit()
-        leak_c, leak_k = char.leakage_fit()
-        rows.append(
-            (name, f"{char.area_um2:.1f}",
-             f"{intercept * 1e12:.0f}+{slope * 1e12:.2f}T",
-             f"{char.pdyn_w_base * 1e6:.2f}",
-             f"{leak_c * 1e6:.2f}e^{leak_k:.3f}T")
-        )
-        records.append(
-            {
-                "resource": name,
-                "area_um2": char.area_um2,
-                "delay_intercept_s": intercept,
-                "delay_slope_s_per_c": slope,
-                "pdyn_w": char.pdyn_w_base,
-                "plkg_coeff_w": leak_c,
-                "plkg_exponent_per_c": leak_k,
-            }
-        )
-    _emit(
-        args,
-        {"corner_celsius": args.corner, "resources": records},
-        format_table(
-            ["resource", "area um2", "delay ps", "Pdyn uW", "Plkg uW"],
-            rows, title=f"D{args.corner:g} characterization",
-        ),
-    )
-    return 0
-
-
-def _cmd_guardband(args: argparse.Namespace) -> int:
-    arch = ArchParams()
-    fabric = build_fabric(25.0, arch)
-    flow = run_flow(vtr_benchmark(args.benchmark), arch)
-    result = thermal_aware_guardband(
-        flow, fabric, args.ambient, config=GuardbandConfig()
-    )
-    f_wc = worst_case_frequency(flow, fabric)
-    gain = guardband_gain(result.frequency_hz, f_wc)
-    _emit(
-        args,
-        {
-            "benchmark": args.benchmark,
-            "t_ambient": args.ambient,
-            "frequency_hz": result.frequency_hz,
-            "worst_case_hz": f_wc,
-            "gain": gain,
-            "iterations": result.iterations,
-            "mean_tile_celsius": float(result.tile_temperatures.mean()),
-            "max_tile_celsius": float(result.tile_temperatures.max()),
-        },
-        f"{args.benchmark}: thermal-aware {result.frequency_hz / 1e6:.1f} MHz "
-        f"vs worst-case {f_wc / 1e6:.1f} MHz "
-        f"(+{gain * 100:.1f}%), "
-        f"{result.iterations} iterations, "
-        f"die {result.tile_temperatures.mean():.1f} C mean / "
-        f"{result.tile_temperatures.max():.1f} C max",
-    )
-    return 0
-
-
-def _cmd_corners(args: argparse.Namespace) -> int:
-    curves = corner_delay_curves((0.0, 25.0, 100.0), "cp", ArchParams())
-    rows = []
-    records = []
-    for t in np.arange(0.0, 101.0, 10.0):
-        winner = curves.best_corner_at(float(t))
-        rows.append((f"{t:.0f} C", f"D{winner:g}"))
-        records.append({"operating_celsius": float(t), "corner": winner})
-    _emit(
-        args,
-        {"winners": records},
-        format_table(["operating T", "fastest device"], rows,
-                     title="Fig. 3 corner winners"),
-    )
-    return 0
-
-
-def _cmd_grades(args: argparse.Namespace) -> int:
-    plan = plan_temperature_grades(args.count)
-    rows = [
-        (f"[{band.t_low:.0f}, {band.t_high:.0f}] C",
-         f"D{band.corner_celsius:g}",
-         f"{band.expected_delay_s * 1e12:.2f} ps")
-        for band in plan.bands
-    ]
-    _emit(
-        args,
-        {
-            "average_delay_s": plan.average_delay_s,
-            "bands": [
-                {
-                    "t_low": band.t_low,
-                    "t_high": band.t_high,
-                    "corner_celsius": band.corner_celsius,
-                    "expected_delay_s": band.expected_delay_s,
-                }
-                for band in plan.bands
-            ],
-        },
-        format_table(
-            ["band", "grade corner", "E[d]"],
-            rows,
-            title=f"{len(plan.bands)}-grade portfolio "
-                  f"(range-average {plan.average_delay_s * 1e12:.2f} ps)",
-        ),
-    )
-    return 0
-
-
-def _run_engine(
-    args: argparse.Namespace,
-    spec: ExperimentSpec,
-    chart_ambient: Optional[float],
-) -> int:
-    """Shared suite/sweep driver: engine run + report + exit code."""
-    quiet = getattr(args, "json", False)
-
-    # --resume DIR implies --run-dir DIR; a run dir lays out the
-    # checkpointable artefacts (JSONL stream + result store) together.
-    run_dir = getattr(args, "resume", None) or getattr(args, "run_dir", None)
-    jsonl_path = getattr(args, "jsonl", None)
-    store_path = None
-    resume_from = None
-    if run_dir is not None:
-        os.makedirs(run_dir, exist_ok=True)
-        if jsonl_path is None:
-            jsonl_path = os.path.join(run_dir, "sweep.jsonl")
-        store_path = os.path.join(run_dir, "store")
-    if getattr(args, "resume", None) is not None:
-        if jsonl_path is not None and os.path.exists(jsonl_path):
-            resume_from = jsonl_path
-        else:
-            print(
-                f"warning: nothing to resume at {jsonl_path!r}; "
-                f"running the sweep from scratch",
-                file=sys.stderr,
-            )
-
-    def progress(outcome, done, total):
-        if quiet:
-            return
-        if isinstance(outcome, JobResult):
-            print(
-                f"  [{done}/{total}] {outcome.job_id:28s} "
-                f"{outcome.gain * 100:5.1f}%",
-                flush=True,
-            )
-        else:
-            print(
-                f"  [{done}/{total}] {outcome.job_id:28s} "
-                f"FAILED: {outcome.error_type}: {outcome.message}",
-                flush=True,
-            )
-
-    trace_path = getattr(args, "trace", None)
-    session = (
-        observe.enabled(jsonl_path=trace_path)
-        if trace_path
-        else contextlib.nullcontext()
-    )
-    with session:
-        sweep = run_sweep(
-            spec,
-            workers=args.workers,
-            jsonl_path=jsonl_path,
-            job_timeout=getattr(args, "timeout", None),
-            progress=progress,
-            store=store_path,
-            resume_from=resume_from,
-            batch=getattr(args, "batch", False),
-        )
-    if quiet:
-        print(sweep.to_json())
-    else:
-        print()
-        print(format_sweep_table(sweep))
-        if chart_ambient is not None and sweep.results:
-            print()
-            print(
-                format_sweep_gains_chart(
-                    sweep,
-                    t_ambient=chart_ambient,
-                    title=f"guardbanding gain at Tamb={chart_ambient:g}C",
-                )
-            )
-        if trace_path:
-            print(
-                f"\ntrace written to {trace_path} "
-                f"(read it with: python -m repro.observe report {trace_path})"
-            )
-        if sweep.failures:
-            print(
-                f"\n{len(sweep.failures)} of {sweep.n_jobs} cells failed",
-                file=sys.stderr,
-            )
-    return 0 if not sweep.failures else 1
-
-
-def _cmd_suite(args: argparse.Namespace) -> int:
-    spec = ExperimentSpec(
-        benchmarks=tuple(benchmark_names()),
-        ambients=(args.ambient,),
-        corners=(25.0,),
-    )
-    return _run_engine(args, spec, chart_ambient=args.ambient)
-
-
-def _cmd_sweep(args: argparse.Namespace) -> int:
-    if args.benchmarks.strip().lower() == "all":
-        benches: Sequence[str] = benchmark_names()
-    else:
-        benches = tuple(
-            part.strip() for part in args.benchmarks.split(",") if part.strip()
-        )
-    spec = ExperimentSpec(
-        benchmarks=tuple(benches),
-        ambients=_parse_floats(args.ambients, "--ambients"),
-        corners=_parse_floats(args.corners, "--corners"),
-    )
-    chart = spec.ambients[0] if len(spec.ambients) == 1 else None
-    return _run_engine(args, spec, chart_ambient=chart)
-
-
-def _cmd_report(args: argparse.Namespace) -> int:
-    path = args.jsonl
-    if os.path.isdir(path):
-        path = os.path.join(path, "sweep.jsonl")
-    if not os.path.exists(path):
-        raise FileNotFoundError(f"no sweep records at {path!r}")
-    sweep = SweepResult.from_jsonl(path)
-    _emit(
-        args,
-        sweep.to_dict(),
-        format_sweep_table(sweep, title=f"recorded sweep: {path}"),
-    )
-    return 0 if not sweep.failures else 1
-
-
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="Thermal-aware FPGA design and flow (DATE'19 reproduction)",
-    )
-    common = argparse.ArgumentParser(add_help=False)
-    common.add_argument(
-        "--json", action="store_true",
-        help="emit a machine-readable JSON result on stdout",
-    )
-    sub = parser.add_subparsers(dest="command", required=True)
-
-    p = sub.add_parser("characterize", parents=[common],
-                       help="Table II-style characterization")
-    p.add_argument("--corner", type=float, default=25.0)
-    p.set_defaults(func=_cmd_characterize)
-
-    p = sub.add_parser("guardband", parents=[common],
-                       help="Algorithm 1 on one benchmark")
-    p.add_argument("benchmark", choices=benchmark_names())
-    p.add_argument("--ambient", type=float, default=25.0)
-    p.set_defaults(func=_cmd_guardband)
-
-    p = sub.add_parser("corners", parents=[common],
-                       help="corner-crossing summary (Fig. 3)")
-    p.set_defaults(func=_cmd_corners)
-
-    p = sub.add_parser("grades", parents=[common],
-                       help="temperature-grade portfolio")
-    p.add_argument("--count", type=int, default=3)
-    p.set_defaults(func=_cmd_grades)
-
-    engine = argparse.ArgumentParser(add_help=False)
-    engine.add_argument(
-        "--workers", type=int, default=1,
-        help="parallel worker processes (default 1 = serial)",
-    )
-    engine.add_argument(
-        "--jsonl", type=str, default=None,
-        help="stream one JSON record per finished cell to this file",
-    )
-    engine.add_argument(
-        "--timeout", type=float, default=None,
-        help="per-job timeout in seconds (parallel mode)",
-    )
-    engine.add_argument(
-        "--trace", type=str, default=None,
-        help="write a repro.observe span/event trace (JSONL) to this file; "
-             "summarise it with 'python -m repro.observe report PATH'",
-    )
-    engine.add_argument(
-        "--run-dir", type=str, default=None, metavar="DIR",
-        help="checkpoint the run under DIR: per-cell records in "
-             "DIR/sweep.jsonl and converged results in DIR/store "
-             "(overridden by an explicit --jsonl)",
-    )
-    engine.add_argument(
-        "--resume", type=str, default=None, metavar="DIR",
-        help="resume an interrupted run from DIR (implies --run-dir DIR): "
-             "completed cells are reloaded from DIR/sweep.jsonl and only "
-             "the remainder is executed",
-    )
-    engine.add_argument(
-        "--batch", action="store_true",
-        help="solve same-flow cells (an ambient sweep over one placed "
-             "benchmark) as one joint batched fixed point; per-cell "
-             "records and store/resume semantics are unchanged",
-    )
-
-    p = sub.add_parser("suite", parents=[common, engine],
-                       help="Fig. 6/7-style suite gains on the sweep engine")
-    p.add_argument("--ambient", type=float, default=25.0)
-    p.set_defaults(func=_cmd_suite)
-
-    p = sub.add_parser("sweep", parents=[common, engine],
-                       help="benchmarks x ambients x corners grid")
-    p.add_argument(
-        "--benchmarks", type=str, required=True,
-        help='comma-separated VTR benchmark names, or "all"',
-    )
-    p.add_argument("--ambients", type=str, default="25")
-    p.add_argument("--corners", type=str, default="25")
-    p.set_defaults(func=_cmd_sweep)
-
-    p = sub.add_parser("report", parents=[common],
-                       help="render a recorded sweep (JSONL or run dir)")
-    p.add_argument(
-        "jsonl", type=str,
-        help="path to a sweep JSONL stream, or a --run-dir directory",
-    )
-    p.set_defaults(func=_cmd_report)
-
-    args = parser.parse_args(argv)
-    try:
-        return args.func(args)
-    except KeyboardInterrupt:
-        print("interrupted", file=sys.stderr)
-        return 130
-    except BrokenPipeError:
-        # Downstream pager/head closed the pipe; not a failure of ours.
-        try:
-            sys.stdout.close()
-        except OSError:
-            pass
-        return 0
-    except Exception as error:  # CLI contract: diagnostics, not tracebacks
-        if getattr(args, "json", False):
-            print(
-                json.dumps(
-                    {"error": type(error).__name__, "message": str(error)}
-                )
-            )
-        print(f"error: {type(error).__name__}: {error}", file=sys.stderr)
-        return 1
-
+__all__ = ["main"]
 
 if __name__ == "__main__":
     sys.exit(main())

@@ -21,6 +21,7 @@ from repro.analysis.engine import (
     default_manifest_path,
     default_scan_root,
     default_store_manifest_path,
+    default_wire_manifest_path,
     load_modules,
     run_analysis,
 )
@@ -29,6 +30,7 @@ from repro.analysis.rules import all_rules
 from repro.analysis.rules.cache_key import (
     current_manifest,
     current_store_manifest,
+    current_wire_manifest,
 )
 
 
@@ -68,6 +70,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="GuardbandConfig store manifest file for the cache-key rule",
     )
     parser.add_argument(
+        "--wire-manifest",
+        type=Path,
+        default=None,
+        help="service wire-schema manifest file for the cache-key rule",
+    )
+    parser.add_argument(
         "--update-baseline",
         action="store_true",
         help="accept every current finding into the baseline and exit 0",
@@ -75,9 +83,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--update-manifest",
         action="store_true",
-        help="record the current (ArchParams fields, FLOW_CACHE_VERSION) "
-        "and (GuardbandConfig fields, STORE_SCHEMA_VERSION) pairs and "
-        "exit 0",
+        help="record the current (ArchParams fields, FLOW_CACHE_VERSION), "
+        "(GuardbandConfig fields, STORE_SCHEMA_VERSION) and (wire kind "
+        "fields, WIRE_SCHEMA_VERSION) states and exit 0",
     )
     parser.add_argument(
         "--list-rules", action="store_true", help="describe every rule and exit"
@@ -125,6 +133,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.store_manifest is not None
         else default_store_manifest_path()
     )
+    wire_manifest_path = (
+        args.wire_manifest
+        if args.wire_manifest is not None
+        else default_wire_manifest_path()
+    )
     baseline_path = (
         args.baseline if args.baseline is not None else default_baseline_path()
     )
@@ -140,6 +153,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             modules=modules,
             manifest_path=manifest_path,
             store_manifest_path=store_manifest_path,
+            wire_manifest_path=wire_manifest_path,
         )
         manifest = current_manifest(project)
         if manifest is None:
@@ -171,6 +185,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"at STORE_SCHEMA_VERSION={store_manifest.store_schema_version} "
             f"-> {store_manifest_path}"
         )
+        wire_manifest = current_wire_manifest(project)
+        if wire_manifest is None:
+            print(
+                f"no wire schema (WIRE_SCHEMA_VERSION) under {root}; "
+                "wire manifest left untouched",
+                file=sys.stderr,
+            )
+            return 0
+        wire_manifest.save(wire_manifest_path)
+        print(
+            f"recorded {len(wire_manifest.kinds)} wire kinds at "
+            f"WIRE_SCHEMA_VERSION={wire_manifest.wire_schema_version} "
+            f"-> {wire_manifest_path}"
+        )
         return 0
 
     try:
@@ -185,6 +213,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         baseline=baseline,
         manifest_path=manifest_path,
         store_manifest_path=store_manifest_path,
+        wire_manifest_path=wire_manifest_path,
     )
 
     if args.update_baseline:

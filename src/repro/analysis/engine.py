@@ -33,6 +33,7 @@ SUPPRESS_ERROR_RULE = "unknown-suppression"
 
 DEFAULT_MANIFEST_NAME = "archparams_manifest.json"
 DEFAULT_STORE_MANIFEST_NAME = "store_manifest.json"
+DEFAULT_WIRE_MANIFEST_NAME = "wire_manifest.json"
 DEFAULT_BASELINE_NAME = "baseline.json"
 
 _ANALYSIS_DIR = Path(__file__).resolve().parent
@@ -44,6 +45,10 @@ def default_manifest_path() -> Path:
 
 def default_store_manifest_path() -> Path:
     return _ANALYSIS_DIR / DEFAULT_STORE_MANIFEST_NAME
+
+
+def default_wire_manifest_path() -> Path:
+    return _ANALYSIS_DIR / DEFAULT_WIRE_MANIFEST_NAME
 
 
 def default_baseline_path() -> Path:
@@ -90,6 +95,7 @@ class Project:
     modules: List[ModuleInfo]
     manifest_path: Path
     store_manifest_path: Path = field(default_factory=default_store_manifest_path)
+    wire_manifest_path: Path = field(default_factory=default_wire_manifest_path)
 
     def module(self, rel: str) -> Optional[ModuleInfo]:
         for info in self.modules:
@@ -199,6 +205,7 @@ def run_analysis(
     baseline: Optional[Baseline] = None,
     manifest_path: Optional[Path] = None,
     store_manifest_path: Optional[Path] = None,
+    wire_manifest_path: Optional[Path] = None,
 ) -> AnalysisReport:
     """Run every rule over the tree under ``root`` and partition findings.
 
@@ -216,6 +223,8 @@ def run_analysis(
         manifest_path = default_manifest_path()
     if store_manifest_path is None:
         store_manifest_path = default_store_manifest_path()
+    if wire_manifest_path is None:
+        wire_manifest_path = default_wire_manifest_path()
     if baseline is None:
         baseline = Baseline()
 
@@ -234,6 +243,7 @@ def run_analysis(
         modules=modules,
         manifest_path=manifest_path,
         store_manifest_path=store_manifest_path,
+        wire_manifest_path=wire_manifest_path,
     )
     for rule in rules:
         raw.extend(rule.finalize(project))

@@ -1,7 +1,8 @@
 """Keying manifests — the cache-key rule's recorded state.
 
-Two digests in the codebase key persistent artefacts on dataclass field
-sets, and both fail the same way when the field set drifts:
+Three versioned contracts in the codebase pair dataclass field sets
+with a version constant, and all fail the same way when the field set
+drifts without a bump:
 
 - the flow cache keys on a digest of *every* ``ArchParams`` field plus
   ``FLOW_CACHE_VERSION`` (:class:`ArchManifest`) — we have bumped the
@@ -9,15 +10,20 @@ sets, and both fail the same way when the field set drifts:
 - the result store (:mod:`repro.store`) keys on every ``GuardbandConfig``
   field plus ``STORE_SCHEMA_VERSION`` (:class:`StoreManifest`) — a field
   change without a schema bump would serve stale converged guardbands
-  computed under different semantics.
+  computed under different semantics;
+- the service wire schema (:mod:`repro.service.wire`) serialises every
+  field of its wire classes under ``WIRE_SCHEMA_VERSION``
+  (:class:`WireManifest`) — a field change without a bump means an old
+  peer's payloads are silently reinterpreted (or spuriously rejected)
+  instead of failing with a version diagnostic.
 
 Each committed manifest records the last reviewed ``(field set,
 version)`` pair; :mod:`repro.analysis.rules.cache_key` compares the live
 code against it and fails when the fields changed but the version did
 not.
 
-Regenerate both with ``python -m repro.analysis --update-manifest``
-after bumping the relevant version.
+Regenerate all of them with ``python -m repro.analysis
+--update-manifest`` after bumping the relevant version.
 """
 
 from __future__ import annotations
@@ -96,6 +102,49 @@ class StoreManifest:
             json.dumps(payload, indent=2, sort_keys=True) + "\n",
             encoding="utf-8",
         )
+
+
+@dataclass(frozen=True)
+class WireManifest:
+    """Recorded (per-kind field sets, WIRE_SCHEMA_VERSION) state."""
+
+    kinds: tuple
+    """Sorted ``(kind, (field, ...))`` pairs, one per wire kind."""
+    wire_schema_version: int
+
+    @classmethod
+    def load(cls, path: Path) -> Optional["WireManifest"]:
+        if not path.exists():
+            return None
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("version") != MANIFEST_FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: unsupported manifest version {data.get('version')!r}"
+            )
+        return cls(
+            kinds=tuple(
+                (kind, tuple(fields))
+                for kind, fields in sorted(data["wire_kind_fields"].items())
+            ),
+            wire_schema_version=int(data["wire_schema_version"]),
+        )
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": MANIFEST_FORMAT_VERSION,
+            "wire_kind_fields": {
+                kind: sorted(fields) for kind, fields in self.kinds
+            },
+            "wire_schema_version": self.wire_schema_version,
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    def fields_by_kind(self) -> dict:
+        return {kind: set(fields) for kind, fields in self.kinds}
 
 
 def dataclass_field_names(class_body: List) -> List[str]:

@@ -21,6 +21,13 @@ tracked by the committed store manifest — a config field the digest
 ignores would serve a converged guardband computed under different
 Algorithm 1 semantics.
 
+Wire schema (``repro.service.wire``): every wire kind's field set is
+recorded against ``WIRE_SCHEMA_VERSION`` in the committed wire
+manifest.  A field added to (or removed from) any wire class without a
+version bump means peers speaking the old schema exchange envelopes
+that decode to different semantics — or fail with an "unknown field"
+error instead of the actionable version diagnostic.
+
 This is a cross-module rule: it runs in :meth:`finalize` over the parsed
 project, locating the classes, digest functions and version constants
 wherever they are defined.
@@ -36,6 +43,7 @@ from repro.analysis.findings import Finding, Severity
 from repro.analysis.manifest import (
     ArchManifest,
     StoreManifest,
+    WireManifest,
     dataclass_field_names,
 )
 
@@ -74,6 +82,38 @@ def _find_function(
     return None
 
 
+def _wire_kind_names(project: Project) -> Tuple[Optional[ModuleInfo], List[str]]:
+    """Wire kind names from the ``_DECODERS`` dict literal in wire.py.
+
+    The decoder table's string keys *are* the envelope kinds (and each
+    names a dataclass of the same name), so the rule never has to import
+    the service package to know what the wire schema covers.
+    """
+    for info in project.modules:
+        for stmt in info.tree.body:
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+                value: Optional[ast.expr] = stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                targets = [stmt.target]
+                value = stmt.value
+            else:
+                continue
+            named = any(
+                isinstance(t, ast.Name) and t.id == "_DECODERS" for t in targets
+            )
+            if not named or not isinstance(value, ast.Dict):
+                continue
+            kinds = [
+                key.value
+                for key in value.keys
+                if isinstance(key, ast.Constant) and isinstance(key.value, str)
+            ]
+            if kinds:
+                return info, sorted(kinds)
+    return None, []
+
+
 def _digest_consumption(func: ast.FunctionDef) -> Tuple[bool, Set[str]]:
     """(iterates dataclasses.fields(), explicitly-read field names).
 
@@ -110,13 +150,14 @@ class CacheKeyRule(Rule):
         "keying digests must consume every field of the dataclass they "
         "key on (arch_digest/ArchParams, store_digest/GuardbandConfig), "
         "and field-set changes must bump the paired version constant "
-        "(FLOW_CACHE_VERSION / STORE_SCHEMA_VERSION, tracked via the "
-        "committed manifests)"
+        "(FLOW_CACHE_VERSION / STORE_SCHEMA_VERSION / "
+        "WIRE_SCHEMA_VERSION, tracked via the committed manifests)"
     )
 
     def finalize(self, project: Project) -> Iterable[Finding]:
         findings = list(self._check_flow_cache(project))
         findings.extend(self._check_store(project))
+        findings.extend(self._check_wire(project))
         return findings
 
     def _check_flow_cache(self, project: Project) -> Iterable[Finding]:
@@ -296,6 +337,116 @@ class CacheKeyRule(Rule):
                 )
             )
         return findings
+
+
+    def _check_wire(self, project: Project) -> Iterable[Finding]:
+        version = _find_assignment(project, "WIRE_SCHEMA_VERSION")
+        wire_module, kinds = _wire_kind_names(project)
+        if version is None or wire_module is None:
+            # No wire schema in this project (e.g. rule fixtures).
+            return ()
+        version_module, version_stmt, version_value = version
+        findings: List[Finding] = []
+
+        live: dict = {}
+        for kind in kinds:
+            located = project.find_class(kind)
+            if located is None:
+                findings.append(
+                    wire_module.finding(
+                        self,
+                        wire_module.tree,
+                        f"wire kind {kind!r} names no class in the project; "
+                        "the decoder table and the dataclasses it targets "
+                        "have drifted apart",
+                    )
+                )
+                continue
+            _, cls = located
+            live[kind] = set(dataclass_field_names(cls.body))
+
+        manifest = WireManifest.load(project.wire_manifest_path)
+        if manifest is None:
+            findings.append(
+                version_module.finding(
+                    self,
+                    version_stmt,
+                    "no wire manifest recorded; run `python -m "
+                    "repro.analysis --update-manifest` and commit "
+                    f"{project.wire_manifest_path.name}",
+                    severity=Severity.WARNING,
+                )
+            )
+            return findings
+
+        recorded = manifest.fields_by_kind()
+        drift: List[str] = []
+        for kind in sorted(set(live) | set(recorded)):
+            if kind not in recorded:
+                drift.append(f"{kind}: new kind")
+                continue
+            if kind not in live:
+                drift.append(f"{kind}: kind removed")
+                continue
+            added = sorted(live[kind] - recorded[kind])
+            removed = sorted(recorded[kind] - live[kind])
+            if added:
+                drift.append(f"{kind} added: {', '.join(added)}")
+            if removed:
+                drift.append(f"{kind} removed: {', '.join(removed)}")
+        if drift:
+            change = "; ".join(drift)
+            if version_value == manifest.wire_schema_version:
+                findings.append(
+                    wire_module.finding(
+                        self,
+                        wire_module.tree,
+                        f"wire schema changed ({change}) without a "
+                        "WIRE_SCHEMA_VERSION bump; peers on the old schema "
+                        "would accept envelopes that decode to different "
+                        "semantics — bump the version, then refresh the "
+                        "manifest with --update-manifest",
+                    )
+                )
+            else:
+                findings.append(
+                    wire_module.finding(
+                        self,
+                        wire_module.tree,
+                        f"wire schema changed ({change}) and "
+                        "WIRE_SCHEMA_VERSION was bumped; refresh the "
+                        "manifest with --update-manifest to record the new "
+                        "reviewed state",
+                    )
+                )
+        elif version_value != manifest.wire_schema_version:
+            findings.append(
+                version_module.finding(
+                    self,
+                    version_stmt,
+                    f"WIRE_SCHEMA_VERSION is {version_value} but the "
+                    f"manifest records {manifest.wire_schema_version}; "
+                    "refresh the manifest with --update-manifest",
+                    severity=Severity.WARNING,
+                )
+            )
+        return findings
+
+
+def current_wire_manifest(project: Project) -> Optional[WireManifest]:
+    """The live (per-kind field sets, WIRE_SCHEMA_VERSION) state."""
+    version = _find_assignment(project, "WIRE_SCHEMA_VERSION")
+    wire_module, kinds = _wire_kind_names(project)
+    if version is None or wire_module is None:
+        return None
+    pairs = []
+    for kind in kinds:
+        located = project.find_class(kind)
+        if located is None:
+            continue
+        _, cls = located
+        pairs.append((kind, tuple(sorted(dataclass_field_names(cls.body)))))
+    return WireManifest(kinds=tuple(pairs), wire_schema_version=version[2])
 
 
 def current_store_manifest(project: Project) -> Optional[StoreManifest]:

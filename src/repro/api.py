@@ -42,6 +42,7 @@ _EXPORTS = {
     # CAD flow.
     "FlowResult": "repro.cad.flow",
     "flow_cache_key": "repro.cad.flow",
+    "flow_cache_key_for": "repro.cad.flow",
     "run_flow": "repro.cad.flow",
     # Algorithm 1 and the margin model.
     "BatchCell": "repro.core.guardband",
@@ -64,11 +65,23 @@ _EXPORTS = {
     "JobResult": "repro.runner",
     "JobFailure": "repro.runner",
     "outcome_from_record": "repro.runner",
-    # Persistent result store.
+    # Persistent result store (with pluggable byte backends).
     "ResultStore": "repro.store",
     "open_store": "repro.store",
     "store_digest": "repro.store",
     "STORE_SCHEMA_VERSION": "repro.store",
+    "StoreBackend": "repro.store",
+    "DirectoryBackend": "repro.store",
+    "MemoryBackend": "repro.store",
+    # Sweep service: client, scheduler, server, versioned wire schema.
+    "SweepClient": "repro.service",
+    "ServiceError": "repro.service",
+    "SweepScheduler": "repro.service",
+    "SweepServer": "repro.service",
+    "to_wire": "repro.service",
+    "from_wire": "repro.service",
+    "WireError": "repro.service",
+    "WIRE_SCHEMA_VERSION": "repro.service",
     # Observability (exported as the module itself).
     "observe": "repro.observe",
 }
@@ -122,9 +135,23 @@ if TYPE_CHECKING:  # Static surface for mypy/IDEs; runtime stays lazy.
         outcome_from_record,
         run_sweep,
     )
+    from repro.cad.flow import flow_cache_key_for
+    from repro.service import (
+        WIRE_SCHEMA_VERSION,
+        ServiceError,
+        SweepClient,
+        SweepScheduler,
+        WireError,
+        from_wire,
+        to_wire,
+    )
+    from repro.service.http import SweepServer
     from repro.store import (
         STORE_SCHEMA_VERSION,
+        DirectoryBackend,
+        MemoryBackend,
         ResultStore,
+        StoreBackend,
         open_store,
         store_digest,
     )

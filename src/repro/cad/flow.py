@@ -112,6 +112,27 @@ def flow_cache_key(netlist: Netlist, arch: ArchParams, seed: int) -> str:
     )
 
 
+_TIMING_DRIVEN_SEED_OFFSET = 1_000_003
+"""timing_driven folds into the cache key through the seed namespace."""
+
+
+def flow_cache_key_for(
+    netlist: Netlist,
+    arch: ArchParams,
+    seed: int = 7,
+    timing_driven: bool = False,
+) -> str:
+    """The cache key :func:`run_flow` will assign, without running P&R.
+
+    This is what lets a scheduler address a cell's result-store digest
+    (:func:`repro.store.store_digest`) before any flow has executed:
+    the key is a pure function of the resolved netlist, the architecture
+    digest, the seed namespace and ``FLOW_CACHE_VERSION``.
+    """
+    cache_seed = seed + (_TIMING_DRIVEN_SEED_OFFSET if timing_driven else 0)
+    return flow_cache_key(netlist, arch, cache_seed)
+
+
 def _disk_cache_path(netlist: Netlist, arch: ArchParams, seed: int) -> Optional[Path]:
     """Location of the pickled flow result, or ``None`` if caching is off.
 
@@ -205,8 +226,7 @@ def run_flow(
     shortening deep register-to-register paths.
     """
     arch = arch or ArchParams()
-    # timing_driven folds into the cache key through the seed namespace.
-    cache_seed = seed + (1_000_003 if timing_driven else 0)
+    cache_seed = seed + (_TIMING_DRIVEN_SEED_OFFSET if timing_driven else 0)
     key = (netlist.name, arch, cache_seed)
     if use_cache and key in _FLOW_CACHE:
         _count_cache("hit", source="memory", netlist=netlist.name)
@@ -299,10 +319,9 @@ def _compute_flow(
         with observe.span("flow.sta_build"):
             timing = TimingAnalyzer(packed, placement, routing, layout)
         compute_span.set_attrs(n_tiles=layout.n_tiles)
-    cache_seed = seed + (1_000_003 if timing_driven else 0)
     result = FlowResult(
         netlist, arch, layout, packed, placement, routing, timing,
-        cache_key=flow_cache_key(netlist, arch, cache_seed),
+        cache_key=flow_cache_key_for(netlist, arch, seed, timing_driven),
     )
     if memory_key is not None:
         _FLOW_CACHE[memory_key] = result

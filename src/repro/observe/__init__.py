@@ -47,11 +47,12 @@ from repro.observe.runtime import (
     span,
     total_phase_seconds,
 )
-from repro.observe.sinks import InMemorySink, JsonlSink, Sink
+from repro.observe.sinks import FanoutSink, InMemorySink, JsonlSink, Sink
 from repro.observe.spans import NULL_SPAN, Span, SpanLike
 
 __all__ = [
     "Counter",
+    "FanoutSink",
     "Gauge",
     "Histogram",
     "InMemorySink",

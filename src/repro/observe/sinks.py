@@ -58,6 +58,32 @@ class InMemorySink(Sink):
         return self.of_type("metric")
 
 
+class FanoutSink(Sink):
+    """Tee one record stream into several sinks.
+
+    The sweep service uses this to feed a run's records to the JSONL
+    trace file *and* to the live event bridge at once.  ``path`` is the
+    first child path, so :func:`repro.observe.propagation_context` still
+    hands pool workers a file they can append worker-side spans to.
+    """
+
+    def __init__(self, sinks: List[Sink]) -> None:
+        if not sinks:
+            raise ValueError("FanoutSink needs at least one child sink")
+        self.sinks = list(sinks)
+        self.path = next(
+            (s.path for s in self.sinks if s.path is not None), None
+        )
+
+    def write(self, record: Dict[str, object]) -> None:
+        for sink in self.sinks:
+            sink.write(record)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+
 class JsonlSink(Sink):
     """One JSON object per line, flushed per record.
 

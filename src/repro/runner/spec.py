@@ -12,6 +12,7 @@ engine can hand to any worker process.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple, Union
 
@@ -94,6 +95,17 @@ class ExperimentSpec:
             raise ValueError(
                 "ExperimentSpec needs at least one ambient and one corner"
             )
+        # NaN/inf would flow into store digests (NaN != NaN, so the
+        # resulting cache entries could never be hit again) and into the
+        # thermal solve; reject them at the declaration boundary.
+        for name, values in (("ambients", self.ambients),
+                             ("corners", self.corners)):
+            for value in values:
+                if not math.isfinite(value):
+                    raise ValueError(
+                        f"ExperimentSpec {name} must be finite numbers, "
+                        f"got {value!r}"
+                    )
         for bench in self.benchmarks:
             if isinstance(bench, str) and bench not in _VTR_BY_NAME:
                 known = ", ".join(benchmark_names())

@@ -1,0 +1,148 @@
+"""Per-job progress streams, bridged from :mod:`repro.observe`.
+
+The scheduler publishes one record per cell lifecycle transition
+(accepted / completed / failed / job-done) into an :class:`EventBroker`;
+HTTP subscribers and in-process clients read them back as an ordered
+stream per service job.  Two paths feed the broker:
+
+- the scheduler publishes its own ``service.*`` records directly (so
+  streaming works even with observability disabled);
+- :class:`ObserveBridge` is a :class:`repro.observe.Sink` the serve loop
+  installs (fanned out alongside the JSONL trace sink): every observe
+  record whose attributes carry a ``jobs`` tag — ``sweep.cell`` spans,
+  ``sweep.cell_skipped`` and ``store.*`` events the scheduler emits — is
+  forwarded to exactly those jobs' subscribers.  One happening reaches a
+  subscriber once: the scheduler never emits the same record on both
+  paths.
+
+The broker archives every record per job, so a subscriber that attaches
+after (or during) a job still sees the full ordered history before the
+live tail; a ``None`` sentinel terminates each stream once the job is
+finished and its history replayed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.observe.sinks import Sink
+
+_MAX_ARCHIVE_PER_JOB = 10_000
+"""Safety valve: a pathological job cannot grow its archive unboundedly;
+overflow is summarised in one marker record instead."""
+
+
+class EventBroker:
+    """Fan records out to per-job subscriber queues, with history replay.
+
+    Single-loop discipline: every method except :meth:`write` (the
+    observe-sink entry point, which trampolines through
+    ``call_soon_threadsafe``) must run on the loop the broker is bound
+    to.
+    """
+
+    def __init__(self) -> None:
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._archive: Dict[str, List[dict]] = {}
+        self._finished: Set[str] = set()
+        self._queues: Dict[str, List[asyncio.Queue]] = {}
+
+    def bind(self, loop: asyncio.AbstractEventLoop) -> None:
+        self._loop = loop
+
+    # -- publishing -------------------------------------------------------
+
+    def open_job(self, job_id: str) -> None:
+        self._archive.setdefault(job_id, [])
+
+    def publish(self, jobs: Tuple[str, ...], record: dict) -> None:
+        """Deliver ``record`` to every subscriber of each job, in order."""
+        for job_id in jobs:
+            if job_id not in self._archive:
+                continue
+            archive = self._archive[job_id]
+            if len(archive) == _MAX_ARCHIVE_PER_JOB:
+                archive.append(
+                    {"type": "event", "name": "service.stream_truncated",
+                     "attrs": {"jobs": [job_id]}}
+                )
+            if len(archive) <= _MAX_ARCHIVE_PER_JOB:
+                archive.append(record)
+            for queue in self._queues.get(job_id, ()):
+                queue.put_nowait(record)
+
+    def finish_job(self, job_id: str) -> None:
+        """No further records for ``job_id``; close live streams."""
+        self._finished.add(job_id)
+        for queue in self._queues.pop(job_id, ()):
+            queue.put_nowait(None)
+
+    # -- subscribing ------------------------------------------------------
+
+    def knows(self, job_id: str) -> bool:
+        return job_id in self._archive
+
+    async def stream(self, job_id: str):
+        """Async-iterate the job's records: full history, then the live
+        tail, ending when the job finishes."""
+        history = list(self._archive.get(job_id, ()))
+        queue: Optional[asyncio.Queue] = None
+        if job_id not in self._finished:
+            queue = asyncio.Queue()
+            self._queues.setdefault(job_id, []).append(queue)
+        for record in history:
+            yield record
+        if queue is None:
+            return
+        try:
+            while True:
+                record = await queue.get()
+                if record is None:
+                    return
+                yield record
+        finally:
+            subscribers = self._queues.get(job_id)
+            if subscribers and queue in subscribers:
+                subscribers.remove(queue)
+
+
+class ObserveBridge(Sink):
+    """Observe sink forwarding job-tagged records into the broker.
+
+    Install via :class:`repro.observe.FanoutSink` next to the JSONL
+    trace sink.  Records without a ``jobs`` attribute (engine internals,
+    worker spans) stay trace-only; ones the scheduler tags reach the
+    jobs' live streams.  ``write`` may be called from any thread — it
+    trampolines onto the broker's loop.
+    """
+
+    def __init__(self, broker: EventBroker) -> None:
+        self.broker = broker
+
+    def write(self, record: Dict[str, object]) -> None:
+        attrs = record.get("attrs")
+        if not isinstance(attrs, dict):
+            return
+        jobs = attrs.get("jobs")
+        if not isinstance(jobs, (list, tuple)) or not jobs:
+            return
+        loop = self.broker._loop
+        targets = tuple(str(j) for j in jobs)
+        try:
+            running: Optional[asyncio.AbstractEventLoop] = (
+                asyncio.get_running_loop()
+            )
+        except RuntimeError:
+            running = None
+        if loop is None or running is loop or not loop.is_running():
+            # On the broker's own loop (the scheduler emitting mid-step),
+            # publish synchronously: deferring through the call queue
+            # would land the record *after* a finish_job issued later in
+            # the same step, past the stream's closing sentinel.
+            self.broker.publish(targets, dict(record))
+            return
+        loop.call_soon_threadsafe(self.broker.publish, targets, dict(record))
+
+    def close(self) -> None:  # records are the broker's to keep
+        pass

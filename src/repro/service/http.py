@@ -1,0 +1,263 @@
+"""Asyncio HTTP front end for the sweep scheduler.
+
+Stdlib-only (``asyncio`` streams + hand-rolled HTTP/1.1 framing — no new
+dependencies), versioned under ``/v1``:
+
+- ``GET  /v1/health`` — liveness, wire schema version, store root.
+- ``POST /v1/jobs`` — submit a wire-envelope
+  :class:`~repro.runner.spec.ExperimentSpec`
+  (:func:`repro.service.wire.to_wire`); returns ``202`` with the job id.
+  A malformed envelope is a ``400`` carrying the
+  :class:`~repro.service.wire.WireError` diagnostic, never a traceback.
+- ``GET  /v1/jobs/<id>`` — progress counters and terminal status.
+- ``GET  /v1/jobs/<id>/result`` — status plus every terminal cell
+  record accumulated so far (complete when ``status`` is terminal).
+- ``GET  /v1/jobs/<id>/events`` — NDJSON stream: the job's full event
+  history, then the live tail until the job finishes
+  (``Connection: close`` marks the end — one socket per stream).
+
+Every response is JSON; errors are ``{"error": ..., "message": ...}``
+objects with the matching 4xx/5xx status.  One connection serves one
+request (``Connection: close``), which keeps the framing trivial and is
+plenty for a lab-scale sweep service.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Optional, Tuple
+
+from repro.runner.spec import ExperimentSpec
+from repro.service.scheduler import SweepScheduler
+from repro.service.wire import WIRE_SCHEMA_VERSION, WireError, from_wire
+
+_MAX_BODY_BYTES = 8 * 1024 * 1024
+_TOO_LARGE = b"__body_exceeds_max_bytes__"
+"""Sentinel body: the request declared more than ``_MAX_BODY_BYTES``."""
+_REASONS = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+def _response(
+    status: int, payload: Dict[str, object], extra_headers: str = ""
+) -> bytes:
+    body = json.dumps(payload, sort_keys=False).encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n{extra_headers}\r\n"
+    )
+    return head.encode("ascii") + body
+
+
+def _error(status: int, error: str, message: str) -> bytes:
+    return _response(status, {"error": error, "message": message})
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> Optional[Tuple[str, str, bytes]]:
+    """Parse one request: (method, path, body); ``None`` on EOF/garbage."""
+    try:
+        request_line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError):
+        return None
+    parts = request_line.decode("latin-1").split()
+    if len(parts) != 3:
+        return None
+    method, path = parts[0].upper(), parts[1]
+    content_length = 0
+    while True:
+        line = await reader.readline()
+        if not line or line in (b"\r\n", b"\n"):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            try:
+                content_length = int(value.strip())
+            except ValueError:
+                return None
+    if content_length > _MAX_BODY_BYTES:
+        return method, path, _TOO_LARGE
+    body = (
+        await reader.readexactly(content_length) if content_length else b""
+    )
+    return method, path, body
+
+
+class SweepServer:
+    """One scheduler behind one listening socket."""
+
+    def __init__(
+        self, scheduler: SweepScheduler, host: str = "127.0.0.1",
+        port: int = 8023,
+    ) -> None:
+        self.scheduler = scheduler
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port) — port resolved when 0 was requested."""
+        assert self._server is not None and self._server.sockets
+        sockname = self._server.sockets[0].getsockname()
+        return str(sockname[0]), int(sockname[1])
+
+    async def start(self) -> None:
+        self.scheduler.start()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.scheduler.close()
+
+    # -- request handling -------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await _read_request(reader)
+            if request is None:
+                return
+            method, path, body = request
+            if body is _TOO_LARGE:
+                writer.write(_error(
+                    413, "PayloadTooLarge",
+                    f"request body exceeds {_MAX_BODY_BYTES} bytes",
+                ))
+                return
+            await self._route(method, path, body, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except Exception as error:  # one request must never kill the server
+            try:
+                writer.write(_error(500, type(error).__name__, str(error)))
+            except ConnectionError:
+                pass
+        finally:
+            try:
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    async def _route(
+        self, method: str, path: str, body: bytes,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        path = path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/v1/health" and method == "GET":
+            writer.write(_response(200, {
+                "ok": True,
+                "wire_version": WIRE_SCHEMA_VERSION,
+                "store": self.scheduler.store_path,
+                "n_jobs": len(self.scheduler.jobs),
+            }))
+            return
+        if path == "/v1/jobs" and method == "POST":
+            await self._submit(body, writer)
+            return
+        if path.startswith("/v1/jobs/"):
+            rest = path[len("/v1/jobs/"):]
+            if method != "GET":
+                writer.write(_error(
+                    405, "MethodNotAllowed", f"{method} not allowed here"
+                ))
+                return
+            if rest.endswith("/events"):
+                await self._stream(rest[: -len("/events")], writer)
+                return
+            if rest.endswith("/result"):
+                self._result(rest[: -len("/result")], writer)
+                return
+            self._status(rest, writer)
+            return
+        writer.write(_error(
+            404, "NotFound",
+            f"no route for {method} {path}; the API lives under /v1",
+        ))
+
+    async def _submit(
+        self, body: bytes, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            doc = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            writer.write(_error(
+                400, "InvalidJSON", f"request body is not JSON: {error}"
+            ))
+            return
+        try:
+            spec = from_wire(doc)
+        except WireError as error:
+            writer.write(_error(400, "WireError", str(error)))
+            return
+        if not isinstance(spec, ExperimentSpec):
+            writer.write(_error(
+                400, "WrongKind",
+                f"POST /v1/jobs takes an ExperimentSpec envelope, "
+                f"got {type(spec).__name__}",
+            ))
+            return
+        job_id = await self.scheduler.submit(spec)
+        writer.write(_response(202, {
+            "job_id": job_id,
+            "status_url": f"/v1/jobs/{job_id}",
+            "events_url": f"/v1/jobs/{job_id}/events",
+            "result_url": f"/v1/jobs/{job_id}/result",
+        }))
+
+    def _status(self, job_id: str, writer: asyncio.StreamWriter) -> None:
+        status = self.scheduler.status(job_id)
+        if status is None:
+            writer.write(_error(
+                404, "UnknownJob", f"no job {job_id!r} on this server"
+            ))
+            return
+        writer.write(_response(200, status))
+
+    def _result(self, job_id: str, writer: asyncio.StreamWriter) -> None:
+        result = self.scheduler.result(job_id)
+        if result is None:
+            writer.write(_error(
+                404, "UnknownJob", f"no job {job_id!r} on this server"
+            ))
+            return
+        writer.write(_response(200, result))
+
+    async def _stream(
+        self, job_id: str, writer: asyncio.StreamWriter
+    ) -> None:
+        if not self.scheduler.broker.knows(job_id):
+            writer.write(_error(
+                404, "UnknownJob", f"no job {job_id!r} on this server"
+            ))
+            return
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        async for record in self.scheduler.broker.stream(job_id):
+            writer.write(
+                json.dumps(record, sort_keys=False, default=str)
+                .encode("utf-8") + b"\n"
+            )
+            await writer.drain()

@@ -1,0 +1,187 @@
+"""Pluggable persistence backends for the result store.
+
+:class:`~repro.store.store.ResultStore` owns the *semantics* of the
+store — pickling, type checks, hit/miss/quarantine counters — and
+delegates byte-level persistence to a :class:`StoreBackend`.  The
+protocol is deliberately small (opaque payload bytes keyed by digest)
+so a backend never needs to know what a
+:class:`~repro.core.guardband.GuardbandResult` is, and swapping the
+on-disk directory for an object store is a constructor argument, not a
+rewrite.
+
+:class:`DirectoryBackend` is the production backend and keeps the full
+concurrent-writer discipline the directory store has always had:
+
+- writes go to a tmp file then ``os.replace`` into place, so readers
+  only ever observe complete payloads;
+- a per-entry ``fcntl`` advisory lock serialises concurrent writers of
+  the same digest (degrading to a no-op where ``fcntl`` is unavailable
+  — atomic rename still prevents torn files);
+- anything the caller deems unreadable is quarantined to
+  ``<digest>.pkl.corrupt`` for post-mortem, never retried in place.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator, List, Optional, Union
+
+try:  # POSIX advisory locks; absent on some platforms.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
+try:
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover - Python < 3.8
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[no-redef]
+        return cls
+
+
+@runtime_checkable
+class StoreBackend(Protocol):
+    """Byte-level persistence keyed by content digest.
+
+    Implementations must be cheap to construct and safe under
+    concurrent multi-process use; the contract mirrors what
+    :class:`ResultStore` needs and nothing more:
+
+    - :meth:`read` returns the stored payload or ``None`` when the
+      digest is absent; it may raise ``OSError`` for an entry that
+      exists but cannot be read (the store quarantines it);
+    - :meth:`write` persists atomically — a concurrent reader observes
+      either the old payload or the new one, never a torn mix;
+    - :meth:`quarantine` moves an unreadable entry aside so it is a
+      miss from now on but stays available for post-mortem;
+    - :meth:`exists` / :meth:`digests` answer membership without
+      deserialising anything.
+    """
+
+    def read(self, digest: str) -> Optional[bytes]:
+        """The stored payload, or ``None`` when ``digest`` is absent."""
+        ...
+
+    def write(self, digest: str, payload: bytes) -> None:
+        """Persist ``payload`` under ``digest`` atomically."""
+        ...
+
+    def exists(self, digest: str) -> bool:
+        ...
+
+    def quarantine(self, digest: str) -> None:
+        """Move the entry aside (post-mortem copy); a miss afterwards."""
+        ...
+
+    def digests(self) -> List[str]:
+        """Every digest currently stored (sorted, excludes quarantined)."""
+        ...
+
+
+@contextmanager
+def _entry_lock(path: Path) -> Iterator[None]:
+    """Exclusive advisory lock serialising writers of one store entry."""
+    if fcntl is None:
+        yield
+        return
+    lock_path = path.with_name(path.name + ".lock")
+    lock_path.parent.mkdir(parents=True, exist_ok=True)
+    with open(lock_path, "w") as handle:
+        fcntl.flock(handle, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(handle, fcntl.LOCK_UN)
+
+
+class DirectoryBackend:
+    """The fcntl-locked, atomic-rename directory backend (the default).
+
+    One file per digest under ``root``; the layout (``<digest>.pkl``
+    plus ``.corrupt`` quarantine neighbours) is identical to what
+    :class:`ResultStore` wrote before the backend split, so existing
+    store directories keep working unchanged.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    def path_for(self, digest: str) -> Path:
+        return self.root / f"{digest}.pkl"
+
+    def read(self, digest: str) -> Optional[bytes]:
+        path = self.path_for(digest)
+        if not path.exists():
+            return None
+        with open(path, "rb") as handle:
+            return handle.read()
+
+    def write(self, digest: str, payload: bytes) -> None:
+        path = self.path_for(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with _entry_lock(path):
+            tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+            try:
+                with open(tmp, "wb") as handle:
+                    handle.write(payload)
+                os.replace(tmp, path)
+            finally:
+                tmp.unlink(missing_ok=True)
+
+    def exists(self, digest: str) -> bool:
+        return self.path_for(digest).exists()
+
+    def quarantine(self, digest: str) -> None:
+        path = self.path_for(digest)
+        try:
+            os.replace(path, path.with_name(path.name + ".corrupt"))
+        except OSError:
+            path.unlink(missing_ok=True)
+
+    def digests(self) -> List[str]:
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            p.name[: -len(".pkl")]
+            for p in self.root.iterdir()
+            if p.name.endswith(".pkl") and not p.name.startswith(".")
+        )
+
+    def __repr__(self) -> str:
+        return f"DirectoryBackend({str(self.root)!r})"
+
+
+class MemoryBackend:
+    """In-process dict backend — tests and ephemeral single-process use.
+
+    Implements the full :class:`StoreBackend` protocol (including
+    quarantine book-keeping) without touching the filesystem; it is
+    *not* shared across processes, so the sweep engine's pool workers
+    cannot see it — pass a :class:`DirectoryBackend` root for fan-out.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict = {}
+        self.quarantined: List[str] = []
+
+    def read(self, digest: str) -> Optional[bytes]:
+        return self._entries.get(digest)
+
+    def write(self, digest: str, payload: bytes) -> None:
+        self._entries[digest] = payload
+
+    def exists(self, digest: str) -> bool:
+        return digest in self._entries
+
+    def quarantine(self, digest: str) -> None:
+        self._entries.pop(digest, None)
+        self.quarantined.append(digest)
+
+    def digests(self) -> List[str]:
+        return sorted(self._entries)
+
+    def __repr__(self) -> str:
+        return f"MemoryBackend(n={len(self._entries)})"

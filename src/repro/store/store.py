@@ -1,4 +1,4 @@
-"""Content-addressed, on-disk guardband result store.
+"""Content-addressed guardband result store.
 
 Algorithm 1's fixed point is deterministic in its inputs: the
 placed-and-routed design (identified by the flow cache key), the
@@ -8,15 +8,13 @@ and the fabric corner.  :func:`store_digest` folds exactly those — plus
 :class:`ResultStore` persists each converged
 :class:`~repro.core.guardband.GuardbandResult` under it.
 
-The on-disk discipline matches the flow cache (:mod:`repro.cad.flow`):
-
-- writes go to a tmp file then ``os.replace`` into place, so readers only
-  ever observe complete pickles;
-- a per-entry ``fcntl`` advisory lock serialises concurrent writers of
-  the same digest (degrading to a no-op where ``fcntl`` is unavailable —
-  atomic rename still prevents torn files);
-- anything unreadable is quarantined to ``<digest>.pkl.corrupt`` for
-  post-mortem and treated as a miss, never retried in place.
+Persistence is pluggable (:mod:`repro.store.backend`): the store owns
+pickling, type checks and the hit/miss/put/quarantine discipline, and
+delegates byte-level storage to a :class:`StoreBackend` — the
+fcntl-locked :class:`DirectoryBackend` by default (same on-disk layout
+the store has always had, so existing directories keep working), an
+object store tomorrow.  Unreadable or wrong-type entries are quarantined
+through the backend and treated as misses, never retried in place.
 
 Store behaviour is mirrored into :mod:`repro.observe` (``store.hit`` /
 ``store.miss`` / ``store.put`` / ``store.quarantine`` counters and
@@ -27,20 +25,14 @@ events) and into an always-on process-lifetime tally
 from __future__ import annotations
 
 import hashlib
-import os
 import pickle
-from contextlib import contextmanager
 from dataclasses import fields
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Union
-
-try:  # POSIX advisory locks; absent on some platforms.
-    import fcntl
-except ImportError:  # pragma: no cover - non-POSIX fallback
-    fcntl = None  # type: ignore[assignment]
+from typing import Dict, List, Optional, Union
 
 from repro import observe
 from repro.core.guardband import GuardbandConfig, GuardbandResult
+from repro.store.backend import DirectoryBackend, StoreBackend
 
 STORE_SCHEMA_VERSION = 1
 """Bump when the digest inputs or the stored payload change meaning.
@@ -96,102 +88,100 @@ def store_digest(
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
-@contextmanager
-def _entry_lock(path: Path) -> Iterator[None]:
-    """Exclusive advisory lock serialising writers of one store entry."""
-    if fcntl is None:
-        yield
-        return
-    lock_path = path.with_name(path.name + ".lock")
-    lock_path.parent.mkdir(parents=True, exist_ok=True)
-    with open(lock_path, "w") as handle:
-        fcntl.flock(handle, fcntl.LOCK_EX)
-        try:
-            yield
-        finally:
-            fcntl.flock(handle, fcntl.LOCK_UN)
-
-
 class ResultStore:
     """Keyed persistence for converged :class:`GuardbandResult` values.
 
-    Cheap to construct (holds only the root path), so worker processes
-    open their own handle onto a shared directory.  All methods are safe
-    under concurrent multi-process use.
+    Cheap to construct (holds only the backend handle), so worker
+    processes open their own handle onto a shared directory.  All
+    methods are safe under concurrent multi-process use when the
+    backend is (the default :class:`DirectoryBackend` is).
+
+    ``ResultStore(root)`` opens the directory backend at ``root``;
+    ``ResultStore(backend=...)`` plugs any :class:`StoreBackend`.
     """
 
-    def __init__(self, root: Union[str, Path]) -> None:
-        self.root = Path(root)
+    def __init__(
+        self,
+        root: Union[str, Path, None] = None,
+        *,
+        backend: Optional[StoreBackend] = None,
+    ) -> None:
+        if (root is None) == (backend is None):
+            raise ValueError("pass exactly one of root= or backend=")
+        self.backend: StoreBackend = (
+            backend if backend is not None else DirectoryBackend(root)  # type: ignore[arg-type]
+        )
+
+    @property
+    def root(self) -> Path:
+        """The directory root, for directory-backed stores."""
+        backend = self.backend
+        if not isinstance(backend, DirectoryBackend):
+            raise AttributeError(
+                f"{type(backend).__name__} has no directory root"
+            )
+        return backend.root
 
     def path_for(self, digest: str) -> Path:
-        return self.root / f"{digest}.pkl"
+        """On-disk path of one entry, for directory-backed stores."""
+        backend = self.backend
+        if not isinstance(backend, DirectoryBackend):
+            raise AttributeError(
+                f"{type(backend).__name__} stores no per-entry paths"
+            )
+        return backend.path_for(digest)
 
     def get(self, digest: str) -> Optional[GuardbandResult]:
         """The stored result, or ``None`` on miss (corrupt ⇒ quarantine)."""
-        path = self.path_for(digest)
-        if not path.exists():
+        try:
+            payload = self.backend.read(digest)
+        except Exception:
+            self._quarantine(digest)
+            return None
+        if payload is None:
             _count("miss", digest=digest)
             return None
         try:
-            with open(path, "rb") as handle:
-                result = pickle.load(handle)
+            result = pickle.loads(payload)
             if not isinstance(result, GuardbandResult):
                 raise TypeError(
                     f"expected GuardbandResult, got {type(result)!r}"
                 )
         except Exception:
-            self._quarantine(path)
+            self._quarantine(digest)
             return None
         _count("hit", digest=digest)
         return result
 
     def put(self, digest: str, result: GuardbandResult) -> None:
-        """Persist ``result`` under ``digest`` (atomic tmp + rename)."""
+        """Persist ``result`` under ``digest`` (atomicity per backend)."""
         if not isinstance(result, GuardbandResult):
             raise TypeError(
                 f"ResultStore stores GuardbandResult, got {type(result)!r}"
             )
-        path = self.path_for(digest)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        with _entry_lock(path):
-            tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-            try:
-                with open(tmp, "wb") as handle:
-                    pickle.dump(result, handle)
-                os.replace(tmp, path)
-            finally:
-                tmp.unlink(missing_ok=True)
+        self.backend.write(digest, pickle.dumps(result))
         _count("put", digest=digest)
 
-    def _quarantine(self, path: Path) -> None:
-        _count("quarantine", path=path.name)
-        try:
-            os.replace(path, path.with_name(path.name + ".corrupt"))
-        except OSError:
-            path.unlink(missing_ok=True)
+    def _quarantine(self, digest: str) -> None:
+        _count("quarantine", digest=digest)
+        self.backend.quarantine(digest)
 
     def __contains__(self, digest: str) -> bool:
-        return self.path_for(digest).exists()
+        return self.backend.exists(digest)
 
     def digests(self) -> List[str]:
         """Every digest currently stored (sorted, excludes quarantined)."""
-        if not self.root.is_dir():
-            return []
-        return sorted(
-            p.name[: -len(".pkl")]
-            for p in self.root.iterdir()
-            if p.name.endswith(".pkl") and not p.name.startswith(".")
-        )
+        return self.backend.digests()
 
     def __len__(self) -> int:
         return len(self.digests())
 
     def __repr__(self) -> str:
-        return f"ResultStore({str(self.root)!r})"
+        return f"ResultStore({self.backend!r})"
 
 
 def open_store(root: Union[str, Path]) -> ResultStore:
-    """Open (creating if needed) the result store rooted at ``root``."""
+    """Open (creating if needed) the directory store rooted at ``root``."""
     store = ResultStore(root)
     store.root.mkdir(parents=True, exist_ok=True)
     return store

@@ -23,10 +23,11 @@ from repro.analysis import (
 )
 from repro.analysis.cli import main as cli_main
 from repro.analysis.engine import Project, default_scan_root, load_modules
-from repro.analysis.manifest import ArchManifest, StoreManifest
+from repro.analysis.manifest import ArchManifest, StoreManifest, WireManifest
 from repro.analysis.rules.cache_key import (
     current_manifest,
     current_store_manifest,
+    current_wire_manifest,
 )
 from repro.analysis.suppress import suppressions_for
 
@@ -47,6 +48,9 @@ def run_on(tmp_path: Path, **kwargs):
         manifest_path=kwargs.pop("manifest_path", tmp_path / "manifest.json"),
         store_manifest_path=kwargs.pop(
             "store_manifest_path", tmp_path / "store_manifest.json"
+        ),
+        wire_manifest_path=kwargs.pop(
+            "wire_manifest_path", tmp_path / "wire_manifest.json"
         ),
         **kwargs,
     )
@@ -544,6 +548,144 @@ class TestStoreKeyRule:
         assert committed.store_schema_version == live.store_schema_version
 
 
+WIRE_FIXTURE_CLASSES = """
+    from dataclasses import dataclass
+
+    @dataclass(frozen=True)
+    class Widget:
+        size: int = 1
+        color: str = "red"
+"""
+
+WIRE_FIXTURE_WIRE = """
+    WIRE_SCHEMA_VERSION = 1
+
+    def _decode_widget(payload):
+        return payload
+
+    _DECODERS = {
+        "Widget": _decode_widget,
+    }
+"""
+
+
+class TestWireSchemaRule:
+    """The cache-key rule's wire half: every wire kind's field set must
+    move together with WIRE_SCHEMA_VERSION."""
+
+    def _project(self, tmp_path, classes=WIRE_FIXTURE_CLASSES,
+                 wire=WIRE_FIXTURE_WIRE):
+        write_module(tmp_path, "service/types.py", classes)
+        write_module(tmp_path, "service/wire.py", wire)
+
+    def _manifest(self, tmp_path, kinds=(("Widget", ("color", "size")),),
+                  version=1):
+        path = tmp_path / "wire_manifest.json"
+        WireManifest(kinds=tuple(kinds), wire_schema_version=version).save(path)
+        return path
+
+    def test_passes_when_manifest_matches(self, tmp_path):
+        self._project(tmp_path)
+        path = self._manifest(tmp_path)
+        assert run_on(tmp_path, wire_manifest_path=path).findings == []
+
+    def test_missing_manifest_is_a_warning(self, tmp_path):
+        self._project(tmp_path)
+        report = run_on(tmp_path)
+        assert rule_ids(report) == ["cache-key"]
+        assert report.findings[0].severity is Severity.WARNING
+        assert "wire manifest" in report.findings[0].message
+        assert report.ok
+
+    def test_field_change_without_version_bump_is_an_error(self, tmp_path):
+        self._project(tmp_path)
+        path = self._manifest(tmp_path, kinds=(("Widget", ("size",)),))
+        report = run_on(tmp_path, wire_manifest_path=path)
+        assert rule_ids(report) == ["cache-key"]
+        assert report.findings[0].severity is Severity.ERROR
+        assert "WIRE_SCHEMA_VERSION bump" in report.findings[0].message
+        assert "Widget added: color" in report.findings[0].message
+
+    def test_new_kind_without_version_bump_is_an_error(self, tmp_path):
+        self._project(tmp_path)
+        path = self._manifest(tmp_path, kinds=())
+        report = run_on(tmp_path, wire_manifest_path=path)
+        assert rule_ids(report) == ["cache-key"]
+        assert report.findings[0].severity is Severity.ERROR
+        assert "Widget: new kind" in report.findings[0].message
+
+    def test_field_change_with_bump_requests_manifest_refresh(self, tmp_path):
+        self._project(tmp_path)
+        path = self._manifest(tmp_path, kinds=(("Widget", ("size",)),),
+                              version=0)
+        report = run_on(tmp_path, wire_manifest_path=path)
+        assert rule_ids(report) == ["cache-key"]
+        assert "refresh the manifest" in report.findings[0].message
+
+    def test_version_drift_alone_is_a_warning(self, tmp_path):
+        self._project(tmp_path)
+        path = self._manifest(tmp_path, version=2)
+        report = run_on(tmp_path, wire_manifest_path=path)
+        assert rule_ids(report) == ["cache-key"]
+        assert report.findings[0].severity is Severity.WARNING
+
+    def test_kind_without_class_is_an_error(self, tmp_path):
+        write_module(tmp_path, "service/wire.py", WIRE_FIXTURE_WIRE)
+        path = self._manifest(tmp_path)
+        report = run_on(tmp_path, wire_manifest_path=path)
+        assert set(rule_ids(report)) == {"cache-key"}
+        messages = [f.message for f in report.findings]
+        assert any("names no class" in m for m in messages)
+
+    def test_wire_manifest_round_trip(self, tmp_path):
+        path = tmp_path / "m.json"
+        saved = WireManifest(
+            kinds=(("A", ("x", "y")), ("B", ("z",))), wire_schema_version=4
+        )
+        saved.save(path)
+        loaded = WireManifest.load(path)
+        assert loaded is not None
+        assert loaded.fields_by_kind() == {"A": {"x", "y"}, "B": {"z"}}
+        assert loaded.wire_schema_version == 4
+
+    def test_current_wire_manifest_matches_wire_field_names(self):
+        from repro.service.wire import (
+            WIRE_KINDS,
+            WIRE_SCHEMA_VERSION,
+            wire_field_names,
+        )
+
+        modules, errors = load_modules(SRC_REPRO)
+        assert errors == []
+        project = Project(
+            root=SRC_REPRO, modules=modules, manifest_path=Path("unused")
+        )
+        manifest = current_wire_manifest(project)
+        assert manifest is not None
+        assert manifest.wire_schema_version == WIRE_SCHEMA_VERSION
+        by_kind = manifest.fields_by_kind()
+        assert sorted(by_kind) == sorted(WIRE_KINDS)
+        for kind in WIRE_KINDS:
+            assert by_kind[kind] == set(wire_field_names(kind)), kind
+
+    def test_committed_wire_manifest_is_current(self):
+        from repro.analysis.engine import default_wire_manifest_path
+
+        committed = WireManifest.load(default_wire_manifest_path())
+        assert committed is not None, (
+            "wire manifest missing; run python -m repro.analysis "
+            "--update-manifest"
+        )
+        modules, _ = load_modules(SRC_REPRO)
+        project = Project(
+            root=SRC_REPRO, modules=modules, manifest_path=Path("unused")
+        )
+        live = current_wire_manifest(project)
+        assert live is not None
+        assert committed.fields_by_kind() == live.fields_by_kind()
+        assert committed.wire_schema_version == live.wire_schema_version
+
+
 class TestFrozenMutationRule:
     def test_flags_setattr_outside_post_init(self, tmp_path):
         write_module(
@@ -891,6 +1033,25 @@ class TestCli:
             [str(tmp_path), "--manifest", str(manifest),
              "--store-manifest", str(store_manifest)]
         ) == 0
+
+    def test_update_manifest_writes_wire_manifest_too(self, tmp_path):
+        write_module(tmp_path, "arch/params.py", CACHE_FIXTURE_PARAMS)
+        write_module(tmp_path, "cad/flow.py", CACHE_FIXTURE_FLOW_FIELDS)
+        write_module(tmp_path, "core/guardband.py", STORE_FIXTURE_CONFIG)
+        write_module(tmp_path, "store/store.py", STORE_FIXTURE_STORE)
+        write_module(tmp_path, "service/types.py", WIRE_FIXTURE_CLASSES)
+        write_module(tmp_path, "service/wire.py", WIRE_FIXTURE_WIRE)
+        manifest = tmp_path / "manifest.json"
+        store_manifest = tmp_path / "store_manifest.json"
+        wire_manifest = tmp_path / "wire_manifest.json"
+        args = [str(tmp_path), "--manifest", str(manifest),
+                "--store-manifest", str(store_manifest),
+                "--wire-manifest", str(wire_manifest)]
+        assert cli_main(args + ["--update-manifest"]) == 0
+        loaded = WireManifest.load(wire_manifest)
+        assert loaded is not None
+        assert loaded.fields_by_kind() == {"Widget": {"size", "color"}}
+        assert cli_main(args) == 0
 
     def test_list_rules(self, capsys):
         assert cli_main(["--list-rules"]) == 0

@@ -108,3 +108,74 @@ class TestSweepCommand:
     def test_sweep_bad_ambients_diagnostic(self):
         with pytest.raises(SystemExit, match="--ambients"):
             main(["sweep", "--benchmarks", "sha", "--ambients", "hot"])
+
+
+class TestServiceCommands:
+    """serve/submit/status share the CLI's exit-code and --json contract."""
+
+    def _spec_file(self, tmp_path, mutate=None):
+        from repro.runner.spec import ExperimentSpec
+        from repro.service.wire import to_wire
+
+        doc = to_wire(ExperimentSpec(benchmarks=("sha",)))
+        if mutate is not None:
+            mutate(doc)
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(doc), encoding="utf-8")
+        return str(path)
+
+    def test_serve_requires_store(self):
+        with pytest.raises(SystemExit):
+            main(["serve"])
+
+    def test_submit_missing_spec_file_exits_1(self, tmp_path, capsys):
+        code = main(["submit", str(tmp_path / "absent.json"),
+                     "--url", "http://127.0.0.1:1", "--json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["error"] == "FileNotFoundError"
+
+    def test_submit_bad_wire_version_exits_1(self, tmp_path, capsys):
+        def bump(doc):
+            doc["wire_version"] = 999
+
+        code = main(["submit", self._spec_file(tmp_path, bump),
+                     "--url", "http://127.0.0.1:1", "--json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["error"] == "WireError"
+        assert "999" in payload["message"]
+
+    def test_submit_non_spec_envelope_exits_1(self, tmp_path, capsys):
+        from repro.arch.params import ArchParams
+        from repro.service.wire import to_wire
+
+        path = tmp_path / "arch.json"
+        path.write_text(json.dumps(to_wire(ArchParams())), encoding="utf-8")
+        code = main(["submit", str(path),
+                     "--url", "http://127.0.0.1:1", "--json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert "ExperimentSpec" in payload["message"]
+
+    def test_submit_unreachable_server_exits_1(self, tmp_path, capsys):
+        code = main(["submit", self._spec_file(tmp_path),
+                     "--url", "http://127.0.0.1:1", "--json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["error"] == "ServiceError"
+        assert "cannot reach" in payload["message"]
+
+    def test_status_unreachable_server_exits_1(self, capsys):
+        code = main(["status", "job-0001",
+                     "--url", "http://127.0.0.1:1", "--json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["error"] == "ServiceError"
+
+    def test_help_lists_service_subcommands(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        for name in ("serve", "submit", "status"):
+            assert name in out
