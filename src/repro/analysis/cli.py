@@ -26,7 +26,7 @@ from repro.analysis.engine import (
     run_analysis,
 )
 from repro.analysis.findings import Severity
-from repro.analysis.rules import all_rules
+from repro.analysis.rules import all_rules, registry_rule_ids
 from repro.analysis.rules.cache_key import (
     current_manifest,
     current_store_manifest,
@@ -88,9 +88,61 @@ def build_parser() -> argparse.ArgumentParser:
         "fields, WIRE_SCHEMA_VERSION) states and exit 0",
     )
     parser.add_argument(
+        "--select",
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: every rule)",
+    )
+    parser.add_argument(
+        "--ignore",
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule ids to skip (applied after --select)",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true", help="describe every rule and exit"
     )
     return parser
+
+
+def _parse_rule_ids(
+    parser: argparse.ArgumentParser, option: str, raw: Optional[str]
+) -> Optional[set]:
+    """Split a comma-separated ``--select``/``--ignore`` value.
+
+    Unknown rule ids are a usage error (exit 2) — a typo that silently
+    selected nothing would read as a clean run.
+    """
+    if raw is None:
+        return None
+    ids = {part.strip() for part in raw.split(",") if part.strip()}
+    if not ids:
+        parser.error(f"{option} needs at least one rule id")
+    unknown = ids - set(registry_rule_ids())
+    if unknown:
+        known = ", ".join(registry_rule_ids())
+        parser.error(
+            f"{option}: unknown rule id(s) {sorted(unknown)}; known: {known}"
+        )
+    return ids
+
+
+def select_rules(
+    parser: argparse.ArgumentParser,
+    select: Optional[str],
+    ignore: Optional[str],
+) -> list:
+    """The rule instances to run: ``--select`` narrowed by ``--ignore``."""
+    selected = _parse_rule_ids(parser, "--select", select)
+    ignored = _parse_rule_ids(parser, "--ignore", ignore)
+    rules = all_rules()
+    if selected is not None:
+        rules = [r for r in rules if r.rule_id in selected]
+    if ignored is not None:
+        rules = [r for r in rules if r.rule_id not in ignored]
+    if not rules:
+        parser.error("--select/--ignore left no rules to run")
+    return rules
 
 
 def _print_report(report: AnalysisReport, baseline_path: Path) -> None:
@@ -209,11 +261,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     report = run_analysis(
         root=Path(root),
-        rules=all_rules(),
+        rules=select_rules(parser, args.select, args.ignore),
         baseline=baseline,
         manifest_path=manifest_path,
         store_manifest_path=store_manifest_path,
         wire_manifest_path=wire_manifest_path,
+        # Suppressions naming a deselected rule stay valid, not "unknown".
+        known_rule_ids=registry_rule_ids(),
     )
 
     if args.update_baseline:

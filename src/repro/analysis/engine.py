@@ -18,7 +18,10 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.callgraph import CallGraph
 
 from repro.analysis.baseline import Baseline
 from repro.analysis.findings import Finding, Severity, sort_key
@@ -96,6 +99,17 @@ class Project:
     manifest_path: Path
     store_manifest_path: Path = field(default_factory=default_store_manifest_path)
     wire_manifest_path: Path = field(default_factory=default_wire_manifest_path)
+    _call_graph: Optional["CallGraph"] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def call_graph(self) -> "CallGraph":
+        """Project-wide call graph, built once and shared by every rule."""
+        if self._call_graph is None:
+            from repro.analysis.callgraph import build_call_graph
+
+            self._call_graph = build_call_graph(self)
+        return self._call_graph
 
     def module(self, rel: str) -> Optional[ModuleInfo]:
         for info in self.modules:
@@ -206,11 +220,15 @@ def run_analysis(
     manifest_path: Optional[Path] = None,
     store_manifest_path: Optional[Path] = None,
     wire_manifest_path: Optional[Path] = None,
+    known_rule_ids: Optional[Iterable[str]] = None,
 ) -> AnalysisReport:
     """Run every rule over the tree under ``root`` and partition findings.
 
     ``baseline=None`` means an empty baseline (everything new gates);
     pass :meth:`Baseline.load` of the committed file for CI semantics.
+    ``known_rule_ids`` extends the rule-id set considered valid in
+    inline suppressions — pass the full registry when running a filtered
+    subset so suppressions naming deselected rules don't read as typos.
     """
     if root is None:
         root = default_scan_root()
@@ -231,7 +249,9 @@ def run_analysis(
     modules, raw = load_modules(root)
     raw = list(raw)
     known_ids = frozenset(
-        [r.rule_id for r in rules] + [PARSE_ERROR_RULE, SUPPRESS_ERROR_RULE]
+        [r.rule_id for r in rules]
+        + [PARSE_ERROR_RULE, SUPPRESS_ERROR_RULE]
+        + list(known_rule_ids or ())
     )
 
     for module in modules:

@@ -5,21 +5,30 @@ from __future__ import annotations
 from typing import List
 
 from repro.analysis.engine import Rule
+from repro.analysis.rules.api_surface import ApiSurfaceRule
+from repro.analysis.rules.async_blocking import AsyncBlockingRule
 from repro.analysis.rules.cache_key import CacheKeyRule
 from repro.analysis.rules.determinism import DeterminismRule
+from repro.analysis.rules.exception_flow import ExceptionFlowRule
 from repro.analysis.rules.float_eq import FloatEqualityRule
 from repro.analysis.rules.frozen_mutation import FrozenMutationRule
+from repro.analysis.rules.loop_affinity import LoopAffinityRule
 from repro.analysis.rules.pickle_boundary import PickleBoundaryRule
 from repro.analysis.rules.units import UnitsRule
 
 __all__ = [
+    "ApiSurfaceRule",
+    "AsyncBlockingRule",
     "CacheKeyRule",
     "DeterminismRule",
+    "ExceptionFlowRule",
     "FloatEqualityRule",
     "FrozenMutationRule",
+    "LoopAffinityRule",
     "PickleBoundaryRule",
     "UnitsRule",
     "all_rules",
+    "registry_rule_ids",
 ]
 
 
@@ -32,4 +41,13 @@ def all_rules() -> List[Rule]:
         CacheKeyRule(),
         FrozenMutationRule(),
         FloatEqualityRule(),
+        AsyncBlockingRule(),
+        LoopAffinityRule(),
+        ExceptionFlowRule(),
+        ApiSurfaceRule(),
     ]
+
+
+def registry_rule_ids() -> List[str]:
+    """Every registered rule id, in reporting order."""
+    return [rule.rule_id for rule in all_rules()]

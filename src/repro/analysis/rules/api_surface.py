@@ -1,0 +1,170 @@
+"""``api-surface`` — the lazy facade's export table stays coherent.
+
+``repro.api`` is the single public import surface: a ``_EXPORTS`` dict
+mapping exported names to their defining modules, resolved lazily by
+``__getattr__``.  Because the resolution is dynamic, a renamed function
+or a module moved in a refactor produces no ImportError at definition
+time — the facade silently breaks at first *use*, typically inside a
+user's long-running sweep.  This rule re-checks the table statically on
+every lint run:
+
+- every ``_EXPORTS`` value names a module that exists in the project;
+- every exported name is actually bound by that module — a top-level
+  def/class/assignment, an import it re-exports, a name its own
+  module-level ``__getattr__`` provides, a submodule, or the module
+  itself (``"observe": "repro.observe"``);
+- exported names respect the defining module's declared ``__all__``:
+  exporting a name the module keeps private bypasses its contract
+  (names served by the module's ``__getattr__`` are exempt — that is
+  the documented lazy-export idiom);
+- duplicate keys in the ``_EXPORTS`` literal (the later entry silently
+  wins) are flagged;
+- (warning) every export should also appear in the facade's
+  ``TYPE_CHECKING`` import block, so IDEs and mypy see the same
+  surface users get at runtime.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.analysis.engine import Project, Rule
+from repro.analysis.findings import Finding, Severity
+
+
+class ApiSurfaceRule(Rule):
+    rule_id = "api-surface"
+    severity = Severity.ERROR
+    description = (
+        "repro.api _EXPORTS entries must name existing modules that "
+        "actually bind (and publicly declare) each exported name"
+    )
+
+    def finalize(self, project: Project) -> Iterable[Finding]:
+        if len(project.modules) < 2:
+            # Single-file scans can never resolve cross-module exports;
+            # stay silent rather than flagging every entry.
+            return ()
+        graph = project.call_graph()
+        facade = None
+        for index in graph.module_index.values():
+            if index.exports:
+                facade = index
+                break
+        if facade is None:
+            return ()
+        module = project.module(facade.rel)
+        if module is None:
+            return ()
+
+        findings: List[Finding] = []
+        self._check_duplicates(module, facade, findings)
+        for name, target in sorted(facade.exports.items()):
+            line = facade.export_lines.get(name, 1)
+            anchor = _LineAnchor(line)
+            target_index = self._resolve_module(graph, target)
+            if target_index is None:
+                findings.append(
+                    module.finding(
+                        self,
+                        anchor,
+                        f"facade export {name!r} points at module "
+                        f"{target!r}, which does not exist in the project",
+                    )
+                )
+                continue
+            self_export = name == target_index.dotted.split(".")[-1]
+            getattr_bound = bool(
+                target_index.getattr_names and name in target_index.getattr_names
+            )
+            if not self_export and not self._binds(graph, target_index, name):
+                findings.append(
+                    module.finding(
+                        self,
+                        anchor,
+                        f"facade exports {name!r} from {target!r}, but that "
+                        "module does not bind the name (renamed or moved?)",
+                    )
+                )
+                continue
+            if (
+                not self_export
+                and not getattr_bound
+                and target_index.all_names
+                and name not in target_index.all_names
+            ):
+                findings.append(
+                    module.finding(
+                        self,
+                        anchor,
+                        f"facade exports {name!r} from {target!r}, but the "
+                        "module's __all__ does not declare it public",
+                    )
+                )
+                continue
+            if name not in facade.aliases:
+                findings.append(
+                    module.finding(
+                        self,
+                        anchor,
+                        f"facade export {name!r} is missing from the "
+                        "TYPE_CHECKING import block: IDEs and mypy see a "
+                        "narrower surface than runtime provides",
+                        severity=Severity.WARNING,
+                    )
+                )
+        return findings
+
+    def _check_duplicates(self, module, facade, findings: List[Finding]) -> None:
+        node = facade.exports_node
+        value = getattr(node, "value", None)
+        if not isinstance(value, ast.Dict):
+            return
+        seen = {}
+        for key_node in value.keys:
+            if isinstance(key_node, ast.Constant) and isinstance(
+                key_node.value, str
+            ):
+                if key_node.value in seen:
+                    findings.append(
+                        module.finding(
+                            self,
+                            key_node,
+                            f"duplicate _EXPORTS key {key_node.value!r} "
+                            f"(first defined at line {seen[key_node.value]}); "
+                            "the later entry silently wins",
+                        )
+                    )
+                else:
+                    seen[key_node.value] = key_node.lineno
+
+    @staticmethod
+    def _resolve_module(graph, dotted: str):
+        parts = dotted.split(".")
+        for cand in (parts, parts[1:] if len(parts) > 1 else None):
+            if not cand:
+                continue
+            index = graph.module_index.get(".".join(cand))
+            if index is not None:
+                return index
+        return None
+
+    @staticmethod
+    def _binds(graph, index, name: str) -> bool:
+        if name in index.defs or name in index.aliases:
+            return True
+        if index.exports and name in index.exports:
+            return True
+        if index.all_names and name in index.all_names:
+            return True
+        sub = f"{index.dotted}.{name}" if index.dotted else name
+        return sub in graph.module_index
+
+
+class _LineAnchor:
+    """Minimal node-like anchor for findings at a known line."""
+
+    def __init__(self, lineno: int) -> None:
+        self.lineno = lineno
+        self.col_offset = 0

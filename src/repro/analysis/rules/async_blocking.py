@@ -1,0 +1,124 @@
+"""``async-blocking`` — no blocking calls on the event loop.
+
+The service layer (PR 7) runs a single asyncio loop that schedules
+every job, serves every HTTP request and fans events out to streaming
+clients.  One synchronous file read on that loop stalls *every*
+connected client for the duration — exactly the tail-latency regression
+the store-first scheduler exists to avoid.  This rule walks the
+project call graph (:mod:`repro.analysis.callgraph`) and flags every
+**known-blocking primitive** whose enclosing function is transitively
+reachable from an ``async def`` body without an intervening
+``run_in_executor`` / ``asyncio.to_thread`` boundary:
+
+- ``time.sleep`` (use ``asyncio.sleep``),
+- ``open`` / ``Path.read_text`` & friends (file IO),
+- ``fcntl.*`` (advisory locks block until granted),
+- ``subprocess.*`` (synchronous process spawns),
+- ``ResultStore.get`` / ``ResultStore.put`` (pickle + locked file IO),
+- ``splu`` / ``spsolve`` (seconds-long sparse factorizations).
+
+Reachability is call-graph-deep, not syntactic: a blocking call three
+frames below an ``async def`` is flagged with the full chain in the
+message.  Handing the *reference* to an executor
+(``loop.run_in_executor(None, self.store.get, digest)``) is the
+sanctioned fix and creates no loop-side edge.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.analysis.engine import Project, Rule
+from repro.analysis.findings import Finding, Severity
+
+_BLOCKING_EXTERNAL = {
+    "time.sleep": "sleeps the whole loop thread (use asyncio.sleep)",
+}
+_BLOCKING_EXTERNAL_PREFIXES = {
+    "fcntl.": "advisory file locks block until granted",
+    "subprocess.": "synchronous process spawn",
+}
+_BLOCKING_LAST_SEGMENTS = {
+    "splu": "sparse LU factorization runs for seconds at scale",
+    "spsolve": "sparse solve runs for seconds at scale",
+}
+_BLOCKING_BUILTINS = {
+    "open": "synchronous file IO",
+    "input": "blocks on stdin",
+}
+_BLOCKING_PATH_IO = {
+    "read_text": "synchronous file IO",
+    "write_text": "synchronous file IO",
+    "read_bytes": "synchronous file IO",
+    "write_bytes": "synchronous file IO",
+}
+_BLOCKING_PROJECT_TAILS = {
+    "ResultStore.get": "locked pickle read from the result store",
+    "ResultStore.load": "locked pickle read from the result store",
+    "ResultStore.put": "locked pickle write to the result store",
+}
+
+
+class AsyncBlockingRule(Rule):
+    rule_id = "async-blocking"
+    severity = Severity.ERROR
+    description = (
+        "known-blocking calls (time.sleep, open/file IO, fcntl, "
+        "subprocess, ResultStore.get/put, splu) must not be reachable "
+        "on the event loop; hand them to run_in_executor"
+    )
+
+    def finalize(self, project: Project) -> Iterable[Finding]:
+        graph = project.call_graph()
+        findings: List[Finding] = []
+        for site in graph.calls:
+            if site.via_executor:
+                continue
+            if site.caller not in graph.loop_reachable:
+                continue
+            reason = self._blocking_reason(site, graph)
+            if reason is None:
+                continue
+            module = project.module(site.module)
+            if module is None:
+                continue
+            label = site.chain or site.builtin or "<call>"
+            findings.append(
+                module.finding(
+                    self,
+                    site.node,
+                    f"blocking call `{label}` ({reason}) runs on the event "
+                    f"loop: reachable via {graph.reach_path(site.caller)}; "
+                    "hand it to loop.run_in_executor(...) or "
+                    "asyncio.to_thread(...)",
+                )
+            )
+        return findings
+
+    @staticmethod
+    def _blocking_reason(site, graph) -> Optional[str]:
+        if site.builtin is not None:
+            return _BLOCKING_BUILTINS.get(site.builtin)
+        if site.external is not None:
+            exact = _BLOCKING_EXTERNAL.get(site.external)
+            if exact:
+                return exact
+            for prefix, reason in _BLOCKING_EXTERNAL_PREFIXES.items():
+                if site.external.startswith(prefix):
+                    return reason
+            last = site.external.split(".")[-1]
+            if last in _BLOCKING_LAST_SEGMENTS:
+                return _BLOCKING_LAST_SEGMENTS[last]
+        if site.callee is not None:
+            info = graph.functions.get(site.callee)
+            if info is not None and info.qualname in _BLOCKING_PROJECT_TAILS:
+                return _BLOCKING_PROJECT_TAILS[info.qualname]
+        if site.chain is not None:
+            last = site.chain.split(".")[-1]
+            if site.callee is None and last in _BLOCKING_PATH_IO:
+                return _BLOCKING_PATH_IO[last]
+            if site.callee is None and site.external is None and (
+                last in _BLOCKING_LAST_SEGMENTS
+            ):
+                return _BLOCKING_LAST_SEGMENTS[last]
+        return None

@@ -1,0 +1,288 @@
+"""``exception-flow`` — service-layer exceptions terminate in a wire
+conversion, never a bare re-raise to the socket.
+
+The service contract (DESIGN.md §13): client-visible failures are
+*structured* — decode errors become ``WireError`` -> HTTP 400, worker
+crashes become ``JobFailure`` records -> terminal job state.  A raw
+exception escaping a connection handler tears down the connection
+mid-response; one escaping the dispatch path wedges the job in
+``running`` forever.  Scoped to ``service/`` modules, this rule checks
+four structural invariants:
+
+- a **bare ``raise``** inside a broad handler (``except Exception``,
+  ``except BaseException``, bare ``except``) re-raises the very
+  exception the handler promised to terminate — error.  Narrow
+  handlers (``except asyncio.CancelledError: raise``) stay legal.
+- every **``from_wire(...)``** call is guarded by a handler naming
+  ``WireError`` (or a broad handler): malformed client input must
+  become a 400, not a connection reset.
+- every **``run_in_executor(...)`` dispatch** is inside a ``try`` with
+  a broad handler: worker-pool failures must be converted (to a
+  ``JobFailure`` or a store-miss fallback), not propagated raw.
+- the **connection handler passed to ``start_server``** contains a
+  broad handler somewhere in its body, so no request can leak a
+  traceback to the socket.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Sequence, Set
+
+from repro.analysis.engine import ModuleInfo, Rule
+from repro.analysis.findings import Finding, Severity
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _type_last_segment(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _handler_types(handler: ast.ExceptHandler) -> Set[str]:
+    if handler.type is None:
+        return {"<bare>"}
+    types = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    names: Set[str] = set()
+    for node in types:
+        name = _type_last_segment(node)
+        if name:
+            names.add(name)
+    return names
+
+
+def _is_broad(names: Set[str]) -> bool:
+    return bool(names & _BROAD) or "<bare>" in names
+
+
+def _call_tail(node: ast.Call) -> Optional[str]:
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _iter_stmt_expr_nodes(stmt: ast.stmt) -> Iterable[ast.AST]:
+    """Expression nodes of ``stmt`` itself, not of its nested blocks."""
+    for field_name, value in ast.iter_fields(stmt):
+        if field_name in ("body", "orelse", "finalbody", "handlers"):
+            continue
+        values = value if isinstance(value, list) else [value]
+        for item in values:
+            if isinstance(item, ast.AST):
+                yield from _iter_nodes_no_defs(item)
+
+
+def _iter_nodes_no_defs(node: ast.AST) -> Iterable[ast.AST]:
+    """Walk ``node`` without entering nested function/class bodies."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        for child in ast.iter_child_nodes(current):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
+                        ast.Lambda)
+            ):
+                continue
+            stack.append(child)
+
+
+class ExceptionFlowRule(Rule):
+    rule_id = "exception-flow"
+    severity = Severity.ERROR
+    description = (
+        "service-layer exception paths must terminate in a WireError/"
+        "JobFailure conversion: no bare raise in broad handlers, "
+        "from_wire guarded by WireError, run_in_executor guarded "
+        "broadly, connection handlers fully guarded"
+    )
+    _skip_from_wire = False
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        if not module.rel.startswith("service/"):
+            return ()
+        findings: List[Finding] = []
+        functions = _collect_functions(module.tree)
+        # The wire codec itself recurses through from_wire while decoding
+        # nested documents; the conversion contract binds its *consumers*.
+        self._skip_from_wire = any(
+            isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and stmt.name == "from_wire"
+            for stmt in module.tree.body
+        )
+        for fnode in functions.values():
+            self._check_function(module, fnode, findings)
+        self._check_server_handlers(module, functions, findings)
+        return findings
+
+    # -- per-function structural walk -------------------------------
+
+    def _check_function(
+        self,
+        module: ModuleInfo,
+        fnode: ast.stmt,
+        findings: List[Finding],
+    ) -> None:
+        self._walk(module, fnode.body, active=[], findings=findings)
+
+    def _walk(
+        self,
+        module: ModuleInfo,
+        stmts: Sequence[ast.stmt],
+        active: List[Set[str]],
+        findings: List[Finding],
+    ) -> None:
+        for stmt in stmts:
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            if isinstance(stmt, ast.Try):
+                handler_sets = [_handler_types(h) for h in stmt.handlers]
+                merged: Set[str] = set()
+                for names in handler_sets:
+                    merged |= names
+                self._walk(module, stmt.body, active + [merged], findings)
+                for handler, names in zip(stmt.handlers, handler_sets):
+                    if _is_broad(names):
+                        self._check_broad_handler(module, handler, findings)
+                    self._walk(module, handler.body, active, findings)
+                self._walk(module, stmt.orelse, active, findings)
+                self._walk(module, stmt.finalbody, active, findings)
+                continue
+            self._check_calls_in_stmt(module, stmt, active, findings)
+            for child_body in (
+                getattr(stmt, "body", None),
+                getattr(stmt, "orelse", None),
+            ):
+                if isinstance(child_body, list):
+                    self._walk(module, child_body, active, findings)
+
+    def _check_broad_handler(
+        self,
+        module: ModuleInfo,
+        handler: ast.ExceptHandler,
+        findings: List[Finding],
+    ) -> None:
+        for node in _iter_nodes_no_defs(handler):
+            if isinstance(node, ast.Raise) and node.exc is None:
+                findings.append(
+                    module.finding(
+                        self,
+                        node,
+                        "bare `raise` inside a broad exception handler "
+                        "re-raises the exception it promised to terminate; "
+                        "convert it (WireError / JobFailure / structured "
+                        "500) or narrow the handler",
+                    )
+                )
+
+    def _check_calls_in_stmt(
+        self,
+        module: ModuleInfo,
+        stmt: ast.stmt,
+        active: List[Set[str]],
+        findings: List[Finding],
+    ) -> None:
+        guarded_names: Set[str] = set()
+        for names in active:
+            guarded_names |= names
+        broad_guarded = any(_is_broad(names) for names in active)
+        for node in _iter_stmt_expr_nodes(stmt):
+            if not isinstance(node, ast.Call):
+                continue
+            tail = _call_tail(node)
+            if tail == "from_wire" and not self._skip_from_wire:
+                if not broad_guarded and "WireError" not in guarded_names:
+                    findings.append(
+                        module.finding(
+                            self,
+                            node,
+                            "`from_wire(...)` outside a `try` guarding "
+                            "`WireError`: malformed client input must "
+                            "become a structured 400, not a connection "
+                            "reset",
+                        )
+                    )
+            elif tail == "run_in_executor":
+                if not broad_guarded:
+                    findings.append(
+                        module.finding(
+                            self,
+                            node,
+                            "`run_in_executor(...)` dispatch outside a "
+                            "`try` with a broad handler: worker-pool "
+                            "failures must be converted to a JobFailure "
+                            "or fallback, not propagated raw",
+                        )
+                    )
+
+    # -- start_server handler coverage ------------------------------
+
+    def _check_server_handlers(
+        self,
+        module: ModuleInfo,
+        functions: dict,
+        findings: List[Finding],
+    ) -> None:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _call_tail(node) != "start_server" or not node.args:
+                continue
+            handler_fn = _resolve_local_ref(node.args[0], functions)
+            if handler_fn is None:
+                continue
+            if not _has_broad_handler(handler_fn):
+                findings.append(
+                    module.finding(
+                        self,
+                        node,
+                        f"connection handler `{handler_fn.name}` passed to "
+                        "start_server has no broad exception handler: an "
+                        "unguarded failure leaks a raw traceback to the "
+                        "socket",
+                    )
+                )
+        return None
+
+
+def _collect_functions(tree: ast.Module) -> dict:
+    """Every function in the module keyed by name (methods included)."""
+    functions: dict = {}
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            functions.setdefault(stmt.name, stmt)
+        elif isinstance(stmt, ast.ClassDef):
+            for item in stmt.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    functions.setdefault(item.name, item)
+    return functions
+
+
+def _resolve_local_ref(node: ast.expr, functions: dict) -> Optional[ast.stmt]:
+    if isinstance(node, ast.Attribute):
+        return functions.get(node.attr)
+    if isinstance(node, ast.Name):
+        return functions.get(node.id)
+    return None
+
+
+def _has_broad_handler(fnode: ast.stmt) -> bool:
+    for node in _iter_nodes_no_defs(fnode):
+        if isinstance(node, ast.ExceptHandler) and _is_broad(
+            _handler_types(node)
+        ):
+            return True
+    return False

@@ -1,0 +1,66 @@
+"""``loop-affinity`` — cross-thread loop access goes through
+``call_soon_threadsafe``.
+
+``asyncio`` event loops are not thread-safe: ``loop.call_soon``,
+``call_later``, ``call_at`` and ``create_task`` may only be invoked
+from the loop's own thread.  The one sanctioned bridge for foreign
+threads — engine pool watchers, ``ObserveBridge.write`` called from a
+worker completing a span — is ``loop.call_soon_threadsafe`` /
+``asyncio.run_coroutine_threadsafe``.
+
+Using the call graph's async-reachability set as the "runs on the loop
+thread" oracle, this rule flags any unsafe loop method invoked from a
+function that is neither a coroutine nor loop-reachable: such code can
+(and in the service layer, does) run on arbitrary threads, where a
+plain ``call_soon`` corrupts the loop's internal queues.  Receivers
+count as event loops when their inferred type is
+``asyncio.AbstractEventLoop`` or they are named ``loop`` / ``_loop``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.analysis.callgraph import LOOP_TYPE
+from repro.analysis.engine import Project, Rule
+from repro.analysis.findings import Finding, Severity
+
+_UNSAFE_LOOP_METHODS = {"call_soon", "call_later", "call_at", "create_task"}
+
+
+class LoopAffinityRule(Rule):
+    rule_id = "loop-affinity"
+    severity = Severity.ERROR
+    description = (
+        "loop.call_soon/call_later/call_at/create_task from "
+        "non-coroutine code must use call_soon_threadsafe instead "
+        "(the ObserveBridge contract)"
+    )
+
+    def finalize(self, project: Project) -> Iterable[Finding]:
+        graph = project.call_graph()
+        findings: List[Finding] = []
+        for site in graph.calls:
+            if site.external is None:
+                continue
+            prefix, _, method = site.external.rpartition(".")
+            if prefix != LOOP_TYPE or method not in _UNSAFE_LOOP_METHODS:
+                continue
+            if site.caller in graph.loop_reachable:
+                continue
+            module = project.module(site.module)
+            if module is None:
+                continue
+            caller = graph.short(site.caller)
+            findings.append(
+                module.finding(
+                    self,
+                    site.node,
+                    f"`{site.chain}` in `{caller}`, which is not "
+                    "loop-reachable and may run on a foreign thread: "
+                    f"loop.{method} is not thread-safe — use "
+                    "loop.call_soon_threadsafe(...) or "
+                    "asyncio.run_coroutine_threadsafe(...)",
+                )
+            )
+        return findings

@@ -93,13 +93,22 @@ class JsonlSink(Sink):
 
     def __init__(self, path: str, append: bool = False) -> None:
         self.path = path
+        # The two open() calls below are one-time session-setup IO.  The
+        # async-blocking rule sees them as loop-reachable only through
+        # observe.enabled(jsonl_path=...), a branch the service never
+        # takes (it constructs sinks off-loop and passes sink=).
         if not append:
-            open(path, "w", encoding="utf-8").close()  # truncate: one file, one run
+            # Truncate: one file is one run.
+            open(  # repro-lint: ignore[async-blocking] session-setup IO, off-loop
+                path, "w", encoding="utf-8"
+            ).close()
         # Always *write* in append mode, even for the truncating owner:
         # an O_APPEND handle has no private offset, so the engine's lines
         # and concurrently appending workers' lines can never overwrite
         # each other mid-file.
-        self._handle = open(path, "a", encoding="utf-8")
+        self._handle = open(  # repro-lint: ignore[async-blocking] session-setup IO, off-loop
+            path, "a", encoding="utf-8"
+        )
 
     def write(self, record: Dict[str, object]) -> None:
         # Build the whole line first and write it in one call: concurrent

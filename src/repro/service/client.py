@@ -153,13 +153,16 @@ class _InProcessTransport:
 
     def _run(self) -> None:
         try:
-            asyncio.run(self._main())
+            # Sink construction opens/truncates the trace file — do that
+            # synchronous IO here, before the event loop exists, so no
+            # blocking call ever runs on the loop thread.
+            sink = self._build_sink()
+            asyncio.run(self._main(sink))
         except BaseException as error:  # surface startup failures
             self._failure = error
             self._ready.set()
 
-    async def _main(self) -> None:
-        from repro import observe
+    def _build_sink(self) -> "Sink":
         from repro.observe.sinks import FanoutSink, JsonlSink, Sink
         from repro.service.events import ObserveBridge
 
@@ -167,7 +170,12 @@ class _InProcessTransport:
         if self._trace_path is not None:
             sinks.append(JsonlSink(self._trace_path))
         sinks.append(ObserveBridge(self._scheduler.broker))
-        with observe.enabled(sink=FanoutSink(sinks)):
+        return FanoutSink(sinks)
+
+    async def _main(self, sink: "Sink") -> None:
+        from repro import observe
+
+        with observe.enabled(sink=sink):
             self._scheduler.start()
             self._loop = asyncio.get_running_loop()
             self._stop = asyncio.Event()

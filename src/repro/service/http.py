@@ -26,8 +26,10 @@ from __future__ import annotations
 
 import asyncio
 import json
+import traceback
 from typing import Dict, Optional, Tuple
 
+from repro import observe
 from repro.runner.spec import ExperimentSpec
 from repro.service.scheduler import SweepScheduler
 from repro.service.wire import WIRE_SCHEMA_VERSION, WireError, from_wire
@@ -146,8 +148,19 @@ class SweepServer:
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
         except Exception as error:  # one request must never kill the server
+            # The full traceback goes to the operator's observe stream;
+            # the client gets a structured, detail-free 500 (exception
+            # text can leak paths, digests or config values).
+            observe.event(
+                "service.internal_error",
+                error_type=type(error).__name__,
+                traceback=traceback.format_exc(),
+            )
             try:
-                writer.write(_error(500, type(error).__name__, str(error)))
+                writer.write(_error(
+                    500, "InternalError",
+                    "unexpected server error; see the service trace",
+                ))
             except ConnectionError:
                 pass
         finally:

@@ -34,12 +34,17 @@ routing congestion); a dead worker (``BrokenProcessPool``) rebuilds the
 pool once per incident; anything that exhausts its budget marks the
 cell — and every service job waiting on it — **failed**, never hung.
 
-Threading model: the scheduler and everything it touches (store probes,
-observe emissions, broker publishes) runs on one asyncio event loop
-thread, so :mod:`repro.observe`'s single-threaded session discipline
-holds.  Pool workers attach their own observe sessions through the
-propagated :class:`~repro.observe.context.TraceContext`, exactly as the
-engine's workers do.
+Threading model: scheduling decisions, observe emissions and broker
+publishes all run on one asyncio event loop thread, so
+:mod:`repro.observe`'s single-threaded session discipline holds.  The
+one piece of blocking IO on the submission path — the store probe — is
+batched through ``loop.run_in_executor`` using the instrumentation-free
+:meth:`ResultStore.load`, and its ``store.hit``/``store.miss`` events
+are replayed on the loop thread afterwards (the ``async-blocking`` lint
+rule holds this invariant).  Pool workers attach their own observe
+sessions through the propagated
+:class:`~repro.observe.context.TraceContext`, exactly as the engine's
+workers do.
 """
 
 from __future__ import annotations
@@ -265,7 +270,7 @@ class SweepScheduler:
             job_id=job_id, n_cells=len(sweep_jobs),
         )
 
-        to_run: List[SweepJob] = []
+        to_probe: List[Tuple[SweepJob, str]] = []
         for sweep_job in sweep_jobs:
             digest = self.digest_for(sweep_job)
             cell = self._inflight.get(digest)
@@ -279,25 +284,19 @@ class SweepScheduler:
                     job_id=job_id, cell=sweep_job.job_id, digest=digest,
                 )
                 continue
-            stored = self.store.get(digest)  # emits store.hit / store.miss
-            if stored is not None:
-                job.n_store_hits += 1
-                observe.counter("sweep.cells.skipped").inc()
-                observe.event(
-                    "sweep.cell_skipped",
-                    job_id=sweep_job.job_id,
-                    source="store",
-                    jobs=[job_id],
-                )
-                self._deliver(job, _hit_record(sweep_job, stored))
-                continue
+            # Register *before* the store probe leaves the loop: a
+            # submit racing us during the await below must join this
+            # cell, not double-compute it.  Store hits pop the cell
+            # again (and pay out to any joiner) in _serve_from_store.
             self._inflight[digest] = _Cell(
                 digest=digest,
                 job=sweep_job,
                 subscribers={job_id},
                 started=monotonic(),
             )
-            to_run.append(sweep_job)
+            to_probe.append((sweep_job, digest))
+
+        to_run = await self._serve_from_store(job, to_probe)
 
         units = _batch_units(to_run) if self.batch else [[j] for j in to_run]
         for unit in units:
@@ -306,6 +305,71 @@ class SweepScheduler:
             task.add_done_callback(self._tasks.discard)
         self._maybe_finish(job)
         return job_id
+
+    # -- store-first serving ----------------------------------------------
+
+    async def _serve_from_store(
+        self, job: "_Job", cells: List[Tuple[SweepJob, str]]
+    ) -> List[SweepJob]:
+        """Serve already-persisted cells; returns those still to compute.
+
+        ``ResultStore`` reads are locked pickle IO and must never run on
+        the event loop (the ``async-blocking`` lint invariant): one
+        thread-executor round trip probes every candidate digest via the
+        instrumentation-free :meth:`ResultStore.load`, then the
+        ``store.hit``/``store.miss`` events are replayed on the loop
+        thread, preserving :mod:`repro.observe`'s single-threaded
+        session discipline.  Cells were registered in ``_inflight``
+        before the await, so a hit pays out to every subscriber that
+        joined while the probe was in flight.
+        """
+        if not cells:
+            return []
+        assert self._loop is not None
+        digests = [digest for _, digest in cells]
+        try:
+            loaded = await self._loop.run_in_executor(
+                None, self._probe_store, digests
+            )
+        except Exception as error:
+            # A failed probe round must not wedge the grid: treat every
+            # cell as a miss and let the compute path (which converts
+            # its own failures into JobFailure records) sort it out.
+            observe.event(
+                "service.store_probe_failed",
+                error_type=type(error).__name__,
+                n_cells=len(cells),
+            )
+            loaded = [(None, "")] * len(cells)
+        to_run: List[SweepJob] = []
+        for (sweep_job, digest), (stored, kind) in zip(cells, loaded):
+            if kind:
+                self.store.record_access(kind, digest)
+            if stored is None:
+                to_run.append(sweep_job)
+                continue
+            cell = self._inflight.pop(digest, None)
+            subscribers = sorted(cell.subscribers) if cell else [job.job_id]
+            job.n_store_hits += 1
+            observe.counter("sweep.cells.skipped").inc()
+            observe.event(
+                "sweep.cell_skipped",
+                job_id=sweep_job.job_id,
+                source="store",
+                jobs=subscribers,
+            )
+            record = _hit_record(sweep_job, stored)
+            for subscriber in subscribers:
+                sub_job = self.jobs.get(subscriber)
+                if sub_job is not None:
+                    self._deliver(sub_job, record)
+        return to_run
+
+    def _probe_store(
+        self, digests: List[str]
+    ) -> List[Tuple[Optional[GuardbandResult], str]]:
+        """Blocking store reads, batched; runs on an executor thread."""
+        return [self.store.load(digest) for digest in digests]
 
     # -- execution --------------------------------------------------------
 

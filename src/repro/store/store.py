@@ -28,7 +28,7 @@ import hashlib
 import pickle
 from dataclasses import fields
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro import observe
 from repro.core.guardband import GuardbandConfig, GuardbandResult
@@ -133,14 +133,28 @@ class ResultStore:
 
     def get(self, digest: str) -> Optional[GuardbandResult]:
         """The stored result, or ``None`` on miss (corrupt ⇒ quarantine)."""
+        result, kind = self.load(digest)
+        self.record_access(kind, digest)
+        return result
+
+    def load(self, digest: str) -> Tuple[Optional[GuardbandResult], str]:
+        """Read + validate, without emitting instrumentation.
+
+        Returns ``(result, kind)`` with ``kind`` one of ``"hit"`` /
+        ``"miss"`` / ``"quarantine"``.  Corrupt payloads are quarantined
+        (backend IO) here, but no observe events or store tallies are
+        touched — callers that run the read off the session's owning
+        thread (the scheduler's executor-side store probe) report the
+        outcome back on that thread via :meth:`record_access`.
+        :meth:`get` is the fused convenience form.
+        """
         try:
             payload = self.backend.read(digest)
         except Exception:
-            self._quarantine(digest)
-            return None
+            self.backend.quarantine(digest)
+            return None, "quarantine"
         if payload is None:
-            _count("miss", digest=digest)
-            return None
+            return None, "miss"
         try:
             result = pickle.loads(payload)
             if not isinstance(result, GuardbandResult):
@@ -148,10 +162,13 @@ class ResultStore:
                     f"expected GuardbandResult, got {type(result)!r}"
                 )
         except Exception:
-            self._quarantine(digest)
-            return None
-        _count("hit", digest=digest)
-        return result
+            self.backend.quarantine(digest)
+            return None, "quarantine"
+        return result, "hit"
+
+    def record_access(self, kind: str, digest: str) -> None:
+        """Tally one :meth:`load` outcome (store counters + events)."""
+        _count(kind, digest=digest)
 
     def put(self, digest: str, result: GuardbandResult) -> None:
         """Persist ``result`` under ``digest`` (atomicity per backend)."""
@@ -161,10 +178,6 @@ class ResultStore:
             )
         self.backend.write(digest, pickle.dumps(result))
         _count("put", digest=digest)
-
-    def _quarantine(self, digest: str) -> None:
-        _count("quarantine", digest=digest)
-        self.backend.quarantine(digest)
 
     def __contains__(self, digest: str) -> bool:
         return self.backend.exists(digest)

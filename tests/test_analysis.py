@@ -792,6 +792,370 @@ class TestFloatEqualityRule:
         assert run_on(tmp_path).findings == []
 
 
+def build_graph(root: Path):
+    from repro.analysis.callgraph import build_call_graph
+
+    modules, errors = load_modules(root)
+    assert errors == []
+    project = Project(
+        root=root, modules=modules, manifest_path=root / "manifest.json"
+    )
+    return build_call_graph(project)
+
+
+def error_ids(report):
+    return [f.rule_id for f in report.findings
+            if f.severity is Severity.ERROR]
+
+
+class TestCallGraph:
+    def test_recursion_yields_a_self_edge_and_terminates(self, tmp_path):
+        write_module(
+            tmp_path,
+            "engine/rec.py",
+            """
+            def countdown(n):
+                if n:
+                    return countdown(n - 1)
+                return 0
+            """,
+        )
+        graph = build_graph(tmp_path)
+        key = "engine/rec.py::countdown"
+        assert (key, key, False) in graph.edges
+        assert key not in graph.loop_reachable
+
+    def test_self_method_calls_resolve_within_the_class(self, tmp_path):
+        write_module(
+            tmp_path,
+            "engine/cls.py",
+            """
+            class Engine:
+                def run(self):
+                    return self.step()
+
+                def step(self):
+                    return 1
+            """,
+        )
+        graph = build_graph(tmp_path)
+        assert (
+            "engine/cls.py::Engine.run",
+            "engine/cls.py::Engine.step",
+            False,
+        ) in graph.edges
+
+    def test_facade_import_resolves_through_exports_table(self, tmp_path):
+        write_module(
+            tmp_path,
+            "api.py",
+            """
+            _EXPORTS = {"solve": "repro.thermal.solver"}
+            """,
+        )
+        write_module(
+            tmp_path,
+            "thermal/solver.py",
+            """
+            def solve():
+                return 0
+            """,
+        )
+        write_module(
+            tmp_path,
+            "cli/go.py",
+            """
+            from repro.api import solve
+
+            def go():
+                return solve()
+            """,
+        )
+        graph = build_graph(tmp_path)
+        assert (
+            "cli/go.py::go",
+            "thermal/solver.py::solve",
+            False,
+        ) in graph.edges
+
+    def test_executor_boundary_cuts_loop_reachability(self, tmp_path):
+        write_module(
+            tmp_path,
+            "engine/app.py",
+            """
+            import asyncio
+
+            def probe():
+                return 1
+
+            def helper():
+                return 2
+
+            async def main():
+                loop = asyncio.get_running_loop()
+                await loop.run_in_executor(None, probe)
+                return helper()
+            """,
+        )
+        graph = build_graph(tmp_path)
+        main_key = "engine/app.py::main"
+        assert main_key in graph.loop_reachable
+        assert "engine/app.py::helper" in graph.loop_reachable
+        # The executor hand-off is an edge, but not a loop-side one.
+        assert (main_key, "engine/app.py::probe", True) in graph.edges
+        assert "engine/app.py::probe" not in graph.loop_reachable
+
+    def test_reach_path_names_the_async_origin(self, tmp_path):
+        write_module(
+            tmp_path,
+            "engine/chain.py",
+            """
+            def leaf():
+                return 0
+
+            def mid():
+                return leaf()
+
+            async def root():
+                return mid()
+            """,
+        )
+        graph = build_graph(tmp_path)
+        path = graph.reach_path("engine/chain.py::leaf")
+        assert "engine/chain.py:root" in path
+        assert "engine/chain.py:leaf" in path
+
+
+class TestAsyncBlockingRule:
+    def test_flags_blocking_store_get_through_the_call_graph(self, tmp_path):
+        write_module(
+            tmp_path,
+            "store/store.py",
+            """
+            class ResultStore:
+                def get(self, digest):
+                    return None
+            """,
+        )
+        write_module(
+            tmp_path,
+            "engine/sched.py",
+            """
+            from repro.store.store import ResultStore
+
+            def helper(store: ResultStore, digest: str):
+                return store.get(digest)
+
+            async def serve(store: ResultStore):
+                return helper(store, "d")
+            """,
+        )
+        report = run_on(tmp_path)
+        assert rule_ids(report) == ["async-blocking"]
+        finding = report.findings[0]
+        assert finding.path == "engine/sched.py"
+        assert "store.get" in finding.message
+        assert "run_in_executor" in finding.message
+        # Call-graph-deep: the chain names the async origin, not just
+        # the enclosing function.
+        assert "engine/sched.py:serve" in finding.message
+
+    def test_flags_time_sleep_directly_in_async_def(self, tmp_path):
+        write_module(
+            tmp_path,
+            "engine/app.py",
+            """
+            import time
+
+            async def tick():
+                time.sleep(0.1)
+            """,
+        )
+        report = run_on(tmp_path)
+        assert rule_ids(report) == ["async-blocking"]
+        assert "asyncio.sleep" in report.findings[0].message
+
+    def test_passes_when_handed_to_an_executor(self, tmp_path):
+        write_module(
+            tmp_path,
+            "engine/app.py",
+            """
+            import asyncio
+            import time
+
+            def probe():
+                time.sleep(0.1)
+                return open("x").read()
+
+            async def main():
+                loop = asyncio.get_running_loop()
+                return await loop.run_in_executor(None, probe)
+            """,
+        )
+        assert run_on(tmp_path).findings == []
+
+    def test_passes_blocking_call_never_reached_from_async(self, tmp_path):
+        write_module(
+            tmp_path,
+            "cli/tool.py",
+            """
+            import time
+
+            def wait():
+                time.sleep(1.0)
+            """,
+        )
+        assert run_on(tmp_path).findings == []
+
+
+class TestLoopAffinityRule:
+    def test_flags_call_soon_from_non_coroutine_code(self, tmp_path):
+        write_module(
+            tmp_path,
+            "engine/kick.py",
+            """
+            import asyncio
+
+            def arm(loop: asyncio.AbstractEventLoop, stop):
+                loop.call_soon(stop.set)
+            """,
+        )
+        report = run_on(tmp_path)
+        assert rule_ids(report) == ["loop-affinity"]
+        assert "call_soon_threadsafe" in report.findings[0].message
+
+    def test_passes_threadsafe_variant_and_on_loop_use(self, tmp_path):
+        write_module(
+            tmp_path,
+            "engine/kick.py",
+            """
+            import asyncio
+
+            def arm(loop: asyncio.AbstractEventLoop, stop):
+                loop.call_soon_threadsafe(stop.set)
+
+            async def arm_on_loop(stop):
+                loop = asyncio.get_running_loop()
+                loop.call_soon(stop.set)
+            """,
+        )
+        assert run_on(tmp_path).findings == []
+
+
+class TestExceptionFlowRule:
+    def test_flags_bare_reraise_in_broad_handler(self, tmp_path):
+        write_module(
+            tmp_path,
+            "service/dispatch.py",
+            """
+            def dispatch(fn):
+                try:
+                    return fn()
+                except Exception:
+                    raise
+            """,
+        )
+        report = run_on(tmp_path)
+        assert rule_ids(report) == ["exception-flow"]
+
+    def test_flags_unguarded_from_wire_call(self, tmp_path):
+        write_module(
+            tmp_path,
+            "service/handler.py",
+            """
+            from repro.service.wire import from_wire
+
+            def handle(doc):
+                return from_wire(doc)
+            """,
+        )
+        report = run_on(tmp_path)
+        assert rule_ids(report) == ["exception-flow"]
+        assert "WireError" in report.findings[0].message
+
+    def test_passes_guarded_conversion_and_non_service_code(self, tmp_path):
+        write_module(
+            tmp_path,
+            "service/handler.py",
+            """
+            from repro.service.wire import WireError, from_wire
+
+            def handle(doc):
+                try:
+                    return from_wire(doc)
+                except WireError:
+                    return None
+            """,
+        )
+        write_module(
+            tmp_path,
+            "cad/tool.py",
+            """
+            def passthrough(fn):
+                try:
+                    return fn()
+                except Exception:
+                    raise
+            """,
+        )
+        assert run_on(tmp_path).findings == []
+
+
+class TestApiSurfaceRule:
+    def _facade(self, exports_line: str) -> str:
+        return (
+            "from typing import TYPE_CHECKING\n"
+            "\n"
+            "if TYPE_CHECKING:\n"
+            "    from repro.thermal.solver import solve\n"
+            "\n"
+            f"{exports_line}\n"
+        )
+
+    def test_passes_coherent_facade(self, tmp_path):
+        write_module(
+            tmp_path,
+            "api.py",
+            self._facade('_EXPORTS = {"solve": "repro.thermal.solver"}'),
+        )
+        write_module(tmp_path, "thermal/solver.py", "def solve():\n    return 0\n")
+        assert run_on(tmp_path).findings == []
+
+    def test_flags_export_to_missing_module(self, tmp_path):
+        write_module(
+            tmp_path,
+            "api.py",
+            self._facade('_EXPORTS = {"solve": "repro.thermal.solver"}'),
+        )
+        write_module(tmp_path, "cad/ok.py", "X = 1\n")
+        report = run_on(tmp_path)
+        assert error_ids(report) == ["api-surface"]
+
+    def test_flags_export_of_unbound_name(self, tmp_path):
+        write_module(
+            tmp_path,
+            "api.py",
+            self._facade('_EXPORTS = {"solve": "repro.thermal.solver"}'),
+        )
+        write_module(tmp_path, "thermal/solver.py", "def other():\n    return 0\n")
+        report = run_on(tmp_path)
+        assert error_ids(report) == ["api-surface"]
+        assert "solve" in report.findings[0].message
+
+    def test_flags_duplicate_export_keys(self, tmp_path):
+        write_module(
+            tmp_path,
+            "api.py",
+            self._facade(
+                '_EXPORTS = {"solve": "repro.thermal.solver", '
+                '"solve": "repro.thermal.solver"}'
+            ),
+        )
+        write_module(tmp_path, "thermal/solver.py", "def solve():\n    return 0\n")
+        report = run_on(tmp_path)
+        assert "api-surface" in error_ids(report)
+
+
 class TestSuppression:
     def test_inline_suppression_drops_the_finding(self, tmp_path):
         write_module(
@@ -1063,8 +1427,46 @@ class TestCli:
             "cache-key",
             "frozen-mutation",
             "float-equality",
+            "async-blocking",
+            "loop-affinity",
+            "exception-flow",
+            "api-surface",
         ):
             assert rule_id in out
+
+    def test_select_runs_only_named_rules(self, tmp_path):
+        write_module(tmp_path, "thermal/bad.py", "K = 273.15\n")
+        assert cli_main([str(tmp_path)]) == 1
+        assert cli_main([str(tmp_path), "--select", "determinism"]) == 0
+
+    def test_ignore_skips_named_rules(self, tmp_path):
+        write_module(tmp_path, "thermal/bad.py", "K = 273.15\n")
+        assert cli_main([str(tmp_path), "--ignore", "units"]) == 0
+
+    def test_unknown_rule_id_is_a_usage_error(self, tmp_path, capsys):
+        write_module(tmp_path, "cad/ok.py", "X = 1\n")
+        for option in ("--select", "--ignore"):
+            with pytest.raises(SystemExit) as excinfo:
+                cli_main([str(tmp_path), option, "unitz"])
+            assert excinfo.value.code == 2
+            assert "unitz" in capsys.readouterr().err
+
+    def test_select_ignore_must_leave_a_rule(self, tmp_path):
+        write_module(tmp_path, "cad/ok.py", "X = 1\n")
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main([str(tmp_path), "--select", "units",
+                      "--ignore", "units"])
+        assert excinfo.value.code == 2
+
+    def test_suppression_of_deselected_rule_is_still_known(self, tmp_path):
+        # A suppression naming a rule outside --select must not read as
+        # a typo: the full registry stays the valid-id universe.
+        write_module(
+            tmp_path,
+            "thermal/ok.py",
+            "K = 273.15  # repro-lint: ignore[units] fixture\n",
+        )
+        assert cli_main([str(tmp_path), "--select", "determinism"]) == 0
 
 
 class TestRealRepo:
@@ -1086,3 +1488,32 @@ class TestRealRepo:
         assert proc.returncode == 0, proc.stdout + proc.stderr
         payload = json.loads(proc.stdout)
         assert payload["ok"] is True
+
+    def test_call_graph_resolves_intra_package_calls(self):
+        """Coherence gate: the symbol table must actually cover the tree.
+
+        A call-graph rule is only as good as its resolution rate — if
+        the builder silently failed to resolve intra-package calls, the
+        concurrency rules would pass vacuously.  ≥95% of calls with an
+        intra-package shape must resolve to a known definition.
+        """
+        graph = build_graph(SRC_REPRO)
+        stats = graph.stats()
+        assert stats["n_candidates"] >= 200
+        assert stats["resolved_fraction"] >= 0.95
+        # The service layer's async roots were found ...
+        assert any(
+            key.startswith("service/scheduler.py::")
+            for key in graph.loop_reachable
+        )
+        # ... and the scheduler's store probe crosses an executor
+        # boundary, never a loop-side edge.
+        probe_edges = [
+            (caller, callee, via)
+            for caller, callee, via in graph.edges
+            if callee == "service/scheduler.py::SweepScheduler._probe_store"
+        ]
+        assert probe_edges and all(via for _, _, via in probe_edges)
+        assert (
+            "store/store.py::ResultStore.load" not in graph.loop_reachable
+        )

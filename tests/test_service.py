@@ -16,6 +16,7 @@ import json
 import os
 import signal
 import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -193,6 +194,58 @@ class TestSchedulerDedupAndStore:
         (cell,) = result["cells"]
         assert cell["ok"] is False
         assert cell["error_type"] == "BrokenProcessPool"
+
+    def test_store_probe_never_blocks_the_event_loop(
+        self, cache_dir, tmp_path, monkeypatch
+    ):
+        """A store-served repeat submission must not stall the loop.
+
+        The scheduler probes the store through ``run_in_executor``
+        (the ``async-blocking`` rule's invariant).  Slow every store
+        read down to 0.25s and watch a 5ms heartbeat task during the
+        repeat submission: if the reads ran on the loop, the heartbeat
+        would gap by >= 0.25s per cell.
+        """
+        from repro.store.store import ResultStore
+
+        spec = tiny_spec()  # two cells -> >= 0.5s loop stall if on-loop
+        real_load = ResultStore.load
+
+        def slow_load(self, digest):
+            time.sleep(0.25)
+            return real_load(self, digest)
+
+        async def scenario(scheduler):
+            first = await scheduler.submit(spec)
+            await _wait_terminal(scheduler, first)
+
+            monkeypatch.setattr(ResultStore, "load", slow_load)
+            gaps = []
+
+            async def heartbeat():
+                last = monotonic()
+                while True:
+                    await asyncio.sleep(0.005)
+                    now = monotonic()
+                    gaps.append(now - last)
+                    last = now
+
+            beat = asyncio.ensure_future(heartbeat())
+            try:
+                second = await scheduler.submit(spec)
+                result = await _wait_terminal(scheduler, second)
+            finally:
+                beat.cancel()
+            return result, max(gaps)
+
+        result, max_gap = run_scheduler(
+            scenario, tmp_path / "store", workers=1
+        )
+        assert result["status"] == "done"
+        assert result["n_store_hits"] == spec.n_jobs
+        assert max_gap < 0.2, (
+            f"event loop stalled for {max_gap:.3f}s during the store probe"
+        )
 
     def test_scheduler_rejects_bad_parameters(self, tmp_path):
         store = open_store(tmp_path / "store")
@@ -435,6 +488,27 @@ class TestHttpServer:
         )
         assert code == 405
         assert payload["error"] == "MethodNotAllowed"
+
+    def test_internal_error_is_an_opaque_structured_500(
+        self, server, monkeypatch
+    ):
+        async def boom(self, method, path, body, writer):
+            raise RuntimeError("secret-detail /private/store/path")
+
+        monkeypatch.setattr(SweepServer, "_route", boom)
+        code, payload = _http_error(
+            lambda: urllib.request.urlopen(
+                f"{server.url}/v1/health", timeout=30.0
+            )
+        )
+        assert code == 500
+        assert payload["error"] == "InternalError"
+        # The traceback goes to the operator's observe stream only —
+        # exception text must never reach the client.
+        body_text = json.dumps(payload)
+        assert "secret-detail" not in body_text
+        assert "RuntimeError" not in body_text
+        assert "Traceback" not in body_text
 
     def test_http_client_surfaces_service_diagnostics(self, server):
         client = SweepClient(url=server.url)
