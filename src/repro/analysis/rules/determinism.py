@@ -7,7 +7,8 @@ inputs.  Inside the deterministic core (``cad/``, ``core/``, ``runner/``,
 ``spice/``, ``netlists/``) this rule flags every source of hidden
 nondeterminism:
 
-- ``np.random.default_rng()`` with no seed (or an explicit ``None``);
+- ``np.random.default_rng()`` or ``np.random.RandomState()`` with no
+  seed (or an explicit ``None``) — both are fine when seeded;
 - legacy global-state numpy randomness (``np.random.normal`` etc.);
 - the stdlib ``random`` module (globally seeded, process-wide state).
 
@@ -141,13 +142,16 @@ class DeterminismRule(Rule):
         uses_stdlib_random: bool,
     ) -> Iterable[Finding]:
         tail = chain.split(".")
-        # np.random.default_rng() / numpy.random.default_rng(None)
-        if tail[-1] == "default_rng":
+        # Seedable constructors: np.random.default_rng() and the legacy
+        # np.random.RandomState() are fine *with* a seed, nondeterministic
+        # without one (or with an explicit None).
+        if tail[-1] in ("default_rng", "RandomState"):
+            ctor = tail[-1]
             if not node.args and not node.keywords:
                 yield module.finding(
                     self,
                     node,
-                    "np.random.default_rng() without a seed is "
+                    f"np.random.{ctor}() without a seed is "
                     "nondeterministic; thread an explicit seed through",
                 )
             elif node.args and (
@@ -157,7 +161,7 @@ class DeterminismRule(Rule):
                 yield module.finding(
                     self,
                     node,
-                    "np.random.default_rng(None) seeds from the OS; require "
+                    f"np.random.{ctor}(None) seeds from the OS; require "
                     "an integer seed",
                 )
             return

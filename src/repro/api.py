@@ -44,6 +44,12 @@ _EXPORTS = {
     "flow_cache_key": "repro.cad.flow",
     "flow_cache_key_for": "repro.cad.flow",
     "run_flow": "repro.cad.flow",
+    # Thermal-aware placement.
+    "ThermalPlaceError": "repro.cad.thermal_place",
+    "ThermalPlaceStats": "repro.cad.thermal_place",
+    "ThermalProxy": "repro.cad.thermal_place",
+    "density_vector": "repro.cad.thermal_place",
+    "PlacementIntegrityError": "repro.cad.place",
     # Algorithm 1 and the margin model.
     "BatchCell": "repro.core.guardband",
     "GuardbandConfig": "repro.core.guardband",

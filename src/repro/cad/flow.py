@@ -2,7 +2,8 @@
 
 :func:`run_flow` produces a :class:`FlowResult`, the placed-and-routed
 design object Algorithm 1 consumes.  Results are cached per
-(netlist name, architecture, seed): the implementation is independent of
+(netlist name, architecture, seed, thermal weight): the implementation
+is independent of
 the temperature assumptions, so every experiment (guardbanding at several
 ambients, corner-fabric comparisons) reuses the same mapping — exactly as
 the paper evaluates one P&R per benchmark under different timing regimes.
@@ -57,7 +58,7 @@ class FlowResult:
         return self.layout.n_tiles
 
 
-_FLOW_CACHE: Dict[Tuple[str, ArchParams, int], FlowResult] = {}
+_FLOW_CACHE: Dict[Tuple[str, ArchParams, int, float], FlowResult] = {}
 
 _CACHE_COUNTS = {"hit": 0, "miss": 0, "quarantine": 0}
 """Process-lifetime flow-cache behaviour.  Always-on (cache events are
@@ -81,8 +82,12 @@ def _count_cache(kind: str, **attrs: object) -> None:
     observe.event(f"flow.cache.{kind}", **attrs)
 
 
-FLOW_CACHE_VERSION = 4
+FLOW_CACHE_VERSION = 5
 """Bump to invalidate on-disk flow caches after algorithmic changes.
+
+Version 5: thermal-aware placement — the placer grew a ``thermal_weight``
+objective term, and the weight became a key component (``w...``); stale
+v4 pickles would otherwise alias the new thermal-aware mappings.
 
 Version 4: the architecture component of the key became a deterministic
 SHA-256 digest (:func:`arch_digest`) so keys are identical across worker
@@ -104,11 +109,13 @@ def arch_digest(arch: ArchParams) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
-def flow_cache_key(netlist: Netlist, arch: ArchParams, seed: int) -> str:
-    """The deterministic disk-cache key for one (netlist, arch, seed)."""
+def flow_cache_key(
+    netlist: Netlist, arch: ArchParams, seed: int, thermal_weight: float = 0.0
+) -> str:
+    """The deterministic disk-cache key for one (netlist, arch, seed, w)."""
     return (
         f"v{FLOW_CACHE_VERSION}_{netlist.name}_b{netlist.n_blocks}"
-        f"_n{netlist.n_nets}_s{seed}_a{arch_digest(arch)}"
+        f"_n{netlist.n_nets}_s{seed}_w{thermal_weight:g}_a{arch_digest(arch)}"
     )
 
 
@@ -121,19 +128,23 @@ def flow_cache_key_for(
     arch: ArchParams,
     seed: int = 7,
     timing_driven: bool = False,
+    thermal_weight: float = 0.0,
 ) -> str:
     """The cache key :func:`run_flow` will assign, without running P&R.
 
     This is what lets a scheduler address a cell's result-store digest
     (:func:`repro.store.store_digest`) before any flow has executed:
     the key is a pure function of the resolved netlist, the architecture
-    digest, the seed namespace and ``FLOW_CACHE_VERSION``.
+    digest, the seed namespace, the thermal weight and
+    ``FLOW_CACHE_VERSION``.
     """
     cache_seed = seed + (_TIMING_DRIVEN_SEED_OFFSET if timing_driven else 0)
-    return flow_cache_key(netlist, arch, cache_seed)
+    return flow_cache_key(netlist, arch, cache_seed, thermal_weight)
 
 
-def _disk_cache_path(netlist: Netlist, arch: ArchParams, seed: int) -> Optional[Path]:
+def _disk_cache_path(
+    netlist: Netlist, arch: ArchParams, seed: int, thermal_weight: float = 0.0
+) -> Optional[Path]:
     """Location of the pickled flow result, or ``None`` if caching is off.
 
     P&R of the full suite takes minutes; experiments re-use identical
@@ -144,7 +155,7 @@ def _disk_cache_path(netlist: Netlist, arch: ArchParams, seed: int) -> Optional[
     if root.lower() == "off":
         return None
     base = Path(root) if root else Path.home() / ".cache" / "repro-flows"
-    return base / f"{flow_cache_key(netlist, arch, seed)}.pkl"
+    return base / f"{flow_cache_key(netlist, arch, seed, thermal_weight)}.pkl"
 
 
 @contextmanager
@@ -217,25 +228,34 @@ def run_flow(
     placement_effort: float = 1.0,
     use_cache: bool = True,
     timing_driven: bool = False,
+    thermal_weight: float = 0.0,
 ) -> FlowResult:
     """Pack, place and route ``netlist`` on the architecture.
 
     The layout is auto-sized to the design (VPR-style).  Deterministic for
-    a given (netlist, arch, seed).  ``timing_driven=True`` weights the
-    placement by structural net criticality (:mod:`repro.cad.criticality`),
-    shortening deep register-to-register paths.
+    a given (netlist, arch, seed, thermal_weight).  ``timing_driven=True``
+    weights the placement by structural net criticality
+    (:mod:`repro.cad.criticality`), shortening deep register-to-register
+    paths.  ``thermal_weight > 0`` blends the thermal proxy objective of
+    :mod:`repro.cad.thermal_place` into the anneal (0 is the legacy
+    wirelength/timing-only placement, bit-identical to before the knob
+    existed).
     """
     arch = arch or ArchParams()
     cache_seed = seed + (_TIMING_DRIVEN_SEED_OFFSET if timing_driven else 0)
-    key = (netlist.name, arch, cache_seed)
+    key = (netlist.name, arch, cache_seed, thermal_weight)
     if use_cache and key in _FLOW_CACHE:
         _count_cache("hit", source="memory", netlist=netlist.name)
         return _FLOW_CACHE[key]
-    disk_path = _disk_cache_path(netlist, arch, cache_seed) if use_cache else None
+    disk_path = (
+        _disk_cache_path(netlist, arch, cache_seed, thermal_weight)
+        if use_cache
+        else None
+    )
     if disk_path is None:
         return _compute_flow(
             netlist, arch, seed, placement_effort, timing_driven,
-            memory_key=key if use_cache else None,
+            thermal_weight, memory_key=key if use_cache else None,
         )
     # Serialise compute-and-store per entry so parallel sweep workers share
     # one P&R instead of racing to duplicate (or corrupt) it.
@@ -246,7 +266,7 @@ def run_flow(
         else:
             result = _compute_flow(
                 netlist, arch, seed, placement_effort, timing_driven,
-                memory_key=None,
+                thermal_weight, memory_key=None,
             )
             _atomic_store(result, disk_path)
     _FLOW_CACHE[key] = result
@@ -259,7 +279,8 @@ def _compute_flow(
     seed: int,
     placement_effort: float,
     timing_driven: bool,
-    memory_key: Optional[Tuple[str, ArchParams, int]],
+    thermal_weight: float,
+    memory_key: Optional[Tuple[str, ArchParams, int, float]],
 ) -> FlowResult:
     """The uncached pack -> place -> route -> STA pipeline."""
     _count_cache("miss", netlist=netlist.name, seed=seed)
@@ -268,6 +289,7 @@ def _compute_flow(
         netlist=netlist.name,
         seed=seed,
         timing_driven=timing_driven,
+        thermal_weight=thermal_weight,
     )
     with compute_span:
         with observe.span("flow.pack"):
@@ -287,11 +309,11 @@ def _compute_flow(
             n_dsp=counts[TileType.DSP],
             n_io=counts[TileType.IO],
         )
-        with observe.span("flow.place"):
+        with observe.span("flow.place", thermal_weight=thermal_weight):
             net_weights = criticality_weights(netlist) if timing_driven else None
             placement = place(
                 packed, layout, seed=seed, effort=placement_effort,
-                net_weights=net_weights,
+                net_weights=net_weights, thermal_weight=thermal_weight,
             )
         # VPR-style channel-width adaptation: retry with wider channels when
         # PathFinder cannot resolve congestion.
@@ -321,7 +343,9 @@ def _compute_flow(
         compute_span.set_attrs(n_tiles=layout.n_tiles)
     result = FlowResult(
         netlist, arch, layout, packed, placement, routing, timing,
-        cache_key=flow_cache_key_for(netlist, arch, seed, timing_driven),
+        cache_key=flow_cache_key_for(
+            netlist, arch, seed, timing_driven, thermal_weight
+        ),
     )
     if memory_key is not None:
         _FLOW_CACHE[memory_key] = result

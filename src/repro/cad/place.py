@@ -3,6 +3,11 @@
 Wirelength-driven anneal over cluster locations: half-perimeter wirelength
 cost, adaptive temperature schedule driven by the acceptance rate, and a
 shrinking range window.  Deterministic for a given seed.
+
+With ``thermal_weight > 0`` the objective blends in the incremental
+thermal proxy of :mod:`repro.cad.thermal_place`, periodically calibrated
+against the real thermal solver; ``thermal_weight=0`` takes exactly the
+legacy wirelength-only code path (bit-identical placements).
 """
 
 from __future__ import annotations
@@ -13,8 +18,25 @@ from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from repro.activity.ace import ActivityEstimate, estimate_activity
 from repro.arch.layout import FabricLayout, TileType
 from repro.cad.pack import Cluster, PackedNetlist
+from repro.cad.thermal_place import ThermalPlaceStats, ThermalProxy
+
+INTEGRITY_CHECK_INTERVAL = 8
+"""Temperature levels between full-cost integrity recomputations."""
+
+_INTEGRITY_REL_TOL = 1e-6
+"""Allowed relative disagreement between the incrementally-maintained
+cost and a from-scratch recomputation before the anneal fails loudly."""
+
+
+class PlacementIntegrityError(RuntimeError):
+    """Incrementally-maintained anneal cost drifted from the true cost.
+
+    Raised instead of silently annealing a stale objective; indicates a
+    bug in the incremental bookkeeping (HPWL or thermal proxy), never a
+    property of the design."""
 
 
 @dataclass
@@ -25,6 +47,8 @@ class Placement:
     location: Dict[int, Tuple[int, int]]
     """cluster id -> (x, y)."""
     occupants: Dict[Tuple[int, int], List[int]] = field(default_factory=dict)
+    thermal_stats: Optional[ThermalPlaceStats] = None
+    """Proxy/calibration telemetry when thermal-aware (``None`` otherwise)."""
 
     def tile_of_cluster(self, cluster_id: int) -> Tuple[int, int]:
         return self.location[cluster_id]
@@ -54,6 +78,8 @@ def place(
     seed: int = 7,
     effort: float = 1.0,
     net_weights: Optional[Dict[int, float]] = None,
+    thermal_weight: float = 0.0,
+    activity: Optional[ActivityEstimate] = None,
 ) -> Placement:
     """Anneal the clusters of ``packed`` onto ``layout``.
 
@@ -62,37 +88,74 @@ def place(
     weight) enables timing-driven placement: weighted half-perimeter
     wirelength pulls timing-critical nets short at the expense of slack-rich
     ones (see :mod:`repro.cad.criticality`).
+
+    ``thermal_weight`` blends the incremental thermal proxy of
+    :mod:`repro.cad.thermal_place` into the objective: the thermal term
+    is normalised so that at weight ``w`` it contributes ``w`` times the
+    initial wirelength cost.  The proxy is calibrated against the real
+    thermal solver once per temperature level.  ``activity`` supplies the
+    per-net switching activities the proxy's density map is built from
+    (estimated from the netlist when omitted).  ``thermal_weight=0``
+    bypasses the proxy entirely and is bit-identical to the legacy
+    wirelength-only placer.
     """
+    if not (math.isfinite(thermal_weight) and thermal_weight >= 0.0):
+        raise ValueError(
+            f"thermal_weight must be finite and >= 0, got {thermal_weight}"
+        )
     rng = np.random.default_rng(seed)
     placement = _initial_placement(packed, layout, rng)
     nets = _placement_nets(packed, net_weights)
     if not nets or len(packed.clusters) <= 1:
         return placement
 
-    cost = sum(_net_hpwl(net, placement.location) for net in nets)
+    hpwl = sum(_net_hpwl(net, placement.location) for net in nets)
     nets_of_cluster: Dict[int, List[int]] = {}
     for net_index, (_weight, clusters) in enumerate(nets):
         for cluster_id in clusters:
             nets_of_cluster.setdefault(cluster_id, []).append(net_index)
 
+    proxy: Optional[ThermalProxy] = None
+    if thermal_weight > 0.0:
+        if activity is None:
+            activity = estimate_activity(packed.netlist)
+        proxy = ThermalProxy(layout, packed, activity, placement.location)
+        proxy.calibrate(force=True)
+        # Normalise: at weight w the thermal term starts at w x the
+        # initial wirelength cost, so w is a dimensionless blend knob.
+        proxy.weight = thermal_weight * hpwl / max(proxy.raw_cost, 1e-12)
+
     movable = [c.id for c in packed.clusters]
     n = len(movable)
     moves_per_t = max(16, int(effort * 5 * n**1.33))
     # Initial temperature: VPR heuristic — std-dev of a random-move sample.
-    t = _initial_temperature(packed, layout, placement, nets, nets_of_cluster, rng)
+    # The sampling moves are applied (as VPR does); their summed HPWL delta
+    # keeps the tracked hpwl true for the integrity guard.
+    hpwl0 = hpwl
+    t, sampled_delta = _initial_temperature(
+        packed, layout, placement, nets, nets_of_cluster, rng, proxy
+    )
+    hpwl += sampled_delta
+    # Termination-threshold baseline: the legacy placer seeded ``cost``
+    # before the sampling moves and never resynced, so thermal_weight=0
+    # must keep that exact baseline to stay bit-identical.
+    cost = hpwl0 if proxy is None else hpwl + proxy.weighted_cost()
     range_limit = float(max(layout.width, layout.height))
 
+    levels = 0
     while t > 0.002 * max(cost, 1e-9) / max(len(nets), 1):
         accepted = 0
         for _ in range(moves_per_t):
-            delta, apply_move = _propose(
-                packed, layout, placement, nets, nets_of_cluster, rng, range_limit
+            delta, hpwl_delta, apply_move = _propose(
+                packed, layout, placement, nets, nets_of_cluster, rng,
+                range_limit, proxy,
             )
             if apply_move is None:
                 continue
             if delta <= 0 or rng.random() < math.exp(-delta / max(t, 1e-30)):
                 apply_move()
                 cost += delta
+                hpwl += hpwl_delta
                 accepted += 1
         rate = accepted / moves_per_t
         # VPR schedule: cool slowly in the productive 15-80 % band.
@@ -105,13 +168,62 @@ def place(
         else:
             alpha = 0.8
         t *= alpha
-        range_limit = min(
-            float(max(layout.width, layout.height)),
-            max(1.0, range_limit * (1.0 - 0.44 + rate)),
+        range_limit = _shrunk_range_limit(
+            range_limit, rate, max(layout.width, layout.height)
         )
+        levels += 1
+        if proxy is not None:
+            # One real solve per level: splu is factored once, each
+            # calibration is a cheap back-substitution.
+            proxy.calibrate()
+        if levels % INTEGRITY_CHECK_INTERVAL == 0:
+            _check_cost_integrity(hpwl, nets, placement.location, proxy)
 
+    _check_cost_integrity(hpwl, nets, placement.location, proxy)
+    if proxy is not None:
+        proxy.calibrate()
+        placement.thermal_stats = proxy.stats(thermal_weight)
     placement.validate(packed)
     return placement
+
+
+def _shrunk_range_limit(
+    range_limit: float, rate: float, max_dim: int | float
+) -> float:
+    """Next move-window radius from this level's acceptance rate.
+
+    VPR's schedule: the window shrinks while acceptance is below 44 %
+    and re-expands (clamped to the die) when moves are mostly accepted,
+    holding the anneal near the productive acceptance band.
+    """
+    return min(
+        float(max_dim),
+        max(1.0, range_limit * (1.0 - 0.44 + rate)),
+    )
+
+
+def _check_cost_integrity(
+    tracked_hpwl: float,
+    nets: List[Tuple[float, List[int]]],
+    location: Dict[int, Tuple[int, int]],
+    proxy: Optional[ThermalProxy],
+) -> None:
+    """Fail loudly if the incremental cost drifted from a full recompute."""
+    full_hpwl = sum(_net_hpwl(net, location) for net in nets)
+    tolerance = _INTEGRITY_REL_TOL * max(1.0, abs(full_hpwl))
+    if abs(tracked_hpwl - full_hpwl) > tolerance:
+        raise PlacementIntegrityError(
+            f"incremental HPWL {tracked_hpwl!r} drifted from recomputed "
+            f"{full_hpwl!r} (tolerance {tolerance:g})"
+        )
+    if proxy is not None:
+        full_raw = proxy.full_raw_cost()
+        tolerance = _INTEGRITY_REL_TOL * max(1.0, abs(full_raw))
+        if abs(proxy.raw_cost - full_raw) > tolerance:
+            raise PlacementIntegrityError(
+                f"incremental thermal proxy cost {proxy.raw_cost!r} drifted "
+                f"from recomputed {full_raw!r} (tolerance {tolerance:g})"
+            )
 
 
 def _initial_placement(
@@ -163,33 +275,47 @@ def _net_hpwl(
     return weight * ((max(xs) - min(xs)) + (max(ys) - min(ys)))
 
 
-def _initial_temperature(packed, layout, placement, nets, nets_of_cluster, rng):
+def _initial_temperature(
+    packed, layout, placement, nets, nets_of_cluster, rng, proxy=None
+):
+    """(initial T, summed HPWL delta of the applied sampling moves)."""
     deltas = []
+    applied_hpwl = 0.0
     for _ in range(min(200, 10 * len(packed.clusters))):
-        delta, apply_move = _propose(
+        delta, hpwl_delta, apply_move = _propose(
             packed, layout, placement, nets, nets_of_cluster, rng,
-            float(max(layout.width, layout.height)),
+            float(max(layout.width, layout.height)), proxy,
         )
         if apply_move is not None:
             apply_move()  # VPR applies the sampling moves too
             deltas.append(delta)
+            applied_hpwl += hpwl_delta
     if not deltas:
-        return 1.0
-    return 20.0 * float(np.std(deltas)) + 1e-9
+        return 1.0, applied_hpwl
+    return 20.0 * float(np.std(deltas)) + 1e-9, applied_hpwl
 
 
-def _propose(packed, layout, placement, nets, nets_of_cluster, rng, range_limit):
-    """Propose a move; returns (delta_cost, apply_callable | None)."""
+def _propose(
+    packed, layout, placement, nets, nets_of_cluster, rng, range_limit,
+    proxy=None,
+):
+    """Propose a move; returns (delta_cost, delta_hpwl, apply | None).
+
+    ``delta_cost`` is the blended objective change (HPWL plus the
+    weighted thermal proxy term when one is active); ``delta_hpwl`` is
+    its wirelength component alone, for the integrity guard's separate
+    HPWL tracking.
+    """
     cluster = packed.clusters[int(rng.integers(0, len(packed.clusters)))]
     x0, y0 = placement.location[cluster.id]
     limit = max(1, int(range_limit))
     x1 = int(np.clip(x0 + rng.integers(-limit, limit + 1), 0, layout.width - 1))
     y1 = int(np.clip(y0 + rng.integers(-limit, limit + 1), 0, layout.height - 1))
     if (x1, y1) == (x0, y0):
-        return 0.0, None
+        return 0.0, 0.0, None
     target = layout.tile(x1, y1)
     if target.type != cluster.type:
-        return 0.0, None
+        return 0.0, 0.0, None
 
     occupants = placement.occupants.setdefault((x1, y1), [])
     swap_with: Optional[int] = None
@@ -209,11 +335,16 @@ def _propose(packed, layout, placement, nets, nets_of_cluster, rng, range_limit)
         trial[cluster_id] = new
     after = sum(_net_hpwl(nets[i], trial) for i in affected)
     delta = after - before
+    hpwl_delta = delta
+    if proxy is not None:
+        delta = hpwl_delta + proxy.delta_for(moved)
 
     def apply_move() -> None:
         for cluster_id, old, new in moved:
             placement.location[cluster_id] = new
             placement.occupants[old].remove(cluster_id)
             placement.occupants.setdefault(new, []).append(cluster_id)
+        if proxy is not None:
+            proxy.apply(moved)
 
-    return delta, apply_move
+    return delta, hpwl_delta, apply_move

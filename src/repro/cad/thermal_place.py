@@ -1,0 +1,404 @@
+"""Thermal proxy cost for the simulated-annealing placer.
+
+The guardband flow (Algorithm 1) treats placement as fixed: the annealer
+in :mod:`repro.cad.place` minimises (weighted) half-perimeter wirelength
+and the converged temperature map is whatever falls out.  This module
+closes that loop.  It gives the annealer an *incremental thermal proxy
+cost* — a per-tile power-density map derived from cluster switching
+activity (:mod:`repro.activity`), spread by a local kernel that mimics
+lateral heat conduction — so a move's thermal ΔCost is O(kernel
+neighborhood), not a full thermal solve.
+
+The proxy is periodically **recalibrated against the real solver**: one
+:class:`~repro.thermal.hotspot.ThermalSolver` is built per anneal (its
+``splu`` factorization is reused across every calibration solve) and the
+proxy's spread field is fitted to the solver's temperature-rise field by
+a least-squares gain ``gamma``.  When the freshly-fitted gain drifts
+from the held one by more than ``drift_tolerance``, γ is refitted; when
+even the best-fit gain leaves a *shape* mismatch above
+``shape_tolerance``, the proxy is declared inadequate and the anneal
+fails loudly (:class:`ThermalPlaceError`) instead of optimising a
+fiction.
+
+Density units are relative (the fit absorbs the overall scale): what the
+objective needs is the *distribution* of heat, which is
+corner-independent — the same placement is reused across fabric corners,
+exactly as the flow cache assumes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import observe
+from repro.activity.ace import ActivityEstimate
+from repro.arch.layout import FabricLayout
+from repro.cad.pack import PackedNetlist
+from repro.netlists.netlist import BlockType
+
+KERNEL_RADIUS = 2
+"""Spreading-kernel half-width in tiles.  2 covers the 5x5 neighborhood
+that dominates a tile's lateral conduction footprint on the 4-connected
+thermal grid."""
+
+KERNEL_DECAY_TILES = 1.3
+"""e-folding distance (tiles) of the exponential spreading kernel."""
+
+DRIFT_TOLERANCE = 0.25
+"""Relative change between the held gain γ and a freshly least-squares
+fitted one that triggers a refit — i.e. how stale the proxy's Celsius
+scaling may get as the density distribution evolves."""
+
+SHAPE_TOLERANCE = 0.75
+"""Relative inf-norm residual the *best-fit* gain must leave between the
+proxy field and the solver rise field; a larger residual means the
+kernel cannot represent the conduction behaviour and the anneal must not
+trust the proxy objective."""
+
+_BLOCK_DENSITY_WEIGHT = {
+    BlockType.LUT: 1.0,
+    BlockType.FF: 0.35,
+    BlockType.BRAM: 4.0,
+    BlockType.DSP: 8.0,
+    BlockType.INPUT: 0.25,
+    BlockType.OUTPUT: 0.25,
+}
+"""Relative dynamic-power weight per block kind (one active LUT = 1.0).
+
+Mirrors the ordering of the characterized per-instance dynamic powers in
+:mod:`repro.power.model` (hard blocks dominate, registers are cheap)
+without needing a characterized fabric at placement time — placement is
+shared across fabric corners, so only the *relative* distribution can
+matter here."""
+
+STATIC_DENSITY_PER_RESOURCE = 0.002
+"""Baseline density per leaky resource of a tile's inventory (relative
+units).  Leakage accrues on the whole inventory whether used or not, so
+every tile radiates a little; the constant field does not steer moves
+(it is placement-invariant) but keeps calibration against the real
+solver honest near the die edge."""
+
+
+class ThermalPlaceError(RuntimeError):
+    """The thermal proxy cannot track the real solver (or was corrupted).
+
+    Raised instead of silently annealing a stale or unrepresentative
+    thermal objective."""
+
+
+@dataclass
+class ThermalPlaceStats:
+    """Telemetry of one thermal-aware anneal, attached to the Placement."""
+
+    thermal_weight: float
+    gamma: float
+    """Final proxy→temperature-rise gain fitted against the solver."""
+    n_calibrations: int
+    """Real thermal solves spent checking the proxy."""
+    n_recalibrations: int
+    """How many of those checks refitted γ (drift above tolerance)."""
+    n_proxy_evals: int
+    """Incremental thermal ΔCost evaluations (one per proposed move)."""
+    max_drift: float
+    """Worst pre-refit relative drift observed across the anneal."""
+    final_drift: float
+    """Relative drift at the last calibration (post-refit if one ran)."""
+    final_shape_error: float
+    """Residual of the final γ fit (must be <= SHAPE_TOLERANCE)."""
+    proxy_cost: float
+    """Final weighted thermal cost term of the blended objective."""
+
+
+def cluster_densities(
+    packed: PackedNetlist, activity: ActivityEstimate
+) -> Dict[int, float]:
+    """Relative power density of every cluster from its signal activity.
+
+    A cluster's density is the activity-weighted sum of its blocks'
+    :data:`_BLOCK_DENSITY_WEIGHT` — the same "users x activity" quantity
+    :class:`repro.power.model.PowerModel` charges dynamically, reduced to
+    corner-independent relative units.
+    """
+    densities: Dict[int, float] = {}
+    alpha = activity.alpha
+    for cluster in packed.clusters:
+        total = 0.0
+        for block_id in cluster.block_ids:
+            block = packed.netlist.blocks[block_id]
+            if block.output_nets:
+                a = float(np.mean([alpha[n] for n in block.output_nets]))
+            elif block.input_nets:
+                a = float(np.mean([alpha[n] for n in block.input_nets]))
+            else:
+                a = 0.0
+            total += a * _BLOCK_DENSITY_WEIGHT.get(block.type, 0.0)
+        densities[cluster.id] = total
+    return densities
+
+
+def static_tile_density(layout: FabricLayout) -> np.ndarray:
+    """Placement-invariant per-tile baseline from the leaky inventory."""
+    # Imported lazily: repro.power.model imports repro.cad.flow, which
+    # imports the placer, which imports this module — a cycle at import
+    # time but not at call time.
+    from repro.power.model import tile_inventory
+
+    base = np.zeros(layout.n_tiles)
+    for tile in layout.tiles():
+        counts = tile_inventory(layout.arch, tile.type)
+        base[layout.tile_index(tile.x, tile.y)] = (
+            STATIC_DENSITY_PER_RESOURCE * float(sum(counts.values()))
+        )
+    return base
+
+
+def density_vector(
+    packed: PackedNetlist,
+    location: Dict[int, Tuple[int, int]],
+    layout: FabricLayout,
+    activity: ActivityEstimate,
+    include_static: bool = True,
+) -> np.ndarray:
+    """Per-tile relative power density of one placement (for reporting)."""
+    densities = cluster_densities(packed, activity)
+    out = static_tile_density(layout) if include_static else np.zeros(layout.n_tiles)
+    for cluster_id, (x, y) in location.items():
+        out[layout.tile_index(x, y)] += densities[cluster_id]
+    return out
+
+
+def _spreading_kernel(
+    radius: int, decay: float
+) -> List[Tuple[int, int, float]]:
+    """(dx, dy, weight) offsets of the exponential conduction kernel."""
+    kernel: List[Tuple[int, int, float]] = []
+    for dy in range(-radius, radius + 1):
+        for dx in range(-radius, radius + 1):
+            w = math.exp(-math.hypot(dx, dy) / decay)
+            kernel.append((dx, dy, w))
+    total = sum(w for _, _, w in kernel)
+    return [(dx, dy, w / total) for dx, dy, w in kernel]
+
+
+class ThermalProxy:
+    """Incrementally-maintained thermal cost of a placement in progress.
+
+    State:
+
+    - ``density`` — per-tile relative power density (static inventory
+      baseline + the clusters currently on the tile);
+    - ``spread`` — the kernel-convolved density field (the proxy for the
+      temperature-rise *shape*);
+    - ``raw_cost`` — ``sum(spread**2)``, a hotspot-concentration penalty
+      (uniform heat minimises it at fixed total power);
+    - ``gamma`` — the solver-fitted gain mapping ``spread`` to Celsius
+      rise;
+    - ``weight`` — the blend factor normalising the thermal term against
+      the anneal's initial wirelength cost.
+
+    Moving a cluster changes ``density`` at two tiles and ``spread``
+    within the kernel footprint of each, so :meth:`delta_for` is
+    O(kernel) per proposed move.
+    """
+
+    def __init__(
+        self,
+        layout: FabricLayout,
+        packed: PackedNetlist,
+        activity: ActivityEstimate,
+        location: Dict[int, Tuple[int, int]],
+        *,
+        kernel_radius: int = KERNEL_RADIUS,
+        kernel_decay: float = KERNEL_DECAY_TILES,
+        drift_tolerance: float = DRIFT_TOLERANCE,
+        shape_tolerance: float = SHAPE_TOLERANCE,
+    ) -> None:
+        self.layout = layout
+        self.drift_tolerance = drift_tolerance
+        self.shape_tolerance = shape_tolerance
+        self._kernel = _spreading_kernel(kernel_radius, kernel_decay)
+        self._radius = kernel_radius
+        self._cluster_density = cluster_densities(packed, activity)
+
+        self._density = static_tile_density(layout).reshape(
+            layout.height, layout.width
+        )
+        for cluster_id, (x, y) in location.items():
+            self._density[y, x] += self._cluster_density[cluster_id]
+        self._spread = self._full_spread(self._density)
+        self.raw_cost = float(np.sum(self._spread**2))
+
+        self.gamma = 0.0
+        self.weight = 0.0
+        self.n_calibrations = 0
+        self.n_recalibrations = 0
+        self.n_proxy_evals = 0
+        self.max_drift = 0.0
+        self.final_drift = 0.0
+        self.final_shape_error = 0.0
+        # One solver per anneal: the splu factorization is paid once and
+        # back-substituted by every calibration solve.
+        self._solver: Optional[object] = None
+
+    # -- construction helpers ---------------------------------------------
+
+    def _full_spread(self, density: np.ndarray) -> np.ndarray:
+        """Kernel-convolve the density field (zero-padded edges)."""
+        h, w = density.shape
+        r = self._radius
+        padded = np.zeros((h + 2 * r, w + 2 * r))
+        padded[r : r + h, r : r + w] = density
+        spread = np.zeros((h, w))
+        for dx, dy, kw in self._kernel:
+            spread += kw * padded[r + dy : r + dy + h, r + dx : r + dx + w]
+        return spread
+
+    # -- incremental cost ---------------------------------------------------
+
+    def _footprint(
+        self, moved: List[Tuple[int, Tuple[int, int], Tuple[int, int]]]
+    ) -> Dict[Tuple[int, int], float]:
+        """spread-field deltas (by (y, x)) of a proposed move list."""
+        deltas: Dict[Tuple[int, int], float] = {}
+        h, w = self._spread.shape
+        for cluster_id, (x0, y0), (x1, y1) in moved:
+            d = self._cluster_density[cluster_id]
+            if d == 0.0:
+                continue
+            for dx, dy, kw in self._kernel:
+                contribution = kw * d
+                ya, xa = y0 + dy, x0 + dx
+                if 0 <= ya < h and 0 <= xa < w:
+                    deltas[ya, xa] = deltas.get((ya, xa), 0.0) - contribution
+                yb, xb = y1 + dy, x1 + dx
+                if 0 <= yb < h and 0 <= xb < w:
+                    deltas[yb, xb] = deltas.get((yb, xb), 0.0) + contribution
+        return deltas
+
+    def delta_for(
+        self, moved: List[Tuple[int, Tuple[int, int], Tuple[int, int]]]
+    ) -> float:
+        """Weighted thermal ΔCost of moving ``moved`` clusters.
+
+        ``moved`` entries are ``(cluster_id, (x0, y0), (x1, y1))`` — the
+        same shape the placer's move proposal carries.
+        """
+        self.n_proxy_evals += 1
+        raw_delta = 0.0
+        for (y, x), d in self._footprint(moved).items():
+            s = self._spread[y, x]
+            raw_delta += d * (2.0 * s + d)
+        return self.weight * raw_delta
+
+    def apply(
+        self, moved: List[Tuple[int, Tuple[int, int], Tuple[int, int]]]
+    ) -> None:
+        """Commit an accepted move to the density/spread/cost state."""
+        raw_delta = 0.0
+        for (y, x), d in self._footprint(moved).items():
+            s = self._spread[y, x]
+            raw_delta += d * (2.0 * s + d)
+            self._spread[y, x] = s + d
+        for cluster_id, (x0, y0), (x1, y1) in moved:
+            d = self._cluster_density[cluster_id]
+            self._density[y0, x0] -= d
+            self._density[y1, x1] += d
+        self.raw_cost += raw_delta
+
+    def weighted_cost(self) -> float:
+        """The thermal term of the blended anneal objective."""
+        return self.weight * self.raw_cost
+
+    def full_raw_cost(self) -> float:
+        """Recompute ``sum(spread**2)`` from scratch (integrity guard)."""
+        return float(np.sum(self._full_spread(self._density) ** 2))
+
+    # -- calibration ---------------------------------------------------------
+
+    def _solve_rise(self) -> np.ndarray:
+        """Real steady-state rise field for the current density map.
+
+        The solver is linear, so solving at ambient 0 with the relative
+        density as the power vector yields the rise shape directly; γ
+        absorbs the unit mismatch.
+        """
+        from repro.thermal.hotspot import ThermalSolver
+
+        if self._solver is None:
+            self._solver = ThermalSolver(self.layout)
+        solver: ThermalSolver = self._solver  # type: ignore[assignment]
+        return np.asarray(solver.solve(self._density.ravel(), 0.0))
+
+    def calibrate(self, force: bool = False) -> float:
+        """Check the proxy against the real solver; refit γ on drift.
+
+        Drift is the relative change between the held γ and a fresh
+        least-squares fit — how stale the proxy's Celsius scaling has
+        become as the density distribution evolved.  Returns that drift.
+        Raises :class:`ThermalPlaceError` when even the best-fit gain
+        leaves a shape residual above ``shape_tolerance`` — the kernel
+        cannot represent this die's conduction and the proxy objective
+        must not be annealed on.
+        """
+        with observe.span("place.thermal.calibrate", force=force):
+            rise = self._solve_rise()
+            s = self._spread.ravel()
+            scale = float(np.max(np.abs(rise)))
+            self.n_calibrations += 1
+            if scale <= 0.0:
+                # A zero-power die has a flat (zero) rise field; the
+                # proxy is trivially exact and there is nothing to fit.
+                self.final_drift = 0.0
+                self.final_shape_error = 0.0
+                return 0.0
+            ss = float(s @ s)
+            gamma_fit = float(s @ rise / ss) if ss > 0.0 else 0.0
+            drift = abs(gamma_fit - self.gamma) / max(abs(gamma_fit), 1e-30)
+            if not force:
+                # The forced initial fit starts from γ=0 (drift is
+                # trivially 1); only track drift of live calibrations.
+                self.max_drift = max(self.max_drift, drift)
+            refit = force or drift > self.drift_tolerance
+            if refit:
+                self.gamma = gamma_fit
+                self.n_recalibrations += 1
+                observe.counter("place.thermal.recalibrations").inc()
+            shape_error = float(
+                np.max(np.abs(rise - gamma_fit * s)) / scale
+            )
+            self.final_shape_error = shape_error
+            self.final_drift = drift
+            observe.event(
+                "place.thermal.drift",
+                drift=drift,
+                shape_error=shape_error,
+                gamma=self.gamma,
+                refit=refit,
+            )
+            if shape_error > self.shape_tolerance:
+                raise ThermalPlaceError(
+                    f"thermal proxy cannot track the solver: residual "
+                    f"{shape_error:.3f} exceeds shape tolerance "
+                    f"{self.shape_tolerance:.3f} even at the best-fit "
+                    f"gain ({gamma_fit:.4g}); widen the spreading "
+                    "kernel or disable thermal_weight for this design"
+                )
+            return drift
+
+    def stats(self, thermal_weight: float) -> ThermalPlaceStats:
+        observe.counter("place.thermal.proxy_evals").inc(self.n_proxy_evals)
+        return ThermalPlaceStats(
+            thermal_weight=thermal_weight,
+            gamma=self.gamma,
+            n_calibrations=self.n_calibrations,
+            n_recalibrations=self.n_recalibrations,
+            n_proxy_evals=self.n_proxy_evals,
+            max_drift=self.max_drift,
+            final_drift=self.final_drift,
+            final_shape_error=self.final_shape_error,
+            proxy_cost=self.weighted_cost(),
+        )

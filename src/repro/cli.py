@@ -298,6 +298,7 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         benchmarks=tuple(benchmark_names()),
         ambients=(args.ambient,),
         corners=(25.0,),
+        thermal_weight=args.thermal_weight,
     )
     return _run_engine(args, spec, chart_ambient=args.ambient)
 
@@ -313,6 +314,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         benchmarks=tuple(benches),
         ambients=_parse_floats(args.ambients, "--ambients"),
         corners=_parse_floats(args.corners, "--corners"),
+        thermal_weight=args.thermal_weight,
     )
     chart = spec.ambients[0] if len(spec.ambients) == 1 else None
     return _run_engine(args, spec, chart_ambient=chart)
@@ -387,9 +389,13 @@ def _load_spec(path: str):
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
     from repro.service import SweepClient
 
     spec = _load_spec(args.spec)
+    if args.thermal_weight is not None:
+        spec = replace(spec, thermal_weight=args.thermal_weight)
     client = SweepClient(url=args.url, timeout=args.timeout or 30.0)
     job_id = client.submit(spec)
     quiet = getattr(args, "json", False)
@@ -522,6 +528,12 @@ def main(argv=None) -> int:
              "benchmark) as one joint batched fixed point; per-cell "
              "records and store/resume semantics are unchanged",
     )
+    engine.add_argument(
+        "--thermal-weight", type=float, default=0.0, metavar="W",
+        help="thermal-aware placement: blend the thermal proxy objective "
+             "into the anneal at weight W relative to the wirelength cost "
+             "(0 = legacy wirelength-only placement)",
+    )
 
     p = sub.add_parser("suite", parents=[common, engine],
                        help="Fig. 6/7-style suite gains on the sweep engine")
@@ -606,6 +618,11 @@ def main(argv=None) -> int:
     p.add_argument(
         "--timeout", type=float, default=None,
         help="give up waiting after this many seconds",
+    )
+    p.add_argument(
+        "--thermal-weight", type=float, default=None, metavar="W",
+        help="override the spec's thermal-aware placement weight before "
+             "submitting (default: use the spec's value)",
     )
     p.set_defaults(func=_cmd_submit)
 

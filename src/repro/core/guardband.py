@@ -16,6 +16,7 @@ frequency replaces the conventional worst-case (Tworst) clock.
 
 from __future__ import annotations
 
+import math
 import warnings
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Union
@@ -97,6 +98,12 @@ class GuardbandConfig:
     nearest completed neighbour from the result store (falling back to
     ambient when none exists).  Warm starts converge to the same fixed
     point within the ``delta_t`` tolerance — see DESIGN.md §11."""
+    thermal_weight: float = 0.0
+    """Thermal-aware placement blend: weight of the thermal proxy term in
+    the placer's objective (:mod:`repro.cad.thermal_place`), relative to
+    the initial wirelength cost.  0 keeps the legacy wirelength/timing
+    placement (bit-identical); folded into the flow cache key, so cells
+    with different weights never share a mapping."""
 
     def __post_init__(self) -> None:
         if self.delta_t <= 0.0:
@@ -113,6 +120,13 @@ class GuardbandConfig:
             raise ValueError(
                 'warm_start_policy must be "off" or "nearest", '
                 f"got {self.warm_start_policy!r}"
+            )
+        if not (
+            math.isfinite(self.thermal_weight) and self.thermal_weight >= 0.0
+        ):
+            raise ValueError(
+                "thermal_weight must be finite and >= 0, "
+                f"got {self.thermal_weight}"
             )
 
     def with_changes(self, **changes: object) -> "GuardbandConfig":

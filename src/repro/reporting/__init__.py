@@ -2,12 +2,18 @@
 
 from repro.reporting.tables import format_table
 from repro.reporting.figures import format_bar_chart, format_series
-from repro.reporting.heatmap import format_heatmap
+from repro.reporting.heatmap import (
+    format_density_map,
+    format_heatmap,
+    format_heatmap_pair,
+)
 from repro.reporting.sweep import format_sweep_gains_chart, format_sweep_table
 
 __all__ = [
     "format_bar_chart",
+    "format_density_map",
     "format_heatmap",
+    "format_heatmap_pair",
     "format_series",
     "format_sweep_gains_chart",
     "format_sweep_table",

@@ -47,3 +47,59 @@ def format_heatmap(
         f"[{SHADES[0]}]={lo:.2f}{legend_unit}  [{SHADES[-1]}]={hi:.2f}{legend_unit}"
     )
     return "\n".join(rows)
+
+
+def format_heatmap_pair(
+    layout: FabricLayout,
+    left: np.ndarray,
+    right: np.ndarray,
+    left_title: str = "left",
+    right_title: str = "right",
+    legend_unit: str = "C",
+    gap: int = 4,
+) -> str:
+    """Two per-tile maps side by side on one shared colour scale.
+
+    The shared scale is what makes the comparison honest: the same shade
+    means the same value in both maps, so a flattened hotspot is visible
+    as a lighter peak rather than hidden by per-map renormalisation.
+    Used by the thermal-placement ablation to contrast the converged
+    temperature maps of thermal-aware vs timing-only placements.
+    """
+    left = np.asarray(left, dtype=float)
+    right = np.asarray(right, dtype=float)
+    lo = float(min(left.min(), right.min()))
+    hi = float(max(left.max(), right.max()))
+    left_text = format_heatmap(
+        layout, left, title=left_title, legend_unit=legend_unit,
+        v_min=lo, v_max=hi,
+    )
+    right_text = format_heatmap(
+        layout, right, title=right_title, legend_unit=legend_unit,
+        v_min=lo, v_max=hi,
+    )
+    left_lines = left_text.splitlines()
+    right_lines = right_text.splitlines()
+    width = max(len(line) for line in left_lines)
+    spacer = " " * gap
+    return "\n".join(
+        f"{a:<{width}}{spacer}{b}".rstrip()
+        for a, b in zip(left_lines, right_lines)
+    )
+
+
+def format_density_map(
+    layout: FabricLayout,
+    placed_density: np.ndarray,
+    title: str = "power density",
+) -> str:
+    """Per-tile power-density rendering of one placement.
+
+    ``placed_density`` is the relative density vector of
+    :func:`repro.cad.thermal_place.density_vector` — the quantity the
+    thermal-aware anneal actually spreads and penalises — so this map
+    shows *why* the converged temperature map looks the way it does.
+    """
+    return format_heatmap(
+        layout, placed_density, title=title, legend_unit=" (rel)"
+    )

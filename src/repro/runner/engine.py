@@ -209,7 +209,9 @@ def _execute_job(job: SweepJob, store: Optional[str] = None) -> JobResult:
             cache_before = cache_counters()
             netlist = job.resolve_netlist()
             flow = run_flow(
-                netlist, job.arch, seed=job.seed, timing_driven=job.timing_driven
+                netlist, job.arch, seed=job.seed,
+                timing_driven=job.timing_driven,
+                thermal_weight=job.config.thermal_weight,
             )
             fabric = _fabric_for(job.corner, job.arch)
             worst_case_hz = worst_case_frequency(flow, fabric)
@@ -338,6 +340,7 @@ def _execute_batch(
             flow = run_flow(
                 netlist, lead.arch, seed=lead.seed,
                 timing_driven=lead.timing_driven,
+                thermal_weight=lead.config.thermal_weight,
             )
             fabric = _fabric_for(lead.corner, lead.arch)
             worst_case_hz = worst_case_frequency(flow, fabric)

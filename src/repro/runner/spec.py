@@ -87,10 +87,22 @@ class ExperimentSpec:
     config: Optional[GuardbandConfig] = None
     seed: int = 7
     timing_driven: bool = False
+    thermal_weight: float = 0.0
+    """Thermal-aware placement blend applied to every cell's config (see
+    :attr:`repro.core.guardband.GuardbandConfig.thermal_weight`).  A
+    nonzero spec-level value overrides the per-cell configs so one knob
+    turns the whole grid thermal-aware."""
 
     def __post_init__(self) -> None:
         if not self.benchmarks:
             raise ValueError("ExperimentSpec needs at least one benchmark")
+        if not (
+            math.isfinite(self.thermal_weight) and self.thermal_weight >= 0.0
+        ):
+            raise ValueError(
+                "thermal_weight must be finite and >= 0, "
+                f"got {self.thermal_weight}"
+            )
         if not self.ambients or not self.corners:
             raise ValueError(
                 "ExperimentSpec needs at least one ambient and one corner"
@@ -119,10 +131,16 @@ class ExperimentSpec:
 
     def _job_config(self, bench: BenchmarkLike) -> GuardbandConfig:
         if self.config is not None:
-            return self.config
-        if isinstance(bench, NetlistSpec):
-            return GuardbandConfig(base_activity=bench.base_activity)
-        return GuardbandConfig(base_activity=_VTR_BY_NAME[bench].base_activity)
+            config = self.config
+        elif isinstance(bench, NetlistSpec):
+            config = GuardbandConfig(base_activity=bench.base_activity)
+        else:
+            config = GuardbandConfig(
+                base_activity=_VTR_BY_NAME[bench].base_activity
+            )
+        if self.thermal_weight != 0.0:
+            config = config.with_changes(thermal_weight=self.thermal_weight)
+        return config
 
     def expand(self) -> List[SweepJob]:
         """Flatten the grid, benchmark-major so workers hitting the same

@@ -83,7 +83,7 @@ _FlowIdentity = Tuple[object, ...]
 def _flow_identity(job: SweepJob) -> _FlowIdentity:
     """Everything that determines the cell's flow cache key."""
     return (job.benchmark, job.netlist_spec, job.arch, job.seed,
-            job.timing_driven)
+            job.timing_driven, job.config.thermal_weight)
 
 
 def _hit_record(job: SweepJob, result: GuardbandResult) -> Dict[str, object]:
@@ -237,7 +237,8 @@ class SweepScheduler:
         if flow_key is None:
             netlist = job.resolve_netlist()
             flow_key = flow_cache_key_for(
-                netlist, job.arch, job.seed, job.timing_driven
+                netlist, job.arch, job.seed, job.timing_driven,
+                job.config.thermal_weight,
             )
             self._flow_keys[identity] = flow_key
         return store_digest(flow_key, job.config, job.t_ambient, job.corner)

@@ -42,12 +42,17 @@ from repro.netlists.generator import NetlistSpec
 from repro.runner.spec import ExperimentSpec
 from repro.thermal.package import ThermalPackage
 
-WIRE_SCHEMA_VERSION = 1
+WIRE_SCHEMA_VERSION = 2
 """Bump whenever the field set (or meaning) of any wire class changes.
 
 The version travels in every envelope; decoders reject anything else.
 Enforced against the committed ``repro/analysis/wire_manifest.json`` by
 the ``cache-key`` lint rule, mirroring the store-digest discipline.
+
+Version 2: ``thermal_weight`` joined both ``GuardbandConfig`` and
+``ExperimentSpec`` (thermal-aware placement).  A v1 receiver would
+silently drop the knob and place wirelength-only — exactly the
+reinterpretation the version gate exists to refuse.
 """
 
 
@@ -191,6 +196,7 @@ def _encode_experiment(spec: ExperimentSpec) -> Dict[str, Any]:
         "config": None if spec.config is None else to_wire(spec.config),
         "seed": spec.seed,
         "timing_driven": spec.timing_driven,
+        "thermal_weight": float(spec.thermal_weight),
     }
 
 

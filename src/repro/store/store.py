@@ -34,7 +34,7 @@ from repro import observe
 from repro.core.guardband import GuardbandConfig, GuardbandResult
 from repro.store.backend import DirectoryBackend, StoreBackend
 
-STORE_SCHEMA_VERSION = 1
+STORE_SCHEMA_VERSION = 2
 """Bump when the digest inputs or the stored payload change meaning.
 
 The schema version is folded into every digest, so old-schema entries
@@ -42,6 +42,10 @@ simply stop matching (no in-place migration).  A ``GuardbandConfig``
 field-set change MUST come with a bump — enforced by the ``cache-key``
 lint rule against the committed store manifest
 (``repro/analysis/store_manifest.json``).
+
+Version 2: ``GuardbandConfig`` grew ``thermal_weight`` (thermal-aware
+placement); the digest field set changed, so v1 entries must stop
+matching rather than alias results placed under a different objective.
 """
 
 _STORE_COUNTS = {"hit": 0, "miss": 0, "put": 0, "quarantine": 0}

@@ -84,6 +84,31 @@ class TestUnitsRule:
         report = run_on(tmp_path)
         assert rule_ids(report) == ["units"]
 
+    def test_flags_kelvin_offset_in_thermal_place(self, tmp_path):
+        """The placement thermal proxy works in relative density units;
+        a Celsius/Kelvin offset sneaking in there is exactly the bug
+        class the rule exists for."""
+        write_module(
+            tmp_path,
+            "cad/thermal_place.py",
+            "AMBIENT_K = 25.0 + 273.15\n",
+        )
+        report = run_on(tmp_path)
+        assert rule_ids(report) == ["units"]
+
+    def test_passes_unit_free_thermal_place(self, tmp_path):
+        write_module(
+            tmp_path,
+            "cad/thermal_place.py",
+            """
+            import numpy as np
+
+            def raw_cost(spread):
+                return float(np.sum(spread**2))
+            """,
+        )
+        assert run_on(tmp_path).findings == []
+
     def test_passes_inside_temperature_module_and_clean_code(self, tmp_path):
         write_module(
             tmp_path,
@@ -152,6 +177,48 @@ class TestDeterminismRule:
         report = run_on(tmp_path)
         assert rule_ids(report) == ["determinism", "determinism"]
         assert any("wall-clock" in f.message for f in report.findings)
+
+    def test_flags_unseeded_random_state_in_thermal_place(self, tmp_path):
+        write_module(
+            tmp_path,
+            "cad/thermal_place.py",
+            """
+            import numpy as np
+
+            def perturb(densities):
+                return densities + np.random.RandomState().rand()
+            """,
+        )
+        report = run_on(tmp_path)
+        assert rule_ids(report) == ["determinism"]
+        assert "RandomState" in report.findings[0].message
+
+    def test_flags_none_seeded_random_state(self, tmp_path):
+        write_module(
+            tmp_path,
+            "cad/bad.py",
+            """
+            import numpy as np
+
+            def sample():
+                return np.random.RandomState(None).rand()
+            """,
+        )
+        report = run_on(tmp_path)
+        assert rule_ids(report) == ["determinism"]
+
+    def test_passes_seeded_random_state_in_thermal_place(self, tmp_path):
+        write_module(
+            tmp_path,
+            "cad/thermal_place.py",
+            """
+            import numpy as np
+
+            def perturb(densities, seed):
+                return densities + np.random.RandomState(seed).rand()
+            """,
+        )
+        assert run_on(tmp_path).findings == []
 
     def test_passes_seeded_rng_and_observe_clock(self, tmp_path):
         write_module(

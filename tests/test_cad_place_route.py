@@ -1,13 +1,25 @@
 """Tests for simulated-annealing placement and PathFinder routing."""
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.arch.layout import FabricLayout, TileType
 from repro.arch.rrgraph import RRNodeType, build_rr_graph
+from repro.cad.criticality import criticality_weights
 from repro.cad.pack import pack_netlist
-from repro.cad.place import _net_hpwl, _placement_nets, place
+from repro.cad.place import (
+    Placement,
+    _net_hpwl,
+    _placement_nets,
+    _shrunk_range_limit,
+    place,
+)
 from repro.cad.route import RoutingError, route
 from repro.netlists.generator import NetlistSpec, generate_netlist
+
+GOLDEN_PLACEMENTS = Path(__file__).parent / "data" / "golden_placements.json"
 
 
 @pytest.fixture(scope="module")
@@ -69,6 +81,107 @@ class TestPlacement:
         small = FabricLayout(arch, 5, 5)
         with pytest.raises(ValueError, match="not enough"):
             place(packed, small, seed=1)
+
+    def test_multi_occupant_tiles_respect_capacity(
+        self, packed, placement, layout
+    ):
+        occupancy = {}
+        for cluster_id, xy in placement.location.items():
+            occupancy.setdefault(xy, []).append(cluster_id)
+        # The tiny design has more IO clusters than IO tiles, so some
+        # tiles genuinely host several clusters...
+        assert any(len(ids) > 1 for ids in occupancy.values())
+        # ...and the occupants index agrees with the locations and never
+        # exceeds any tile's capacity.
+        for xy, ids in occupancy.items():
+            assert sorted(placement.occupants[xy]) == sorted(ids)
+            assert len(ids) <= layout.tile(*xy).capacity
+
+    def test_validate_rejects_over_capacity(self, packed, placement, layout):
+        crowded = Placement(
+            layout,
+            dict(placement.location),
+            {xy: list(ids) for xy, ids in placement.occupants.items()},
+        )
+        # Pile every cluster onto one already-occupied tile's roster.
+        xy = next(iter(crowded.occupants))
+        crowded.occupants[xy] = [c.id for c in packed.clusters]
+        with pytest.raises(ValueError, match="over capacity"):
+            crowded.validate(packed)
+
+
+class TestRangeWindowSchedule:
+    """The VPR move-window shrink: hold near 44 % acceptance."""
+
+    def test_holds_at_the_target_acceptance(self):
+        assert _shrunk_range_limit(10.0, 0.44, 20) == pytest.approx(10.0)
+
+    def test_shrinks_when_everything_is_rejected(self):
+        assert _shrunk_range_limit(10.0, 0.0, 20) == pytest.approx(5.6)
+
+    def test_expands_when_everything_is_accepted(self):
+        assert _shrunk_range_limit(10.0, 1.0, 20) == pytest.approx(15.6)
+
+    def test_expansion_clamped_to_the_die(self):
+        assert _shrunk_range_limit(19.0, 1.0, 20) == 20.0
+
+    def test_never_shrinks_below_one_tile(self):
+        limit = 10.0
+        for _ in range(50):
+            limit = _shrunk_range_limit(limit, 0.0, 20)
+        assert limit == 1.0
+
+
+class TestLegacyBitIdentity:
+    """``thermal_weight=0`` must reproduce the pre-thermal placer exactly.
+
+    The golden file was recorded from the wirelength-only placer before
+    the thermal objective existed; every configuration in it (plain,
+    low-effort, timing-driven) must still come out bit-identical, both
+    by default and with an explicit ``thermal_weight=0.0``.
+    """
+
+    @pytest.fixture(scope="class")
+    def golden(self):
+        return json.loads(GOLDEN_PLACEMENTS.read_text(encoding="utf-8"))
+
+    @pytest.fixture(scope="class")
+    def golden_design(self, golden, arch):
+        netlist = generate_netlist(NetlistSpec(**golden["netlist_spec"]))
+        return netlist, pack_netlist(netlist, arch)
+
+    def _locations(self, golden, name):
+        return {
+            int(cluster_id): tuple(xy)
+            for cluster_id, xy in golden["placements"][name].items()
+        }
+
+    def test_layout_matches_recording(self, golden, layout):
+        assert [layout.width, layout.height] == golden["layout"]
+
+    @pytest.mark.parametrize("thermal_weight", [None, 0.0])
+    def test_plain_seed(self, golden, golden_design, layout, thermal_weight):
+        _netlist, packed = golden_design
+        kwargs = {} if thermal_weight is None else {
+            "thermal_weight": thermal_weight
+        }
+        result = place(packed, layout, seed=3, **kwargs)
+        assert result.location == self._locations(golden, "seed3")
+        assert result.thermal_stats is None
+
+    def test_low_effort_seed(self, golden, golden_design, layout):
+        _netlist, packed = golden_design
+        result = place(packed, layout, seed=11, effort=0.5, thermal_weight=0.0)
+        assert result.location == self._locations(golden, "seed11_effort0.5")
+
+    def test_timing_driven_seed(self, golden, golden_design, layout):
+        netlist, packed = golden_design
+        result = place(
+            packed, layout, seed=7,
+            net_weights=criticality_weights(netlist),
+            thermal_weight=0.0,
+        )
+        assert result.location == self._locations(golden, "seed7_timing")
 
 
 class TestRouting:

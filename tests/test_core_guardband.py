@@ -169,6 +169,15 @@ class TestWarmStart:
         with pytest.raises(ValueError, match="warm_start_policy"):
             GuardbandConfig(warm_start_policy="sometimes")
 
+    def test_config_validates_thermal_weight(self):
+        with pytest.raises(ValueError, match="thermal_weight"):
+            GuardbandConfig(thermal_weight=-0.1)
+        with pytest.raises(ValueError, match="thermal_weight"):
+            GuardbandConfig(thermal_weight=float("nan"))
+        with pytest.raises(ValueError, match="thermal_weight"):
+            GuardbandConfig(thermal_weight=float("inf"))
+        assert GuardbandConfig(thermal_weight=0.7).thermal_weight == 0.7
+
     def test_legacy_policy_kwarg_warns_and_applies(self, tiny_flow, fabric25):
         with pytest.warns(DeprecationWarning):
             result = thermal_aware_guardband(

@@ -12,6 +12,7 @@ from repro.cad.flow import (
     _disk_cache_path,
     arch_digest,
     flow_cache_key,
+    flow_cache_key_for,
     run_flow,
 )
 from repro.netlists.generator import NetlistSpec, generate_netlist
@@ -104,6 +105,34 @@ class TestCacheKeyDigest:
             arch.with_changes(vdd=arch.vdd + 0.05),
         ):
             assert arch_digest(changed) != baseline
+
+    def test_key_distinguishes_thermal_weight(self, small_netlist, arch):
+        base = flow_cache_key(small_netlist, arch, 3)
+        thermal = flow_cache_key(small_netlist, arch, 3, thermal_weight=0.7)
+        assert base != thermal
+        assert "_w0_" in base
+        assert "_w0.7_" in thermal
+
+    def test_thermal_weight_composes_with_timing_driven(
+        self, small_netlist, arch
+    ):
+        keys = {
+            flow_cache_key_for(small_netlist, arch, seed=3),
+            flow_cache_key_for(small_netlist, arch, seed=3, timing_driven=True),
+            flow_cache_key_for(small_netlist, arch, seed=3, thermal_weight=0.7),
+            flow_cache_key_for(
+                small_netlist, arch, seed=3,
+                timing_driven=True, thermal_weight=0.7,
+            ),
+        }
+        assert len(keys) == 4
+
+    def test_disk_path_distinguishes_thermal_weight(
+        self, cache_dir, small_netlist, arch
+    ):
+        plain = _disk_cache_path(small_netlist, arch, 3)
+        thermal = _disk_cache_path(small_netlist, arch, 3, thermal_weight=0.7)
+        assert plain != thermal
 
     def test_key_embeds_cache_version(self, small_netlist, arch):
         assert flow_cache_key(small_netlist, arch, 3).startswith(

@@ -5,7 +5,12 @@ import pytest
 
 from repro.arch.layout import FabricLayout
 from repro.arch.params import ArchParams
-from repro.reporting.heatmap import SHADES, format_heatmap
+from repro.reporting.heatmap import (
+    SHADES,
+    format_density_map,
+    format_heatmap,
+    format_heatmap_pair,
+)
 
 
 @pytest.fixture(scope="module")
@@ -45,3 +50,40 @@ class TestHeatmap:
     def test_rejects_wrong_shape(self, layout):
         with pytest.raises(ValueError):
             format_heatmap(layout, np.zeros(3))
+
+
+class TestHeatmapPair:
+    def test_side_by_side_layout(self, layout):
+        left = np.zeros(layout.n_tiles)
+        right = np.zeros(layout.n_tiles)
+        text = format_heatmap_pair(layout, left, right, "a", "b")
+        lines = text.splitlines()
+        assert len(lines) == layout.height + 2  # title + rows + legend
+        assert lines[0].startswith("a")
+        assert lines[0].rstrip().endswith("b")
+
+    def test_shared_scale(self, layout):
+        """The hotter map's peak sets the scale for both sides."""
+        left = np.zeros(layout.n_tiles)
+        left[layout.tile_index(1, 1)] = 50.0
+        right = np.zeros(layout.n_tiles)
+        right[layout.tile_index(2, 2)] = 100.0
+        text = format_heatmap_pair(layout, left, right)
+        row = text.splitlines()[1:-1][layout.height - 1 - 1]
+        # Left's 50-of-100 peak renders mid-palette, not saturated:
+        # both maps share [0, 100].
+        assert row[1] == SHADES[len(SHADES) // 2]
+        assert "100.00" in text
+
+    def test_rejects_wrong_shape(self, layout):
+        with pytest.raises(ValueError):
+            format_heatmap_pair(layout, np.zeros(3), np.zeros(layout.n_tiles))
+
+
+class TestDensityMap:
+    def test_renders_relative_units(self, layout):
+        density = np.linspace(0.0, 1.0, layout.n_tiles)
+        text = format_density_map(layout, density)
+        assert "power density" in text
+        assert "(rel)" in text
+        assert len(text.splitlines()) == layout.height + 2

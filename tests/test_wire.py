@@ -100,6 +100,7 @@ class TestRoundTrip:
             ),
             seed=11,
             timing_driven=True,
+            thermal_weight=0.5,
         )
         decoded = json_round_trip(spec)
         assert decoded == spec
@@ -131,6 +132,19 @@ class TestRejection:
         message = str(excinfo.value)
         assert str(WIRE_SCHEMA_VERSION + 1) in message
         assert f"version {WIRE_SCHEMA_VERSION}" in message
+
+    def test_v1_envelope_without_thermal_weight_is_rejected(self):
+        """Pre-thermal-placement documents must not decode silently.
+
+        A v1 ``ExperimentSpec`` has no ``thermal_weight`` field; decoding
+        one as if it were v2 would default the weight and silently change
+        what the sweep computes, so the version gate must refuse it."""
+        doc = to_wire(ExperimentSpec(benchmarks=("sha",)))
+        doc["wire_version"] = 1
+        del doc["payload"]["thermal_weight"]
+        with pytest.raises(WireError) as excinfo:
+            from_wire(doc)
+        assert f"version {WIRE_SCHEMA_VERSION}" in str(excinfo.value)
 
     def test_unknown_field_is_rejected_by_name(self):
         doc = to_wire(GuardbandConfig())
