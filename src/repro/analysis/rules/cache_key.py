@@ -158,6 +158,7 @@ class CacheKeyRule(Rule):
         findings = list(self._check_flow_cache(project))
         findings.extend(self._check_store(project))
         findings.extend(self._check_wire(project))
+        findings.extend(self._check_wire_encoder(project))
         return findings
 
     def _check_flow_cache(self, project: Project) -> Iterable[Finding]:
@@ -430,6 +431,42 @@ class CacheKeyRule(Rule):
                     severity=Severity.WARNING,
                 )
             )
+        return findings
+
+    def _check_wire_encoder(self, project: Project) -> Iterable[Finding]:
+        """Hand-listed wire encoders must consume every dataclass field.
+
+        Most encoders iterate ``fields(obj)`` and pick up new fields for
+        free, but ``_encode_experiment`` enumerates ``ExperimentSpec``
+        attributes by hand (benchmarks need per-entry envelope
+        dispatch).  A spec field the encoder skips is silently dropped
+        on the wire — the receiver runs a *different experiment* than
+        the submitter declared — and the manifest check alone cannot see
+        it, because the field set and version still agree.
+        """
+        located = project.find_class("ExperimentSpec")
+        encoder = _find_function(project, "_encode_experiment")
+        if located is None or encoder is None:
+            # No sweep service in this project (e.g. rule fixtures).
+            return ()
+        _, spec_cls = located
+        encoder_module, encoder_func = encoder
+        findings: List[Finding] = []
+
+        field_names = set(dataclass_field_names(spec_cls.body))
+        iterates, explicit = _digest_consumption(encoder_func)
+        if not iterates:
+            for name in sorted(field_names - explicit):
+                findings.append(
+                    encoder_module.finding(
+                        self,
+                        encoder_func,
+                        f"_encode_experiment does not consume ExperimentSpec."
+                        f"{name}; the field is silently dropped from the wire "
+                        "envelope, so the receiver reconstructs a spec with "
+                        "the default value instead of the submitted one",
+                    )
+                )
         return findings
 
 

@@ -52,6 +52,7 @@ _EXPORTS = {
     "PlacementIntegrityError": "repro.cad.place",
     # Algorithm 1 and the margin model.
     "BatchCell": "repro.core.guardband",
+    "EnergyReport": "repro.core.guardband",
     "GuardbandConfig": "repro.core.guardband",
     "GuardbandError": "repro.core.guardband",
     "GuardbandResult": "repro.core.guardband",
@@ -59,6 +60,10 @@ _EXPORTS = {
     "thermal_aware_guardband_batch": "repro.core.guardband",
     "guardband_gain": "repro.core.margins",
     "worst_case_frequency": "repro.core.margins",
+    # Energy objective: supply scaling model and rails.
+    "VoltageScaling": "repro.power.voltage",
+    "VDD_MIN_V": "repro.power.voltage",
+    "VDD_NOMINAL": "repro.technology.ptm22",
     # Thermal-aware design / architecture selection.
     "corner_delay_curves": "repro.core.design",
     "expected_delay": "repro.core.architecture",
@@ -121,8 +126,10 @@ if TYPE_CHECKING:  # Static surface for mypy/IDEs; runtime stays lazy.
     from repro.coffe.fabric import Fabric, build_fabric
     from repro.core.architecture import expected_delay, select_design_corner
     from repro.core.design import corner_delay_curves
+    from repro.cad.place import PlacementIntegrityError
     from repro.core.guardband import (
         BatchCell,
+        EnergyReport,
         GuardbandConfig,
         GuardbandError,
         GuardbandResult,
@@ -130,6 +137,8 @@ if TYPE_CHECKING:  # Static surface for mypy/IDEs; runtime stays lazy.
         thermal_aware_guardband_batch,
     )
     from repro.core.margins import guardband_gain, worst_case_frequency
+    from repro.power.voltage import VDD_MIN_V, VoltageScaling
+    from repro.technology.ptm22 import VDD_NOMINAL
     from repro.netlists.generator import NetlistSpec, generate_netlist
     from repro.netlists.vtr_suite import VTR_BENCHMARKS, vtr_benchmark
     from repro.runner import (

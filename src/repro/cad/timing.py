@@ -356,7 +356,10 @@ class TimingAnalyzer:
         return cum[:, seg_ends] - cum[:, self._seg_starts]
 
     def critical_path_batch(
-        self, fabric: Fabric, t_batch: np.ndarray
+        self,
+        fabric: Fabric,
+        t_batch: np.ndarray,
+        delay_scale: Optional[np.ndarray] = None,
     ) -> List[TimingReport]:
         """One :class:`TimingReport` per row of a temperature batch.
 
@@ -365,7 +368,10 @@ class TimingAnalyzer:
         temperature-dependent work (delay interpolation, net-segment
         gather/reduce) is vectorized across the whole batch; only the
         levelized arrival sweep runs per cell.  Each report matches
-        :meth:`critical_path` on the corresponding row.
+        :meth:`critical_path` on the corresponding row.  ``delay_scale``
+        optionally multiplies the per-cell delay matrices entrywise
+        (shape ``(n_cells, n_resources, n_tiles)``) — the batched
+        counterpart of the single-profile parameter.
         """
         t_batch = np.asarray(t_batch, dtype=float)
         if t_batch.ndim != 2 or t_batch.shape[1] != self.layout.n_tiles:
@@ -373,7 +379,9 @@ class TimingAnalyzer:
                 f"temperature batch shape {t_batch.shape} != "
                 f"(n_cells, {self.layout.n_tiles})"
             )
-        matrices = self._delay_matrix_batch(fabric, t_batch)
+        matrices = self._apply_delay_scale(
+            self._delay_matrix_batch(fabric, t_batch), delay_scale
+        )
         seg_delays = self._segment_delays_batch(matrices)
         reports: List[TimingReport] = []
         for cell in range(t_batch.shape[0]):
@@ -416,8 +424,30 @@ class TimingAnalyzer:
             )
         return t_tiles
 
+    def _apply_delay_scale(
+        self, matrix: np.ndarray, delay_scale: Optional[np.ndarray]
+    ) -> np.ndarray:
+        """Multiply optional per-(resource, tile) factors into a delay matrix.
+
+        Applied *after* the cached temperature interpolation, so the
+        unscaled path and its (fabric, temperature) cache stay untouched;
+        with ``delay_scale=None`` the matrix is returned as-is.
+        """
+        if delay_scale is None:
+            return matrix
+        delay_scale = np.asarray(delay_scale, dtype=float)
+        if delay_scale.shape != matrix.shape:
+            raise ValueError(
+                f"delay_scale shape {delay_scale.shape} != delay matrix "
+                f"shape {matrix.shape}"
+            )
+        return matrix * delay_scale
+
     def _arrival_pass(
-        self, fabric: Fabric, t_tiles: np.ndarray
+        self,
+        fabric: Fabric,
+        t_tiles: np.ndarray,
+        delay_scale: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, np.ndarray, Dict[int, float]]:
         """Full arrival-time propagation.
 
@@ -429,7 +459,9 @@ class TimingAnalyzer:
         :meth:`_segment_delays`; the levelized sweep then does constant
         work per fanout edge on plain Python floats.
         """
-        delay_matrix = self._delay_matrix(fabric, t_tiles)
+        delay_matrix = self._apply_delay_scale(
+            self._delay_matrix(fabric, t_tiles), delay_scale
+        )
         seg_delay = self._segment_delays(delay_matrix)
         return self._sweep_arrivals(delay_matrix, seg_delay)
 
@@ -481,17 +513,28 @@ class TimingAnalyzer:
         )
 
     def _arrival_pass_reference(
-        self, fabric: Fabric, t_tiles: np.ndarray
+        self,
+        fabric: Fabric,
+        t_tiles: np.ndarray,
+        delay_scale: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, np.ndarray, Dict[int, float]]:
         """Seed (pre-vectorization) arrival pass, kept verbatim.
 
         Walks the per-sink ``(resource, tile)`` element lists in Python.
         Used by the equivalence tests and as the hot-loop benchmark's
-        baseline (see :mod:`repro.core.reference`).
+        baseline (see :mod:`repro.core.reference`).  ``delay_scale``
+        multiplies each resource's per-tile delay row, mirroring the
+        vectorized pass's voltage-scaling hook.
         """
         delays = {
             r: np.asarray(fabric.delay_s(r, t_tiles)) for r in RESOURCE_NAMES
         }
+        if delay_scale is not None:
+            scale = np.asarray(delay_scale, dtype=float)
+            delays = {
+                r: delays[r] * scale[i]
+                for i, r in enumerate(RESOURCE_NAMES)
+            }
         netlist = self.packed.netlist
         n = netlist.n_blocks
         in_arrival = np.zeros(n)
@@ -540,16 +583,22 @@ class TimingAnalyzer:
         return chain
 
     def critical_path(
-        self, fabric: Fabric, t_tiles: np.ndarray
+        self,
+        fabric: Fabric,
+        t_tiles: np.ndarray,
+        delay_scale: Optional[np.ndarray] = None,
     ) -> TimingReport:
         """Longest register-to-register (or PI/PO) path delay.
 
         ``t_tiles`` is the per-tile temperature vector in Celsius (length =
         number of layout tiles).  A scalar broadcasts to a uniform die
-        temperature.
+        temperature.  ``delay_scale`` optionally multiplies the
+        ``(n_resources, n_tiles)`` delay matrix entrywise — e.g. the
+        supply-voltage factors of :mod:`repro.power.voltage` in the
+        energy-mode objective.
         """
         t_tiles = self._normalize_temps(t_tiles)
-        _, in_pred, endpoints = self._arrival_pass(fabric, t_tiles)
+        _, in_pred, endpoints = self._arrival_pass(fabric, t_tiles, delay_scale)
         if not endpoints:
             raise ValueError("design has no timing endpoints")
         best_endpoint = max(endpoints, key=lambda e: endpoints[e])
@@ -567,17 +616,22 @@ class TimingAnalyzer:
         )
 
     def endpoint_slacks(
-        self, fabric: Fabric, t_tiles: np.ndarray, clock_period_s: float
+        self,
+        fabric: Fabric,
+        t_tiles: np.ndarray,
+        clock_period_s: float,
+        delay_scale: Optional[np.ndarray] = None,
     ) -> Dict[int, float]:
         """Setup slack of every endpoint at a target clock period, seconds.
 
         Negative slack means the endpoint fails timing at that clock under
-        the given thermal profile.
+        the given thermal profile (and optional per-(resource, tile)
+        ``delay_scale`` factors, e.g. a scaled supply).
         """
         if clock_period_s <= 0.0:
             raise ValueError("clock period must be positive")
         t_tiles = self._normalize_temps(t_tiles)
-        _, _, endpoints = self._arrival_pass(fabric, t_tiles)
+        _, _, endpoints = self._arrival_pass(fabric, t_tiles, delay_scale)
         return {e: clock_period_s - d for e, d in endpoints.items()}
 
     def top_paths(

@@ -69,7 +69,11 @@ from repro.api import (
 )
 from repro.core.grades import plan_temperature_grades
 from repro.netlists.vtr_suite import benchmark_names
-from repro.reporting.sweep import format_sweep_gains_chart, format_sweep_table
+from repro.reporting.sweep import (
+    format_sweep_energy_table,
+    format_sweep_gains_chart,
+    format_sweep_table,
+)
 from repro.reporting.tables import format_table
 
 
@@ -237,11 +241,23 @@ def _run_engine(
         if quiet:
             return
         if isinstance(outcome, JobResult):
-            print(
-                f"  [{done}/{total}] {outcome.job_id:28s} "
-                f"{outcome.gain * 100:5.1f}%",
-                flush=True,
-            )
+            if outcome.mode == "energy" and outcome.vdd_v is not None:
+                saving = (
+                    f" -{outcome.energy_saving * 100:.1f}% E"
+                    if outcome.energy_saving is not None
+                    else ""
+                )
+                print(
+                    f"  [{done}/{total}] {outcome.job_id:28s} "
+                    f"VDD {outcome.vdd_v:.3f} V{saving}",
+                    flush=True,
+                )
+            else:
+                print(
+                    f"  [{done}/{total}] {outcome.job_id:28s} "
+                    f"{outcome.gain * 100:5.1f}%",
+                    flush=True,
+                )
         else:
             print(
                 f"  [{done}/{total}] {outcome.job_id:28s} "
@@ -271,6 +287,9 @@ def _run_engine(
     else:
         print()
         print(format_sweep_table(sweep))
+        if any(r.mode == "energy" for r in sweep.results):
+            print()
+            print(format_sweep_energy_table(sweep))
         if chart_ambient is not None and sweep.results:
             print()
             print(
@@ -293,12 +312,25 @@ def _run_engine(
     return 0 if not sweep.failures else 1
 
 
+def _objective_kwargs(args: argparse.Namespace) -> Dict[str, object]:
+    """Map the shared --mode/--target-frequency flags onto ExperimentSpec
+    keyword arguments.  Validation (energy requires a target, frequency
+    forbids one) lives in ExperimentSpec itself so the CLI, the wire
+    decoder and library callers reject invalid combinations with the
+    same diagnostic."""
+    return {
+        "mode": args.mode or "frequency",
+        "target_frequency_hz": args.target_frequency,
+    }
+
+
 def _cmd_suite(args: argparse.Namespace) -> int:
     spec = ExperimentSpec(
         benchmarks=tuple(benchmark_names()),
         ambients=(args.ambient,),
         corners=(25.0,),
         thermal_weight=args.thermal_weight,
+        **_objective_kwargs(args),  # type: ignore[arg-type]
     )
     return _run_engine(args, spec, chart_ambient=args.ambient)
 
@@ -315,6 +347,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         ambients=_parse_floats(args.ambients, "--ambients"),
         corners=_parse_floats(args.corners, "--corners"),
         thermal_weight=args.thermal_weight,
+        **_objective_kwargs(args),  # type: ignore[arg-type]
     )
     chart = spec.ambients[0] if len(spec.ambients) == 1 else None
     return _run_engine(args, spec, chart_ambient=chart)
@@ -396,6 +429,16 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     spec = _load_spec(args.spec)
     if args.thermal_weight is not None:
         spec = replace(spec, thermal_weight=args.thermal_weight)
+    if args.mode is not None or args.target_frequency is not None:
+        # An objective override replaces the pair wholesale: --mode
+        # energy needs its own target, and --mode frequency must clear
+        # any target the envelope carried (ExperimentSpec validation
+        # rejects the leftovers otherwise).
+        spec = replace(
+            spec,
+            mode=args.mode or spec.mode,
+            target_frequency_hz=args.target_frequency,
+        )
     client = SweepClient(url=args.url, timeout=args.timeout or 30.0)
     job_id = client.submit(spec)
     quiet = getattr(args, "json", False)
@@ -535,12 +578,31 @@ def main(argv=None) -> int:
              "(0 = legacy wirelength-only placement)",
     )
 
-    p = sub.add_parser("suite", parents=[common, engine],
+    # One objective flag group shared by every command that builds or
+    # amends an ExperimentSpec (suite/sweep/submit), so the energy knob
+    # spells and validates identically everywhere.  Defaults are None so
+    # `submit` can distinguish "not given" from an explicit override;
+    # suite/sweep map None to the spec defaults.
+    objective = argparse.ArgumentParser(add_help=False)
+    objective.add_argument(
+        "--mode", type=str, choices=("frequency", "energy"), default=None,
+        help="objective: 'frequency' (default) maximises the guardbanded "
+             "clock at nominal supply; 'energy' scales the supply down "
+             "until timing just closes at --target-frequency",
+    )
+    objective.add_argument(
+        "--target-frequency", type=float, default=None, metavar="HZ",
+        dest="target_frequency",
+        help="iso-frequency clock for --mode energy, in Hz (e.g. 100e6); "
+             "invalid with --mode frequency",
+    )
+
+    p = sub.add_parser("suite", parents=[common, engine, objective],
                        help="Fig. 6/7-style suite gains on the sweep engine")
     p.add_argument("--ambient", type=float, default=25.0)
     p.set_defaults(func=_cmd_suite)
 
-    p = sub.add_parser("sweep", parents=[common, engine],
+    p = sub.add_parser("sweep", parents=[common, engine, objective],
                        help="benchmarks x ambients x corners grid")
     p.add_argument(
         "--benchmarks", type=str, required=True,
@@ -593,7 +655,7 @@ def main(argv=None) -> int:
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
-        "submit", parents=[common],
+        "submit", parents=[common, objective],
         help="submit a wire-envelope ExperimentSpec to a sweep server",
     )
     p.add_argument(

@@ -19,7 +19,7 @@ from __future__ import annotations
 import math
 import warnings
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -28,7 +28,14 @@ from repro.activity.ace import ActivityEstimate, estimate_activity
 from repro.cad.flow import FlowResult
 from repro.cad.timing import TimingReport
 from repro.coffe.fabric import Fabric
-from repro.power.model import PowerModel
+from repro.power.model import PowerBreakdown, PowerModel
+from repro.power.voltage import (
+    VDD_MIN_V,
+    VDD_TOLERANCE_V,
+    VoltageScaling,
+    resource_delay_scale,
+)
+from repro.technology.ptm22 import VDD_NOMINAL
 from repro.thermal.hotspot import ThermalSolver
 from repro.thermal.package import ThermalPackage
 
@@ -104,6 +111,17 @@ class GuardbandConfig:
     the initial wirelength cost.  0 keeps the legacy wirelength/timing
     placement (bit-identical); folded into the flow cache key, so cells
     with different weights never share a mapping."""
+    mode: str = "frequency"
+    """Objective of Algorithm 1.  ``"frequency"`` (the default, the
+    paper's flow) maximises the guardbanded clock at nominal supply;
+    ``"energy"`` holds ``target_frequency_hz`` fixed and bisects the
+    soft-fabric supply down until timing just closes at the converged
+    thermal profile (arXiv:1911.07187), reporting the savings in
+    :attr:`GuardbandResult.energy`."""
+    target_frequency_hz: Optional[float] = None
+    """Iso-frequency clock for ``mode="energy"``, hertz.  Required
+    (positive, finite) in energy mode; must stay ``None`` in frequency
+    mode, where the clock is an output of the flow, not an input."""
 
     def __post_init__(self) -> None:
         if self.delta_t <= 0.0:
@@ -128,6 +146,32 @@ class GuardbandConfig:
                 "thermal_weight must be finite and >= 0, "
                 f"got {self.thermal_weight}"
             )
+        if self.mode not in ("frequency", "energy"):
+            raise ValueError(
+                f'mode must be "frequency" or "energy", got {self.mode!r}'
+            )
+        if self.mode == "energy":
+            if self.target_frequency_hz is None:
+                raise ValueError(
+                    'mode="energy" requires target_frequency_hz — the '
+                    "iso-frequency clock (Hz) to close timing at while "
+                    "scaling the supply down"
+                )
+            if not (
+                math.isfinite(self.target_frequency_hz)
+                and self.target_frequency_hz > 0.0
+            ):
+                raise ValueError(
+                    "target_frequency_hz must be positive and finite, "
+                    f"got {self.target_frequency_hz}"
+                )
+        elif self.target_frequency_hz is not None:
+            raise ValueError(
+                'target_frequency_hz is only meaningful with mode="energy" '
+                "(the frequency objective derives the clock); got "
+                f"target_frequency_hz={self.target_frequency_hz} with "
+                f'mode="frequency"'
+            )
 
     def with_changes(self, **changes: object) -> "GuardbandConfig":
         """Return a copy with some knobs replaced."""
@@ -150,11 +194,50 @@ class GuardbandIteration:
 
 
 @dataclass
+class EnergyReport:
+    """Per-cell energy accounting of one ``mode="energy"`` run.
+
+    At iso-frequency, energy per cycle is ``power / f``, so the
+    fractional power saving *is* the fractional energy saving; both
+    totals are reported so tables can show either axis.  The nominal
+    baseline is the same design converged at the same target frequency
+    and ambient but at nominal supply.
+    """
+
+    vdd_v: float
+    """Closing supply: the lowest trial VDD at which timing still closes
+    (within :data:`~repro.power.voltage.VDD_TOLERANCE_V`)."""
+    vdd_nominal_v: float
+    target_frequency_hz: float
+    total_power_w: float
+    """Whole-die power at the closing supply's converged profile."""
+    nominal_power_w: float
+    """Whole-die power at nominal supply, same frequency and ambient."""
+    power_saving_fraction: float
+    """``1 - total_power_w / nominal_power_w`` — also the energy-per-cycle
+    saving at iso-frequency."""
+    energy_per_cycle_j: float
+    nominal_energy_per_cycle_j: float
+
+
+@dataclass
 class GuardbandResult:
-    """Outcome of thermal-aware guardbanding for one design."""
+    """Outcome of thermal-aware guardbanding for one design.
+
+    **Objective invariant:** frequency-mode results maximise
+    ``frequency_hz`` at nominal supply (``vdd_v == VDD_NOMINAL``,
+    ``energy is None``); energy-mode results hold
+    ``frequency_hz == config.target_frequency_hz`` by construction and
+    report the closing supply in ``vdd_v`` (with the savings accounting
+    in ``energy``).  ``mode`` names which reading applies.
+
+    Construct with keyword arguments only — positional construction is
+    deprecated (the field list grows with objectives).
+    """
 
     frequency_hz: float
-    """Final guardbanded clock (timed at the converged profile + delta_t)."""
+    """Final guardbanded clock (timed at the converged profile + delta_t);
+    in energy mode, the target clock that timing was closed at."""
     critical_path_s: float
     tile_temperatures: np.ndarray
     """Converged per-tile temperatures, Celsius."""
@@ -167,6 +250,12 @@ class GuardbandResult:
     """Whether the fixed point was seeded from a neighbouring converged
     profile instead of the flat ambient vector; compare ``iterations``
     against a cold run to measure the iterations saved."""
+    mode: str = "frequency"
+    """Which objective produced this result (see the class invariant)."""
+    vdd_v: float = VDD_NOMINAL
+    """Soft-fabric supply of the reported operating point, volts."""
+    energy: Optional[EnergyReport] = None
+    """Energy/power savings vs nominal supply; ``None`` in frequency mode."""
 
     @property
     def mean_rise_celsius(self) -> float:
@@ -176,6 +265,25 @@ class GuardbandResult:
     def max_gradient_celsius(self) -> float:
         """Largest on-chip temperature difference."""
         return float(self.tile_temperatures.max() - self.tile_temperatures.min())
+
+
+_RESULT_KEYWORD_INIT: Callable[..., None] = GuardbandResult.__init__
+
+
+def _result_init(self: GuardbandResult, *args: object, **kwargs: object) -> None:
+    if args:
+        warnings.warn(
+            "positional construction of GuardbandResult is deprecated; "
+            "pass every field by keyword (the field list grows with "
+            "objective modes)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    _RESULT_KEYWORD_INIT(self, *args, **kwargs)
+
+
+_result_init.__wrapped__ = _RESULT_KEYWORD_INIT  # type: ignore[attr-defined]
+GuardbandResult.__init__ = _result_init  # type: ignore[method-assign]
 
 
 def _coerce_config(
@@ -198,6 +306,26 @@ def _coerce_config(
         stacklevel=3,
     )
     return GuardbandConfig(**supplied)
+
+
+def _seed_profile(
+    warm_start: Optional[np.ndarray], n_tiles: int, t_ambient: float
+) -> Tuple[np.ndarray, bool]:
+    """Initial per-tile temperatures: warm-start profile or flat ambient."""
+    if warm_start is not None:
+        seed_vec = np.asarray(warm_start, dtype=float)
+        if seed_vec.shape != (n_tiles,):
+            raise ValueError(
+                f"warm_start must have shape ({n_tiles},) to match the "
+                f"layout, got {seed_vec.shape}"
+            )
+        if not np.all(np.isfinite(seed_vec)):
+            raise ValueError("warm_start contains non-finite temperatures")
+        # Tiles cannot sit below the junction base temperature at steady
+        # state; clamping keeps a neighbour profile from a cooler ambient
+        # physically sensible.
+        return np.maximum(seed_vec, float(t_ambient)), True
+    return np.full(n_tiles, float(t_ambient)), False  # line 1
 
 
 def thermal_aware_guardband(
@@ -242,27 +370,14 @@ def thermal_aware_guardband(
     if activity is None:
         activity = estimate_activity(flow.netlist, config.base_activity)
 
+    if config.mode == "energy":
+        return _energy_guardband(flow, fabric, t_ambient, activity, config, warm_start)
+
     power_model = PowerModel(flow, fabric, activity)
     solver = ThermalSolver(flow.layout, config.package)
     n_tiles = flow.layout.n_tiles
 
-    if warm_start is not None:
-        seed_vec = np.asarray(warm_start, dtype=float)
-        if seed_vec.shape != (n_tiles,):
-            raise ValueError(
-                f"warm_start must have shape ({n_tiles},) to match the "
-                f"layout, got {seed_vec.shape}"
-            )
-        if not np.all(np.isfinite(seed_vec)):
-            raise ValueError("warm_start contains non-finite temperatures")
-        # Tiles cannot sit below the junction base temperature at steady
-        # state; clamping keeps a neighbour profile from a cooler ambient
-        # physically sensible.
-        t_tiles = np.maximum(seed_vec, float(t_ambient))
-        warm_started = True
-    else:
-        t_tiles = np.full(n_tiles, float(t_ambient))  # line 1
-        warm_started = False
+    t_tiles, warm_started = _seed_profile(warm_start, n_tiles, t_ambient)
     history: List[GuardbandIteration] = []
     converged = False
     iterations = 0
@@ -356,6 +471,201 @@ def thermal_aware_guardband(
     )
 
 
+def _energy_guardband(
+    flow: FlowResult,
+    fabric: Fabric,
+    t_ambient: float,
+    activity: ActivityEstimate,
+    config: GuardbandConfig,
+    warm_start: Optional[np.ndarray],
+) -> GuardbandResult:
+    """Algorithm 1 under the energy objective: bisect VDD at iso-frequency.
+
+    Every trial supply re-runs the full power/temperature fixed point
+    (the loop body of :func:`thermal_aware_guardband`, with the delay,
+    dynamic and leakage models re-evaluated at the trial voltage), then a
+    final re-time at ``T + delta_t`` decides closure: the guardbanded
+    clock at the converged profile must still meet the target.  Lower
+    supply slows the fabric but also cools it — less power means a cooler
+    converged profile means faster logic — which is exactly why each
+    trial must co-iterate with the thermal solver rather than scale a
+    single nominal profile (see DESIGN.md, "Energy mode").
+
+    Bisection assumes closure is monotone in VDD (slower below, faster
+    above), maintains ``v_hi`` always-closing, and narrows the window to
+    :data:`~repro.power.voltage.VDD_TOLERANCE_V`.  Trials warm-start from
+    the converged profile of the last closing trial.  A trial whose
+    thermal fixed point diverges is treated as non-closing.
+    """
+    delta_t = config.delta_t
+    max_iterations = config.max_iterations
+    f_target = float(config.target_frequency_hz)  # type: ignore[arg-type]
+    period_s = 1.0 / f_target
+
+    power_model = PowerModel(flow, fabric, activity)
+    solver = ThermalSolver(flow.layout, config.package)
+    scaling = VoltageScaling()
+    n_tiles = flow.layout.n_tiles
+    t_seed, warm_started = _seed_profile(warm_start, n_tiles, t_ambient)
+
+    history: List[GuardbandIteration] = []
+    iterations = 0
+
+    def converge(vdd: float, seed: np.ndarray) -> Tuple[np.ndarray, PowerBreakdown]:
+        """One trial supply's power/temperature fixed point (or raise)."""
+        nonlocal iterations
+        t_tiles = seed.copy()
+        trial_span = observe.span("guardband.energy.trial", vdd_v=vdd)
+        with trial_span:
+            for _ in range(max_iterations):
+                iterations += 1
+                it_span = observe.span(
+                    "guardband.iteration", index=iterations, vdd_v=vdd
+                )
+                with it_span:
+                    # Line 4 at the trial supply: voltage-scaled STA.
+                    with observe.span("guardband.sta") as sta_span:
+                        report = flow.timing.critical_path(
+                            fabric,
+                            t_tiles,
+                            delay_scale=resource_delay_scale(
+                                scaling.delay_scale_tiles(vdd, t_tiles)
+                            ),
+                        )
+                    # Line 5: dynamic power at the *target* clock (the
+                    # design will run there), leakage at the trial V/T.
+                    with observe.span("guardband.power") as power_span:
+                        power = power_model.evaluate_at_voltage(
+                            f_target, t_tiles, scaling, vdd
+                        )
+                    with observe.span("guardband.thermal") as thermal_span:
+                        t_new = solver.solve(power.total_w, t_ambient)
+                    max_delta = float(np.max(np.abs(t_new - t_tiles)))
+                    t_tiles = t_new
+                    it_span.set_attrs(
+                        frequency_hz=report.frequency_hz,
+                        max_delta_celsius=max_delta,
+                        max_tile_celsius=float(t_tiles.max()),
+                        total_power_w=power.total_watts,
+                    )
+                history.append(
+                    GuardbandIteration(
+                        frequency_hz=report.frequency_hz,
+                        total_power_w=power.total_watts,
+                        max_tile_celsius=float(t_tiles.max()),
+                        mean_tile_celsius=float(t_tiles.mean()),
+                        max_delta_celsius=max_delta,
+                        phase_seconds=observe.phase_seconds(
+                            sta=sta_span, power=power_span, thermal=thermal_span
+                        ),
+                    )
+                )
+                if max_delta <= delta_t:
+                    trial_span.set_attrs(converged=True)
+                    return t_tiles, power
+            trial_span.set_attrs(converged=False)
+        observe.counter("guardband.diverged").inc()
+        raise GuardbandError(
+            f"{flow.netlist.name}: temperature did not converge within "
+            f"{max_iterations} iterations at VDD={vdd:.3f} V",
+            history=history,
+            last_temperatures=t_tiles,
+            iterations=iterations,
+            t_ambient=float(t_ambient),
+        )
+
+    def retime(vdd: float, t_conv: np.ndarray) -> TimingReport:
+        """Line 9 at a trial supply: closure check with the margin."""
+        with observe.span("guardband.final_sta", vdd_v=vdd):
+            return flow.timing.critical_path(
+                fabric,
+                t_conv + delta_t,
+                delay_scale=resource_delay_scale(
+                    scaling.delay_scale_tiles(vdd, t_conv + delta_t)
+                ),
+            )
+
+    run_span = observe.span(
+        "guardband.run",
+        benchmark=flow.netlist.name,
+        mode="energy",
+        target_frequency_hz=f_target,
+        t_ambient=float(t_ambient),
+        delta_t=delta_t,
+        max_iterations=max_iterations,
+        warm_started=warm_started,
+    )
+    with run_span:
+        # Feasibility at nominal supply doubles as the savings baseline.
+        v_hi = scaling.vdd_nominal
+        t_conv, power = converge(v_hi, t_seed)
+        final = retime(v_hi, t_conv)
+        if final.frequency_hz < f_target:
+            observe.counter("guardband.energy.infeasible").inc()
+            raise GuardbandError(
+                f"{flow.netlist.name}: target frequency "
+                f"{f_target / 1e6:.2f} MHz does not close at nominal VDD "
+                f"{v_hi:.3f} V and Tamb={t_ambient:g} C (guardbanded "
+                f"maximum is {final.frequency_hz / 1e6:.2f} MHz); lower "
+                "the target",
+                history=history,
+                last_temperatures=t_conv,
+                iterations=iterations,
+                t_ambient=float(t_ambient),
+            )
+        nominal_power_w = power.total_watts
+        best = (v_hi, t_conv, final, power)
+
+        v_lo = VDD_MIN_V
+        while v_hi - v_lo > VDD_TOLERANCE_V:
+            v_mid = 0.5 * (v_lo + v_hi)
+            try:
+                t_mid, p_mid = converge(v_mid, best[1])
+            except GuardbandError:
+                # A diverging trial cannot prove closure; bisect upward.
+                v_lo = v_mid
+                continue
+            final_mid = retime(v_mid, t_mid)
+            if final_mid.frequency_hz >= f_target:
+                v_hi = v_mid
+                best = (v_mid, t_mid, final_mid, p_mid)
+            else:
+                v_lo = v_mid
+
+        vdd, t_conv, final, power = best
+        observe.histogram("guardband.iterations").observe(float(iterations))
+        run_span.set_attrs(
+            converged=True,
+            iterations=iterations,
+            vdd_v=vdd,
+            power_saving_fraction=1.0 - power.total_watts / nominal_power_w,
+        )
+    energy = EnergyReport(
+        vdd_v=vdd,
+        vdd_nominal_v=scaling.vdd_nominal,
+        target_frequency_hz=f_target,
+        total_power_w=power.total_watts,
+        nominal_power_w=nominal_power_w,
+        power_saving_fraction=1.0 - power.total_watts / nominal_power_w,
+        energy_per_cycle_j=power.total_watts * period_s,
+        nominal_energy_per_cycle_j=nominal_power_w * period_s,
+    )
+    return GuardbandResult(
+        frequency_hz=f_target,
+        critical_path_s=final.critical_path_s,
+        tile_temperatures=t_conv,
+        iterations=iterations,
+        t_ambient=float(t_ambient),
+        delta_t=delta_t,
+        total_power_w=power.total_watts,
+        history=history,
+        warm_started=warm_started,
+        mode="energy",
+        vdd_v=vdd,
+        energy=energy,
+    )
+
+
 @dataclass(frozen=True)
 class BatchCell:
     """One sweep cell of a batched Algorithm 1 run.
@@ -441,6 +751,9 @@ def thermal_aware_guardband_batch(
         return []
     if activity is None:
         activity = estimate_activity(flow.netlist, config.base_activity)
+
+    if config.mode == "energy":
+        return _energy_guardband_batch(flow, fabric, batch_cells, config, activity)
 
     power_model = PowerModel(flow, fabric, activity)
     solver = ThermalSolver(flow.layout, config.package)
@@ -587,6 +900,263 @@ def thermal_aware_guardband_batch(
                     total_power_w=histories[i][-1].total_power_w,
                     history=histories[i],
                     warm_started=bool(warm_started[i]),
+                )
+            )
+    return outcomes
+
+
+def _energy_guardband_batch(
+    flow: FlowResult,
+    fabric: Fabric,
+    batch_cells: List[BatchCell],
+    config: GuardbandConfig,
+    activity: ActivityEstimate,
+) -> List[BatchOutcome]:
+    """Batched energy objective: joint VDD bisection at iso-frequency.
+
+    Every cell shares the target clock and the ``[VDD_MIN_V, nominal]``
+    bisection window, so the per-cell bisections stay in lockstep: each
+    round jointly converges all live cells' thermal fixed points at their
+    own trial supplies (masked, exactly like the frequency batch), then
+    one batched re-time decides per-cell closure.  The trial sequence per
+    cell is identical to the looped :func:`_energy_guardband`, so the
+    outcomes agree within the compensation margin.  Cells whose target
+    does not close at nominal supply (or whose fixed point diverges
+    there) yield a :class:`GuardbandError` in their slot; a trial that
+    diverges *below* nominal is treated as non-closing for that cell.
+    """
+    delta_t = config.delta_t
+    max_iterations = config.max_iterations
+    f_target = float(config.target_frequency_hz)  # type: ignore[arg-type]
+    period_s = 1.0 / f_target
+
+    power_model = PowerModel(flow, fabric, activity)
+    solver = ThermalSolver(flow.layout, config.package)
+    scaling = VoltageScaling()
+    n_cells = len(batch_cells)
+    n_tiles = flow.layout.n_tiles
+
+    ambients = np.array([cell.t_ambient for cell in batch_cells], dtype=float)
+    t_seed = np.empty((n_cells, n_tiles))
+    warm_started = np.zeros(n_cells, dtype=bool)
+    for i, cell in enumerate(batch_cells):
+        t_seed[i], warm_started[i] = _seed_profile(
+            cell.warm_start, n_tiles, float(ambients[i])
+        )
+
+    iterations = np.zeros(n_cells, dtype=int)
+    histories: List[List[GuardbandIteration]] = [[] for _ in range(n_cells)]
+    errors: Dict[int, GuardbandError] = {}
+
+    def converge(
+        live: np.ndarray, vdds: np.ndarray, t_start: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Jointly converge the live cells at per-cell trial supplies.
+
+        Returns ``(t_conv, per-cell total power, diverged-row mask)``,
+        all indexed like ``live``.
+        """
+        t_tiles = t_start.copy()
+        totals = np.zeros(live.size)
+        active = np.ones(live.size, dtype=bool)
+        for step in range(max_iterations):
+            idx = np.flatnonzero(active)
+            if idx.size == 0:
+                break
+            iterations[live[idx]] += 1
+            it_span = observe.span(
+                "guardband.batch.iteration",
+                index=step + 1,
+                n_active=int(idx.size),
+            )
+            with it_span:
+                with observe.span("guardband.sta") as sta_span:
+                    reports = flow.timing.critical_path_batch(
+                        fabric,
+                        t_tiles[idx],
+                        delay_scale=resource_delay_scale(
+                            scaling.delay_scale_cells(vdds[idx], t_tiles[idx])
+                        ),
+                    )
+                with observe.span("guardband.power") as power_span:
+                    power = power_model.evaluate_at_voltage_batch(
+                        np.full(idx.size, f_target),
+                        t_tiles[idx],
+                        scaling,
+                        vdds[idx],
+                    )
+                with observe.span("guardband.thermal") as thermal_span:
+                    t_new = solver.solve(power.total_w, ambients[live[idx]])
+                max_delta = np.max(np.abs(t_new - t_tiles[idx]), axis=1)
+                t_tiles[idx] = t_new
+                per_cell = power.total_watts_per_cell()
+                totals[idx] = per_cell
+                it_span.set_attrs(
+                    max_delta_celsius=float(max_delta.max()),
+                    n_converging=int(np.sum(max_delta <= delta_t)),
+                )
+            phase = observe.phase_seconds(
+                sta=sta_span, power=power_span, thermal=thermal_span
+            )
+            for j, row in enumerate(idx):
+                histories[int(live[row])].append(
+                    GuardbandIteration(
+                        frequency_hz=float(reports[j].frequency_hz),
+                        total_power_w=float(per_cell[j]),
+                        max_tile_celsius=float(t_tiles[row].max()),
+                        mean_tile_celsius=float(t_tiles[row].mean()),
+                        max_delta_celsius=float(max_delta[j]),
+                        phase_seconds=(
+                            {k: v / idx.size for k, v in phase.items()}
+                            if phase is not None
+                            else None
+                        ),
+                    )
+                )
+            active[idx[max_delta <= delta_t]] = False
+        return t_tiles, totals, active
+
+    def retime(vdds: np.ndarray, t_conv: np.ndarray) -> List[TimingReport]:
+        """Batched line 9: closure check with the compensation margin."""
+        with observe.span(
+            "guardband.batch.final_sta", n_cells=int(len(vdds))
+        ):
+            return flow.timing.critical_path_batch(
+                fabric,
+                t_conv + delta_t,
+                delay_scale=resource_delay_scale(
+                    scaling.delay_scale_cells(vdds, t_conv + delta_t)
+                ),
+            )
+
+    run_span = observe.span(
+        "guardband.batch",
+        benchmark=flow.netlist.name,
+        mode="energy",
+        target_frequency_hz=f_target,
+        n_cells=n_cells,
+        delta_t=delta_t,
+        max_iterations=max_iterations,
+        n_warm_started=int(warm_started.sum()),
+    )
+    with run_span:
+        live = np.arange(n_cells)
+        v_nominal = scaling.vdd_nominal
+        # Trial 0: feasibility at nominal supply, doubling as the
+        # per-cell savings baseline.
+        t_conv, totals, div = converge(
+            live, np.full(n_cells, v_nominal), t_seed
+        )
+        for row in np.flatnonzero(div):
+            i = int(live[row])
+            observe.counter("guardband.diverged").inc()
+            errors[i] = GuardbandError(
+                f"{flow.netlist.name}: temperature did not converge within "
+                f"{max_iterations} iterations at VDD={v_nominal:.3f} V",
+                history=histories[i],
+                last_temperatures=t_conv[row].copy(),
+                iterations=int(iterations[i]),
+                t_ambient=float(ambients[i]),
+            )
+        keep = np.flatnonzero(~div)
+        live, t_conv, totals = live[keep], t_conv[keep], totals[keep]
+        finals: List[TimingReport] = (
+            retime(np.full(live.size, v_nominal), t_conv) if live.size else []
+        )
+        closes = np.array(
+            [f.frequency_hz >= f_target for f in finals], dtype=bool
+        )
+        for row in np.flatnonzero(~closes):
+            i = int(live[row])
+            observe.counter("guardband.energy.infeasible").inc()
+            errors[i] = GuardbandError(
+                f"{flow.netlist.name}: target frequency "
+                f"{f_target / 1e6:.2f} MHz does not close at nominal VDD "
+                f"{v_nominal:.3f} V and Tamb={ambients[i]:g} C "
+                f"(guardbanded maximum is "
+                f"{finals[row].frequency_hz / 1e6:.2f} MHz); lower the "
+                "target",
+                history=histories[i],
+                last_temperatures=t_conv[row].copy(),
+                iterations=int(iterations[i]),
+                t_ambient=float(ambients[i]),
+            )
+        keep = np.flatnonzero(closes)
+        live = live[keep]
+        nominal_power = totals[keep].copy()
+        best_t = t_conv[keep].copy()
+        best_power = totals[keep].copy()
+        best_final: List[TimingReport] = [finals[int(row)] for row in keep]
+        best_vdd = np.full(live.size, v_nominal)
+        v_lo = np.full(live.size, VDD_MIN_V)
+        v_hi = np.full(live.size, v_nominal)
+
+        # All windows start identical and halve together, so every cell
+        # resolves in the same number of rounds (lockstep bisection).
+        while live.size and float(np.max(v_hi - v_lo)) > VDD_TOLERANCE_V:
+            v_mid = 0.5 * (v_lo + v_hi)
+            t_mid, totals_mid, div = converge(live, v_mid, best_t)
+            closes = np.zeros(live.size, dtype=bool)
+            conv_rows = np.flatnonzero(~div)
+            finals_mid: Dict[int, TimingReport] = {}
+            if conv_rows.size:
+                for row, report in zip(
+                    conv_rows, retime(v_mid[conv_rows], t_mid[conv_rows])
+                ):
+                    finals_mid[int(row)] = report
+                    closes[row] = report.frequency_hz >= f_target
+            for row in range(live.size):
+                if closes[row]:
+                    v_hi[row] = v_mid[row]
+                    best_vdd[row] = v_mid[row]
+                    best_t[row] = t_mid[row]
+                    best_power[row] = totals_mid[row]
+                    best_final[row] = finals_mid[row]
+                else:
+                    # Diverged or failed closure: the answer is above.
+                    v_lo[row] = v_mid[row]
+
+        run_span.set_attrs(
+            n_converged=int(live.size),
+            n_diverged=int(len(errors)),
+            iterations=int(iterations.max(initial=0)),
+        )
+
+        outcomes: List[BatchOutcome] = []
+        live_row = {int(cell): row for row, cell in enumerate(live)}
+        for i in range(n_cells):
+            if i in errors:
+                outcomes.append(errors[i])
+                continue
+            row = live_row[i]
+            observe.histogram("guardband.iterations").observe(
+                float(iterations[i])
+            )
+            saving = 1.0 - float(best_power[row]) / float(nominal_power[row])
+            energy = EnergyReport(
+                vdd_v=float(best_vdd[row]),
+                vdd_nominal_v=v_nominal,
+                target_frequency_hz=f_target,
+                total_power_w=float(best_power[row]),
+                nominal_power_w=float(nominal_power[row]),
+                power_saving_fraction=saving,
+                energy_per_cycle_j=float(best_power[row]) * period_s,
+                nominal_energy_per_cycle_j=float(nominal_power[row]) * period_s,
+            )
+            outcomes.append(
+                GuardbandResult(
+                    frequency_hz=f_target,
+                    critical_path_s=best_final[row].critical_path_s,
+                    tile_temperatures=best_t[row].copy(),
+                    iterations=int(iterations[i]),
+                    t_ambient=float(ambients[i]),
+                    delta_t=delta_t,
+                    total_power_w=float(best_power[row]),
+                    history=histories[i],
+                    warm_started=bool(warm_started[i]),
+                    mode="energy",
+                    vdd_v=float(best_vdd[row]),
+                    energy=energy,
                 )
             )
     return outcomes

@@ -1,5 +1,21 @@
-"""Per-tile power model (Algorithm 1, line 5)."""
+"""Per-tile power model (Algorithm 1, line 5) and voltage scaling."""
 
 from repro.power.model import PowerBreakdown, PowerModel, tile_inventory
+from repro.power.voltage import (
+    FIXED_RAIL_RESOURCES,
+    VDD_MIN_V,
+    VDD_TOLERANCE_V,
+    VoltageScaling,
+    resource_delay_scale,
+)
 
-__all__ = ["PowerBreakdown", "PowerModel", "tile_inventory"]
+__all__ = [
+    "FIXED_RAIL_RESOURCES",
+    "PowerBreakdown",
+    "PowerModel",
+    "VDD_MIN_V",
+    "VDD_TOLERANCE_V",
+    "VoltageScaling",
+    "resource_delay_scale",
+    "tile_inventory",
+]

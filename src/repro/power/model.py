@@ -26,12 +26,17 @@ from repro.cad.flow import FlowResult
 from repro.coffe.characterize import T_GRID_CELSIUS
 from repro.coffe.fabric import Fabric, T_MAX_CELSIUS, T_MIN_CELSIUS
 from repro.netlists.netlist import BlockType
+from repro.power.voltage import FIXED_RAIL_RESOURCES, VoltageScaling
 
 RESOURCES = (
     "sb_mux", "cb_mux", "local_mux", "feedback_mux", "output_mux",
     "lut", "bram", "dsp",
 )
 _RES_INDEX = {name: i for i, name in enumerate(RESOURCES)}
+
+#: True where the resource sits on the fixed (BRAM) supply rail and is
+#: therefore exempt from soft-fabric voltage scaling.
+_FIXED_RAIL_MASK = np.array([name in FIXED_RAIL_RESOURCES for name in RESOURCES])
 
 
 def tile_inventory(arch: ArchParams, tile_type: TileType) -> Dict[str, float]:
@@ -200,6 +205,9 @@ class PowerModel:
             )
         else:
             self._leak_table = None
+        # Rail-split leakage tables for voltage scaling, built lazily by
+        # _split_leak_tables(): (scaled soft-fabric rail, fixed BRAM rail).
+        self._leak_split: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     # -- evaluation ----------------------------------------------------------
 
@@ -333,3 +341,140 @@ class PowerModel:
             dynamic_w=self.dynamic_power_batch(frequencies_hz),
             leakage_w=self.leakage_power_batch(t_batch),
         )
+
+    # -- voltage-scaled evaluation (energy-mode objective) -------------------
+
+    def _split_leak_tables(self) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Per-tile leakage tables split by supply rail, lazily built.
+
+        Returns ``(scaled, fixed)`` — each ``(n_tiles, n_grid)`` like
+        ``_leak_table`` — where ``scaled`` sums the soft-fabric-rail
+        inventory (subject to voltage scaling) and ``fixed`` the BRAM-rail
+        inventory (exempt).  ``scaled + fixed == _leak_table`` exactly.
+        ``None`` off the canonical characterization grid.
+        """
+        if self._leak_table is None:
+            return None
+        if self._leak_split is None:
+            chars = [self.fabric.resources[name] for name in RESOURCES]
+            rows = np.vstack([c.leakage_w for c in chars])
+            scaled_counts = np.where(
+                _FIXED_RAIL_MASK[:, None], 0.0, self._counts
+            )
+            fixed_counts = self._counts - scaled_counts
+            self._leak_split = (
+                scaled_counts.T @ rows,
+                fixed_counts.T @ rows,
+            )
+        return self._leak_split
+
+    @staticmethod
+    def _leak_lerp(table: np.ndarray, t: np.ndarray) -> np.ndarray:
+        """Gathered per-tile lerp of a ``(n_tiles, n_grid)`` leakage table.
+
+        ``t`` is ``(n_tiles,)`` or ``(n_cells, n_tiles)``; the tile axis
+        of ``t`` indexes the table rows either way.
+        """
+        t = np.clip(t, T_MIN_CELSIUS, T_MAX_CELSIUS)
+        i0 = t.astype(np.intp)
+        frac = t - i0
+        i1 = np.minimum(i0 + 1, table.shape[1] - 1)
+        rows = np.arange(table.shape[0])
+        return table[rows, i0] * (1.0 - frac) + table[rows, i1] * frac
+
+    def leakage_power_scaled(
+        self, t_tiles: np.ndarray, scale_tiles: np.ndarray
+    ) -> np.ndarray:
+        """Per-tile leakage with soft-fabric-rail scale factors applied.
+
+        ``scale_tiles`` multiplies only the scaled-rail inventory; the
+        BRAM rail contributes unscaled.  ``scale_tiles == 1`` reproduces
+        :meth:`leakage_power` up to summation order.  Accepts batched
+        ``(n_cells, n_tiles)`` inputs symmetrically.
+        """
+        t = np.asarray(t_tiles, dtype=float)
+        scale_tiles = np.asarray(scale_tiles, dtype=float)
+        split = self._split_leak_tables()
+        if split is not None:
+            scaled_table, fixed_table = split
+            return (
+                self._leak_lerp(scaled_table, t) * scale_tiles
+                + self._leak_lerp(fixed_table, t)
+            )
+        if t.ndim == 2:
+            return np.stack(
+                [
+                    self.leakage_power_scaled(row, scale)
+                    for row, scale in zip(t, scale_tiles)
+                ]
+            )
+        out = np.zeros(self.n_tiles)
+        for i, name in enumerate(RESOURCES):
+            counts = self._counts[i]
+            if not counts.any():
+                continue
+            leak = counts * np.asarray(self.fabric.leakage_w(name, t))
+            out += leak if _FIXED_RAIL_MASK[i] else leak * scale_tiles
+        return out
+
+    def evaluate_at_voltage(
+        self,
+        frequency_hz: float,
+        t_tiles: np.ndarray,
+        scaling: VoltageScaling,
+        vdd: float,
+    ) -> PowerBreakdown:
+        """Per-tile power at a scaled soft-fabric supply (energy mode).
+
+        Dynamic power picks up ``(vdd / vdd_nominal)^2`` on every
+        scaled-rail resource; leakage picks up the temperature-dependent
+        ``V * I_leak`` ratio per tile.  BRAM-rail contributions are exempt
+        (see :mod:`repro.power.voltage`).  At ``vdd == vdd_nominal`` both
+        factors are identically 1.
+        """
+        if frequency_hz < 0.0:
+            raise ValueError(f"negative frequency: {frequency_hz}")
+        t_tiles = self._check_temps(t_tiles)
+        res_scale = np.where(
+            _FIXED_RAIL_MASK, 1.0, scaling.dynamic_scale(vdd)
+        )
+        dynamic = (self._pdyn_base * frequency_hz * res_scale) @ self._alpha_matrix
+        leakage = self.leakage_power_scaled(
+            t_tiles, scaling.leakage_scale_tiles(vdd, t_tiles)
+        )
+        return PowerBreakdown(dynamic_w=dynamic, leakage_w=leakage)
+
+    def evaluate_at_voltage_batch(
+        self,
+        frequencies_hz: np.ndarray,
+        t_batch: np.ndarray,
+        scaling: VoltageScaling,
+        vdds: np.ndarray,
+    ) -> PowerBreakdown:
+        """Batched :meth:`evaluate_at_voltage` with per-cell supplies."""
+        frequencies_hz = np.asarray(frequencies_hz, dtype=float)
+        t_batch = np.asarray(t_batch, dtype=float)
+        vdds = np.asarray(vdds, dtype=float)
+        if frequencies_hz.shape != (t_batch.shape[0],):
+            raise ValueError(
+                f"frequency vector shape {frequencies_hz.shape} does not "
+                f"match the {t_batch.shape[0]}-row temperature batch"
+            )
+        if vdds.shape != (t_batch.shape[0],):
+            raise ValueError(
+                f"supply vector shape {vdds.shape} does not match the "
+                f"{t_batch.shape[0]}-row temperature batch"
+            )
+        if np.any(frequencies_hz < 0.0):
+            raise ValueError("negative frequency in batch")
+        dyn_scales = np.array([scaling.dynamic_scale(v) for v in vdds])
+        res_scale = np.where(
+            _FIXED_RAIL_MASK[None, :], 1.0, dyn_scales[:, None]
+        )
+        dynamic = (
+            frequencies_hz[:, None] * self._pdyn_base[None, :] * res_scale
+        ) @ self._alpha_matrix
+        leakage = self.leakage_power_scaled(
+            t_batch, scaling.leakage_scale_cells(vdds, t_batch)
+        )
+        return PowerBreakdown(dynamic_w=dynamic, leakage_w=leakage)

@@ -59,6 +59,48 @@ def format_sweep_table(sweep: "SweepResult", title: str = "") -> str:
     )
 
 
+def format_sweep_energy_table(sweep: "SweepResult", title: str = "") -> str:
+    """Energy-mode cells: closing supply and savings vs nominal.
+
+    Frequency-mode cells are omitted — they carry no energy report; at
+    iso-frequency the power saving fraction *is* the energy-per-cycle
+    saving, so one column serves both readings.
+    """
+    rows: List[Tuple[object, ...]] = []
+    for r in sweep.results:
+        if r.mode != "energy":
+            continue
+        rows.append(
+            (
+                r.benchmark,
+                f"{r.t_ambient:g}",
+                f"D{r.corner:g}",
+                f"{r.frequency_hz / 1e6:.1f}",
+                f"{r.vdd_v:.3f}" if r.vdd_v is not None else "-",
+                f"{r.total_power_w * 1e3:.2f}",
+                (
+                    f"{r.energy_per_cycle_j * 1e12:.2f}"
+                    if r.energy_per_cycle_j is not None
+                    else "-"
+                ),
+                (
+                    f"{r.energy_saving * 100:.1f}%"
+                    if r.energy_saving is not None
+                    else "-"
+                ),
+            )
+        )
+    header = title or (
+        f"energy mode: {len(rows)} cell(s) closed below nominal supply"
+    )
+    return format_table(
+        ["benchmark", "Tamb (C)", "corner", "f target (MHz)", "VDD (V)",
+         "P (mW)", "E/cycle (pJ)", "saving"],
+        rows,
+        title=header,
+    )
+
+
 def format_sweep_gains_chart(
     sweep: "SweepResult",
     t_ambient: Optional[float] = None,

@@ -271,6 +271,14 @@ def _execute_job(job: SweepJob, store: Optional[str] = None) -> JobResult:
         cache_events=cache_events,
         warm_started=result.warm_started,
         store_event=store_event,
+        mode=result.mode,
+        vdd_v=result.vdd_v,
+        energy_saving=(
+            result.energy.power_saving_fraction if result.energy else None
+        ),
+        energy_per_cycle_j=(
+            result.energy.energy_per_cycle_j if result.energy else None
+        ),
     )
 
 
@@ -438,6 +446,18 @@ def _execute_batch(
                 cache_events=cache_events if i == 0 else {},
                 warm_started=result.warm_started,
                 store_event=store_event,
+                mode=result.mode,
+                vdd_v=result.vdd_v,
+                energy_saving=(
+                    result.energy.power_saving_fraction
+                    if result.energy
+                    else None
+                ),
+                energy_per_cycle_j=(
+                    result.energy.energy_per_cycle_j
+                    if result.energy
+                    else None
+                ),
             )
         )
     return records

@@ -58,6 +58,19 @@ class JobResult:
     """Result-store outcome for this cell: "hit" (converged result
     served without re-running Algorithm 1), "miss" (computed and
     persisted), or ``None`` when the sweep ran without a store."""
+    mode: str = "frequency"
+    """Objective the cell was run under ("frequency" or "energy")."""
+    vdd_v: Optional[float] = None
+    """Core supply the result closes timing at, volts.  Nominal for
+    frequency-mode cells; the bisected closing supply in energy mode.
+    ``None`` only for records written before the energy objective."""
+    energy_saving: Optional[float] = None
+    """Energy-mode fractional power (= energy-per-cycle, at
+    iso-frequency) saving vs nominal supply; ``None`` in frequency
+    mode."""
+    energy_per_cycle_j: Optional[float] = None
+    """Energy-mode total energy per clock cycle at the closing supply,
+    joules; ``None`` in frequency mode."""
 
     @property
     def cell(self) -> Cell:

@@ -92,6 +92,16 @@ class ExperimentSpec:
     :attr:`repro.core.guardband.GuardbandConfig.thermal_weight`).  A
     nonzero spec-level value overrides the per-cell configs so one knob
     turns the whole grid thermal-aware."""
+    mode: str = "frequency"
+    """Objective applied to every cell's config (see
+    :attr:`repro.core.guardband.GuardbandConfig.mode`): ``"frequency"``
+    maximises the guardbanded clock, ``"energy"`` scales the supply down
+    at ``target_frequency_hz``.  Like ``thermal_weight``, a non-default
+    spec-level value overrides the per-cell configs so one knob flips
+    the whole grid's objective."""
+    target_frequency_hz: Optional[float] = None
+    """Iso-frequency clock for ``mode="energy"``, hertz; must stay
+    ``None`` in frequency mode."""
 
     def __post_init__(self) -> None:
         if not self.benchmarks:
@@ -102,6 +112,32 @@ class ExperimentSpec:
             raise ValueError(
                 "thermal_weight must be finite and >= 0, "
                 f"got {self.thermal_weight}"
+            )
+        if self.mode not in ("frequency", "energy"):
+            raise ValueError(
+                f'mode must be "frequency" or "energy", got {self.mode!r}'
+            )
+        if self.mode == "energy":
+            if self.target_frequency_hz is None:
+                raise ValueError(
+                    'mode="energy" requires target_frequency_hz — the '
+                    "iso-frequency clock (Hz) to close timing at while "
+                    "scaling the supply down"
+                )
+            if not (
+                math.isfinite(self.target_frequency_hz)
+                and self.target_frequency_hz > 0.0
+            ):
+                raise ValueError(
+                    "target_frequency_hz must be positive and finite, "
+                    f"got {self.target_frequency_hz}"
+                )
+        elif self.target_frequency_hz is not None:
+            raise ValueError(
+                'target_frequency_hz is only meaningful with mode="energy" '
+                "(the frequency objective derives the clock); got "
+                f"target_frequency_hz={self.target_frequency_hz} with "
+                f'mode="frequency"'
             )
         if not self.ambients or not self.corners:
             raise ValueError(
@@ -140,6 +176,11 @@ class ExperimentSpec:
             )
         if self.thermal_weight != 0.0:
             config = config.with_changes(thermal_weight=self.thermal_weight)
+        if self.mode != "frequency":
+            config = config.with_changes(
+                mode=self.mode,
+                target_frequency_hz=self.target_frequency_hz,
+            )
         return config
 
     def expand(self) -> List[SweepJob]:

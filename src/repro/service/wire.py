@@ -42,7 +42,7 @@ from repro.netlists.generator import NetlistSpec
 from repro.runner.spec import ExperimentSpec
 from repro.thermal.package import ThermalPackage
 
-WIRE_SCHEMA_VERSION = 2
+WIRE_SCHEMA_VERSION = 3
 """Bump whenever the field set (or meaning) of any wire class changes.
 
 The version travels in every envelope; decoders reject anything else.
@@ -53,6 +53,12 @@ Version 2: ``thermal_weight`` joined both ``GuardbandConfig`` and
 ``ExperimentSpec`` (thermal-aware placement).  A v1 receiver would
 silently drop the knob and place wirelength-only — exactly the
 reinterpretation the version gate exists to refuse.
+
+Version 3: ``mode`` / ``target_frequency_hz`` joined both
+``GuardbandConfig`` and ``ExperimentSpec`` (energy objective).  A v2
+receiver would drop the objective and run the frequency loop at nominal
+supply — a silent change of what the sweep *means*, so the gate must
+refuse it.
 """
 
 
@@ -197,6 +203,12 @@ def _encode_experiment(spec: ExperimentSpec) -> Dict[str, Any]:
         "seed": spec.seed,
         "timing_driven": spec.timing_driven,
         "thermal_weight": float(spec.thermal_weight),
+        "mode": spec.mode,
+        "target_frequency_hz": (
+            None
+            if spec.target_frequency_hz is None
+            else float(spec.target_frequency_hz)
+        ),
     }
 
 

@@ -34,7 +34,7 @@ from repro import observe
 from repro.core.guardband import GuardbandConfig, GuardbandResult
 from repro.store.backend import DirectoryBackend, StoreBackend
 
-STORE_SCHEMA_VERSION = 2
+STORE_SCHEMA_VERSION = 3
 """Bump when the digest inputs or the stored payload change meaning.
 
 The schema version is folded into every digest, so old-schema entries
@@ -46,6 +46,13 @@ lint rule against the committed store manifest
 Version 2: ``GuardbandConfig`` grew ``thermal_weight`` (thermal-aware
 placement); the digest field set changed, so v1 entries must stop
 matching rather than alias results placed under a different objective.
+
+Version 3: ``GuardbandConfig`` grew ``mode`` / ``target_frequency_hz``
+(energy objective) and ``GuardbandResult`` grew ``mode`` / ``vdd_v`` /
+``energy``.  The digest field set changed *and* the pickled payload
+shape changed, so v2 entries must stop matching rather than serve a
+frequency-mode result for an energy-mode request (or unpickle a result
+missing the new fields).
 """
 
 _STORE_COUNTS = {"hit": 0, "miss": 0, "put": 0, "quarantine": 0}

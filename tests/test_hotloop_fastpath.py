@@ -76,7 +76,9 @@ class TestTimingErrorMessages:
             {0: 0.0},
         )
         monkeypatch.setattr(
-            TimingAnalyzer, "_arrival_pass", lambda self, f, t: zeros
+            TimingAnalyzer,
+            "_arrival_pass",
+            lambda self, f, t, delay_scale=None: zeros,
         )
         with pytest.raises(ValueError, match="non-positive critical-path delay"):
             timing.critical_path(fabric25, uniform_25)

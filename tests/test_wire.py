@@ -41,22 +41,33 @@ DEFAULTS = {
 }
 
 
-def _perturbed(name, value):
-    """A different-but-still-valid value for one dataclass field."""
+def _perturbation(name, value):
+    """Changes making one field non-default while staying valid.
+
+    Usually ``{name: new_value}``; the objective fields are validated as
+    a pair (``mode="energy"`` requires a target, a target requires
+    energy mode), so perturbing either one flips both.
+    """
+    if name in ("mode", "target_frequency_hz"):
+        return {"mode": "energy", "target_frequency_hz": 1.25e8}
     if isinstance(value, bool):
-        return not value
+        return {name: not value}
     if isinstance(value, str):
         # GuardbandConfig.warm_start_policy only admits "off"/"nearest";
         # free-form names just get a suffix.
-        return "nearest" if value == "off" else value + "_alt"
+        return {name: "nearest" if value == "off" else value + "_alt"}
     if isinstance(value, int):
-        return value + 1
+        return {name: value + 1}
     if isinstance(value, float):
         # Ratio-like fields are validated into (0, 1]; halving stays
         # inside, everything else can simply grow.
-        return value / 2 if 0.0 < value <= 1.0 else value + 1.0
+        return {name: value / 2 if 0.0 < value <= 1.0 else value + 1.0}
     if value is None and name == "package":
-        return ThermalPackage(g_vertical_w_per_k=1e-4, g_lateral_w_per_k=3e-4)
+        return {
+            name: ThermalPackage(
+                g_vertical_w_per_k=1e-4, g_lateral_w_per_k=3e-4
+            )
+        }
     raise AssertionError(f"no perturbation for {name}={value!r}")
 
 
@@ -79,7 +90,7 @@ class TestRoundTrip:
     )
     def test_every_field_round_trips_non_default(self, cls, name):
         base = DEFAULTS[cls]
-        changed = replace(base, **{name: _perturbed(name, getattr(base, name))})
+        changed = replace(base, **_perturbation(name, getattr(base, name)))
         assert changed != base, name
         decoded = json_round_trip(changed)
         assert decoded == changed
